@@ -1,0 +1,133 @@
+//! The simulated streaming accelerator (modeled after Intel DSA, §5.4):
+//! descriptor submission over a PCIe-like interface, offload execution
+//! with a configurable noisy response-time distribution, and completion
+//! records.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use xui_des::dist::{Noisy, Sample};
+
+/// An offload descriptor submitted to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// Monotonic id.
+    pub id: u64,
+    /// Submission cycle.
+    pub submitted_at: u64,
+}
+
+/// A completion record written back by the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The completed descriptor's id.
+    pub id: u64,
+    /// Cycle the accelerator finished and wrote the record.
+    pub completed_at: u64,
+}
+
+/// Response-time classes evaluated in the paper (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// ≈2 µs: one 16 KB copy, or a batch of eight ≤2048 B copies.
+    Short,
+    /// ≈20 µs: one 1 MB copy.
+    Long,
+}
+
+impl RequestKind {
+    /// Mean response time in cycles at 2 GHz.
+    #[must_use]
+    pub fn mean_cycles(self) -> u64 {
+        match self {
+            RequestKind::Short => 4_000,  // 2 µs
+            RequestKind::Long => 40_000, // 20 µs
+        }
+    }
+}
+
+/// The accelerator: one in-flight offload at a time (closed loop).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelEngine {
+    latency: Noisy,
+    next_id: u64,
+    /// Completions produced.
+    pub completions: u64,
+}
+
+impl AccelEngine {
+    /// Creates an engine for a request class with uniform noise of the
+    /// given magnitude (cycles) added to each response time.
+    #[must_use]
+    pub fn new(kind: RequestKind, noise_magnitude: u64) -> Self {
+        Self {
+            latency: Noisy::new(kind.mean_cycles() as f64, noise_magnitude as f64),
+            next_id: 0,
+            completions: 0,
+        }
+    }
+
+    /// Submits an offload at `now`; returns the descriptor and its
+    /// completion.
+    pub fn submit<R: Rng + ?Sized>(&mut self, now: u64, rng: &mut R) -> (Descriptor, Completion) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.completions += 1;
+        let response = self.latency.sample_ticks(rng).max(1);
+        (
+            Descriptor {
+                id,
+                submitted_at: now,
+            },
+            Completion {
+                id,
+                completed_at: now + response,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn request_kinds_match_paper_means() {
+        assert_eq!(RequestKind::Short.mean_cycles(), 4_000); // 2 µs
+        assert_eq!(RequestKind::Long.mean_cycles(), 40_000); // 20 µs
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic() {
+        let mut e = AccelEngine::new(RequestKind::Short, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, c1) = e.submit(0, &mut rng);
+        let (_, c2) = e.submit(c1.completed_at, &mut rng);
+        assert_eq!(c1.completed_at, 4_000);
+        assert_eq!(c2.completed_at - c1.completed_at, 4_000);
+        assert_eq!(e.completions, 2);
+    }
+
+    #[test]
+    fn noise_stays_within_magnitude() {
+        let mut e = AccelEngine::new(RequestKind::Long, 10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5_000 {
+            let (d, c) = e.submit(100, &mut rng);
+            let response = c.completed_at - d.submitted_at;
+            assert!((30_000..=50_000).contains(&response), "response={response}");
+        }
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let mut e = AccelEngine::new(RequestKind::Short, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (d1, _) = e.submit(0, &mut rng);
+        let (d2, _) = e.submit(10, &mut rng);
+        assert_eq!(d2.id, d1.id + 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! # xui-accel
+//!
+//! A streaming-accelerator model patterned after Intel DSA (§5.4): an
+//! offload [`engine`] with configurable noisy response times (2 µs / 20 µs
+//! request classes), the three [`completion`]-delivery mechanisms of
+//! Figure 9 (busy spinning, periodic OS-timer polling, xUI device
+//! interrupts), and the closed-loop [`workload`] that measures their
+//! notification latency and free cycles.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod completion;
+pub mod engine;
+pub mod workload;
+
+pub use completion::{CompletionMode, CompletionWaiter, WaitOutcome};
+pub use engine::{AccelEngine, RequestKind};
+pub use workload::{run_offload, OffloadConfig, OffloadReport};

@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks of the reproduction's hot paths: DIR-24-8
+//! LPM lookup, the discrete-event engine, the latency histogram, and one
+//! cycle of the out-of-order pipeline model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xui_core::model::{CoreId, ProtocolModel};
+use xui_core::vectors::UserVector;
+use xui_des::engine::Engine;
+use xui_des::stats::Histogram;
+use xui_net::lpm::Lpm;
+use xui_net::traffic::paper_route_table;
+use xui_sim::config::SystemConfig;
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
+use xui_sim::{Program, System};
+
+fn bench_lpm_lookup(c: &mut Criterion) {
+    let routes = paper_route_table(1);
+    let mut lpm = Lpm::new();
+    for r in &routes {
+        lpm.add(*r);
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    let probes: Vec<u32> = (0..1024).map(|_| rng.gen()).collect();
+    let mut i = 0;
+    c.bench_function("lpm_lookup_16k_routes", |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(lpm.lookup(black_box(probes[i])))
+        })
+    });
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("des_engine_10k_events", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            for t in 0..10_000u64 {
+                engine.schedule_at((t * 7919) % 100_000, |s, _| *s += 1);
+            }
+            let mut count = 0u64;
+            engine.run(&mut count);
+            black_box(count)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..1_000_000)).collect();
+    c.bench_function("histogram_record_4k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            black_box(h.percentile(99.0))
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = Program::new(
+        "loop",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: u64::MAX }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    c.bench_function("pipeline_10k_cycles", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::xui(), vec![program.clone()]);
+            sys.run_cycles(10_000);
+            black_box(sys.cores[0].stats.committed_insts)
+        })
+    });
+}
+
+fn bench_protocol_send_deliver(c: &mut Criterion) {
+    let mut sys = ProtocolModel::new(2);
+    let sender = sys.create_thread();
+    let receiver = sys.create_thread();
+    sys.register_handler(receiver, 0x4000).unwrap();
+    let idx = sys
+        .register_sender(sender, receiver, UserVector::new(5).unwrap())
+        .unwrap();
+    sys.schedule(sender, CoreId(0)).unwrap();
+    sys.schedule(receiver, CoreId(1)).unwrap();
+    c.bench_function("protocol_send_deliver", |b| {
+        b.iter(|| {
+            sys.senduipi(sender, idx).unwrap();
+            black_box(sys.run_pending(receiver).unwrap())
+        })
+    });
+}
+
+fn bench_cycle_sim_senduipi(c: &mut Criterion) {
+    // Whole-pipeline cost of simulating one senduipi round trip.
+    let sender = Program::new(
+        "send",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: 50 }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    c.bench_function("cycle_sim_50_senduipis", |b| {
+        b.iter(|| {
+            let mut sys = System::new(
+                SystemConfig::uipi(),
+                vec![sender.clone(), Program::idle()],
+            );
+            sys.register_receiver(1, 0);
+            sys.connect_sender(0, 1, 5);
+            black_box(sys.run_until_core_halted(0, 10_000_000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lpm_lookup, bench_event_engine, bench_histogram, bench_pipeline,
+              bench_protocol_send_deliver, bench_cycle_sim_senduipi
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation: shared-memory polling vs tracked interrupts, per-event
+//! (§4.2 "Cheaper than shared memory notification?").
+//!
+//! The paper observes that a *positive* poll is not free: the flag read
+//! misses (the remote writer invalidated the line) and the poll branch
+//! mispredicts, flushing younger work — both costs that grow with the
+//! speculation window. A tracked KB_Timer/device interrupt touches no
+//! shared memory at all. Polling additionally taxes every *negative*
+//! check.
+
+use serde::Serialize;
+
+use xui_bench::{banner, save_json, Table};
+use xui_sim::config::SystemConfig;
+use xui_workloads::harness::{run_workload, IrqSource};
+use xui_workloads::programs::{base64, fib, matmul, Instrument, POLL_FLAG_ADDR};
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: &'static str,
+    notification_period: u64,
+    poll_total_overhead_pct: f64,
+    poll_per_event: f64,
+    tracked_total_overhead_pct: f64,
+    tracked_per_event: f64,
+}
+
+fn main() {
+    banner(
+        "Ablation: polling vs tracked",
+        "Per-notification cost and standing tax of shared-memory polling vs xUI",
+        "§4.2: a positive poll ≈ invalidation miss + branch mispredict; \
+         tracking with no UPID access ≈ 105 cycles with zero standing tax",
+    );
+
+    let max = 6_000_000_000;
+    let mut rows = Vec::new();
+    for (name, plain, polled) in [
+        (
+            "fib",
+            fib(100_000, Instrument::None),
+            fib(100_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
+        ),
+        (
+            "matmul",
+            matmul(100_000, Instrument::None, 0),
+            matmul(100_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
+        ),
+        (
+            "base64",
+            base64(40_000, Instrument::None, 0),
+            base64(40_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
+        ),
+    ] {
+        for period in [10_000u64, 50_000] {
+            let base = run_workload(SystemConfig::xui(), &plain, IrqSource::None, max);
+            let poll = run_workload(
+                SystemConfig::xui(),
+                &polled,
+                IrqSource::PollFlag { period, addr: POLL_FLAG_ADDR },
+                max,
+            );
+            let tracked = run_workload(
+                SystemConfig::xui(),
+                &plain,
+                IrqSource::ForwardedDevice { period },
+                max,
+            );
+            rows.push(Row {
+                benchmark: name,
+                notification_period: period,
+                poll_total_overhead_pct: poll.overhead_pct(&base),
+                poll_per_event: poll.per_event_cost(&base),
+                tracked_total_overhead_pct: tracked.overhead_pct(&base),
+                tracked_per_event: tracked.per_event_cost(&base),
+            });
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "benchmark",
+        "period",
+        "poll ovh",
+        "poll/event*",
+        "tracked ovh",
+        "tracked/event",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.benchmark.to_string(),
+            format!("{}cy", r.notification_period),
+            format!("{:.2}%", r.poll_total_overhead_pct),
+            format!("{:.0}", r.poll_per_event),
+            format!("{:.2}%", r.tracked_total_overhead_pct),
+            format!("{:.0}", r.tracked_per_event),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  *poll/event amortizes the standing instrumentation tax over events: \
+         polling's cost scales with\n  checks performed, not notifications \
+         received (§2) — halving the event rate roughly doubles its\n  \
+         per-event figure, while tracked stays a constant ~100 cycles."
+    );
+
+    save_json("ablation_polling_vs_tracked", &rows);
+}

@@ -1,0 +1,100 @@
+//! Ablation: interrupt cost versus speculation-window size.
+//!
+//! §2 of the paper argues that "the gap between UIPI and polling
+//! overheads will increase in future processors due to the growing size
+//! of speculation windows — the pipeline flush induced by UIPI is a
+//! significant source of overhead". Here we scale the ROB (and the other
+//! window structures with it) and measure per-event receiver cost for
+//! flush-based UIPI vs xUI tracking: flush cost grows with the window,
+//! tracking stays flat.
+
+use serde::Serialize;
+
+use xui_bench::{banner, save_json, Table};
+use xui_sim::config::SystemConfig;
+use xui_workloads::harness::{run_workload, IrqSource};
+use xui_workloads::programs::{memops, Instrument};
+
+#[derive(Serialize)]
+struct Row {
+    rob_size: usize,
+    flush_per_event: f64,
+    tracked_per_event: f64,
+    flush_squashed_per_irq: f64,
+}
+
+fn scaled(mut cfg: SystemConfig, scale: f64) -> SystemConfig {
+    let base = &mut cfg.core;
+    base.rob_size = (384.0 * scale) as usize;
+    base.iq_size = (168.0 * scale) as usize;
+    base.lq_size = (128.0 * scale) as usize;
+    base.sq_size = (72.0 * scale) as usize;
+    base.fetch_queue_size = (64.0 * scale) as usize;
+    cfg
+}
+
+fn main() {
+    banner(
+        "Ablation: speculation window",
+        "Per-event interrupt cost vs ROB size (flush grows, tracking flat)",
+        "§2: 'this will become more expensive' as in-flight instructions \
+         increase; §4.2: tracking throws nothing away",
+    );
+
+    let period = 10_000;
+    let max = 4_000_000_000;
+    let w = memops(80_000, Instrument::None);
+    let mut rows = Vec::new();
+
+    for scale in [0.5f64, 1.0, 2.0, 4.0] {
+        let base_run = run_workload(scaled(SystemConfig::uipi(), scale), &w, IrqSource::None, max);
+        let flush = run_workload(
+            scaled(SystemConfig::uipi(), scale),
+            &w,
+            IrqSource::UipiSwTimer { period, send_latency: 380 },
+            max,
+        );
+        let tracked = run_workload(
+            scaled(SystemConfig::xui(), scale),
+            &w,
+            IrqSource::UipiSwTimer { period, send_latency: 380 },
+            max,
+        );
+        rows.push(Row {
+            rob_size: (384.0 * scale) as usize,
+            flush_per_event: flush.per_event_cost(&base_run),
+            tracked_per_event: tracked.per_event_cost(&base_run),
+            flush_squashed_per_irq: flush.squashed.saturating_sub(base_run.squashed) as f64
+                / flush.delivered.max(1) as f64,
+        });
+    }
+
+    let mut t = Table::new(vec![
+        "ROB size",
+        "flush/event",
+        "tracked/event",
+        "squashed µops/IRQ (flush)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.rob_size.to_string(),
+            format!("{:.0}", r.flush_per_event),
+            format!("{:.0}", r.tracked_per_event),
+            format!("{:.0}", r.flush_squashed_per_irq),
+        ]);
+    }
+    t.print();
+
+    let first = &rows[0];
+    let last = rows.last().expect("rows");
+    println!(
+        "\n  ROB {}→{}: flush per-event {:+.0}% | tracked {:+.0}% — the flush \
+         penalty scales with the window, tracking does not",
+        first.rob_size,
+        last.rob_size,
+        (last.flush_per_event / first.flush_per_event - 1.0) * 100.0,
+        (last.tracked_per_event / first.tracked_per_event - 1.0) * 100.0,
+    );
+
+    save_json("ablation_window", &rows);
+}

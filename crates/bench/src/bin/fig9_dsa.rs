@@ -1,0 +1,118 @@
+//! Figure 9: delivering DSA completion events — free cycles (top) and
+//! notification latency (bottom) versus response-time noise, for busy
+//! spinning, periodic OS-timer polling, and xUI device interrupts, at
+//! 2 µs and 20 µs mean response times.
+
+use serde::Serialize;
+
+use xui_accel::{run_offload, CompletionMode, OffloadConfig, RequestKind};
+use xui_bench::{banner, pct, save_json, AsciiChart, Table};
+
+#[derive(Serialize)]
+struct Row {
+    request: &'static str,
+    noise_pct: u64,
+    mode: &'static str,
+    mean_delay_us: f64,
+    free_frac: f64,
+    kiops: f64,
+}
+
+fn main() {
+    banner(
+        "Figure 9",
+        "DSA response delivery: free cycles & latency vs noise",
+        "§6.2.3: spinning = min latency, 0 free; periodic polling frees \
+         cycles but latency blows up for noisy 20 µs requests; xUI within \
+         0.2 µs of spinning with ~75% free cycles @2 µs",
+    );
+
+    let noise_levels = [0u64, 25, 50, 75]; // % of the mean response time
+    let mut rows = Vec::new();
+
+    for (kind, kname) in [(RequestKind::Short, "2µs"), (RequestKind::Long, "20µs")] {
+        for &noise_pct in &noise_levels {
+            let noise = kind.mean_cycles() * noise_pct / 100;
+            let modes = [
+                (CompletionMode::BusySpin, "busy-spin"),
+                (OffloadConfig::matched_poll_period(kind), "periodic-poll"),
+                (CompletionMode::XuiInterrupt, "xUI"),
+            ];
+            for (mode, mname) in modes {
+                let cfg = OffloadConfig::paper(kind, noise, mode);
+                let r = run_offload(&cfg);
+                rows.push(Row {
+                    request: kname,
+                    noise_pct,
+                    mode: mname,
+                    mean_delay_us: r.mean_delay_us,
+                    free_frac: r.free_fraction,
+                    kiops: r.iops / 1_000.0,
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "request",
+        "noise",
+        "mode",
+        "delivery latency",
+        "free cycles",
+        "kIOPS",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.request.to_string(),
+            format!("{}%", r.noise_pct),
+            r.mode.to_string(),
+            format!("{:.2}µs", r.mean_delay_us),
+            pct(r.free_frac),
+            format!("{:.1}", r.kiops),
+        ]);
+    }
+    table.print();
+
+    let find = |req: &str, noise: u64, mode: &str| {
+        rows.iter()
+            .find(|r| r.request == req && r.noise_pct == noise && r.mode == mode)
+            .expect("row")
+    };
+    let xui2 = find("2µs", 0, "xUI");
+    let spin2 = find("2µs", 0, "busy-spin");
+    println!(
+        "\n  2µs/zero-noise: xUI frees {} (paper ~75%); latency gap to spinning \
+         {:.2}µs (paper ≤0.2µs)",
+        pct(xui2.free_frac),
+        xui2.mean_delay_us - spin2.mean_delay_us
+    );
+    let poll_calm = find("20µs", 0, "periodic-poll");
+    let poll_noisy = find("20µs", 75, "periodic-poll");
+    println!(
+        "  20µs periodic-poll latency: {:.1}µs calm → {:.1}µs at 75% noise \
+         (the §6.2.3 blow-up); xUI stays flat at {:.2}µs",
+        poll_calm.mean_delay_us,
+        poll_noisy.mean_delay_us,
+        find("20µs", 75, "xUI").mean_delay_us
+    );
+    println!(
+        "  20µs xUI: {:.1} kIOPS with {} free (intro: 50K IOPS, negligible overhead)",
+        find("20µs", 0, "xUI").kiops,
+        pct(find("20µs", 0, "xUI").free_frac)
+    );
+
+    println!();
+    let mut chart = AsciiChart::new("noise%", "delivery latency µs (20µs requests)");
+    for mode in ["busy-spin", "periodic-poll", "xUI"] {
+        chart.series(
+            mode,
+            rows.iter()
+                .filter(|r| r.request == "20µs" && r.mode == mode)
+                .map(|r| (r.noise_pct as f64, r.mean_delay_us))
+                .collect(),
+        );
+    }
+    chart.print();
+
+    save_json("fig9_dsa", &rows);
+}

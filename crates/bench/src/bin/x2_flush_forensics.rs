@@ -1,0 +1,122 @@
+//! §3.5 reverse-engineering forensics: (1) UIPI end-to-end latency is flat
+//! as the pointer-chase working set (and hence in-flight drain time)
+//! grows — evidence of a flush strategy, not drain; (2) squashed µops
+//! grow linearly with interrupt count.
+
+use serde::Serialize;
+
+use xui_bench::{banner, save_json, Table};
+use xui_sim::config::SystemConfig;
+use xui_workloads::harness::{run_workload, IrqSource};
+use xui_workloads::programs::{pointer_chase, Instrument};
+
+#[derive(Serialize)]
+struct LatencyRow {
+    nodes: usize,
+    flush_mean_latency: f64,
+    drain_mean_latency: f64,
+}
+
+#[derive(Serialize)]
+struct SquashRow {
+    interrupts: u64,
+    squashed_uops: u64,
+    per_interrupt: f64,
+}
+
+fn main() {
+    banner(
+        "§3.5 forensics",
+        "Flush-strategy detection: latency vs in-flight work; flushed µops vs IRQs",
+        "paper: no latency variation with chase size ⇒ flush; flushed µops \
+         increase exactly linearly with interrupts received",
+    );
+
+    let max = 8_000_000_000;
+
+    // Part 1: UIPI delivery latency vs pointer-chase working set.
+    println!("-- delivery latency vs working set (flush flat, drain grows) --");
+    let mut lat_rows = Vec::new();
+    for &nodes in &[64usize, 512, 4_096, 16_384] {
+        let w = pointer_chase(nodes, 30_000, Instrument::None);
+        let flush = run_workload(
+            SystemConfig::uipi(),
+            &w,
+            IrqSource::UipiSwTimer { period: 50_000, send_latency: 380 },
+            max,
+        );
+        let drain = run_workload(
+            SystemConfig::drain(),
+            &w,
+            IrqSource::UipiSwTimer { period: 50_000, send_latency: 380 },
+            max,
+        );
+        lat_rows.push(LatencyRow {
+            nodes,
+            flush_mean_latency: flush.mean_delivery_latency(),
+            drain_mean_latency: drain.mean_delivery_latency(),
+        });
+    }
+    let mut t = Table::new(vec!["chase nodes", "flush mean (cy)", "drain mean (cy)"]);
+    for r in &lat_rows {
+        t.row(vec![
+            r.nodes.to_string(),
+            format!("{:.0}", r.flush_mean_latency),
+            format!("{:.0}", r.drain_mean_latency),
+        ]);
+    }
+    t.print();
+    let f_spread = lat_rows
+        .iter()
+        .map(|r| r.flush_mean_latency)
+        .fold(f64::MIN, f64::max)
+        / lat_rows
+            .iter()
+            .map(|r| r.flush_mean_latency)
+            .fold(f64::MAX, f64::min);
+    let d_spread = lat_rows
+        .iter()
+        .map(|r| r.drain_mean_latency)
+        .fold(f64::MIN, f64::max)
+        / lat_rows
+            .iter()
+            .map(|r| r.drain_mean_latency)
+            .fold(f64::MAX, f64::min);
+    println!(
+        "\n  latency spread across working sets: flush {f_spread:.2}× (≈flat), \
+         drain {d_spread:.2}× (grows with in-flight misses)"
+    );
+
+    // Part 2: squashed µops scale linearly with interrupt count (flush).
+    println!("\n-- flushed µops vs interrupts received --");
+    let mut squash_rows = Vec::new();
+    let w = pointer_chase(4_096, 60_000, Instrument::None);
+    let base = run_workload(SystemConfig::uipi(), &w, IrqSource::None, max);
+    for &period in &[200_000u64, 100_000, 50_000, 25_000] {
+        let r = run_workload(
+            SystemConfig::uipi(),
+            &w,
+            IrqSource::UipiSwTimer { period, send_latency: 380 },
+            max,
+        );
+        let extra = r.squashed.saturating_sub(base.squashed);
+        squash_rows.push(SquashRow {
+            interrupts: r.delivered,
+            squashed_uops: extra,
+            per_interrupt: extra as f64 / r.delivered.max(1) as f64,
+        });
+    }
+    let mut t = Table::new(vec!["interrupts", "extra squashed µops", "per interrupt"]);
+    for r in &squash_rows {
+        t.row(vec![
+            r.interrupts.to_string(),
+            r.squashed_uops.to_string(),
+            format!("{:.0}", r.per_interrupt),
+        ]);
+    }
+    t.print();
+    println!("\n  ≈constant per-interrupt squash ⇒ flushed µops linear in interrupt count");
+
+    save_json("x2_flush_forensics_latency", &lat_rows);
+    save_json("x2_flush_forensics_squash", &squash_rows);
+}

@@ -1,0 +1,163 @@
+//! §2 "Polling: unpredictable, inefficient, unscalable" — the standing
+//! cost of compiler-inserted preemption checks, with no preemption ever
+//! requested.
+//!
+//! The paper's data points: Wasmtime's polling preemption costs up to
+//! ~50% on tight-loop benchmarks (linpack2); Go measured a ~7% geomean
+//! and up to 96% worst case when it considered adding loop checks; and
+//! hardware safepoints make the same marker effectively free.
+
+use serde::Serialize;
+
+use xui_bench::{banner, save_json, Table};
+use xui_sim::config::SystemConfig;
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Program, Reg};
+use xui_sim::System;
+use xui_workloads::harness::{run_workload, IrqSource};
+use xui_workloads::programs::{
+    base64, fib, linpack, matmul, memops, Instrument, POLL_FLAG_ADDR,
+};
+
+/// The pathological case: a tight loop that already saturates the
+/// front-end (6 µops/iteration at the 6-wide fetch limit), so every
+/// inserted check instruction displaces real work — the situation behind
+/// Wasmtime's ~50% tight-loop slowdowns.
+fn tight_loop(iters: u64, polled: bool) -> Program {
+    let mut code = vec![
+        Inst::new(Op::Li { dst: Reg(1), imm: iters }),
+        Inst::new(Op::Li { dst: Reg(9), imm: POLL_FLAG_ADDR }),
+    ];
+    let top = code.len();
+    // Four independent adds: the loop runs at the machine's width limit.
+    for r in 2u8..6 {
+        code.push(Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(1),
+        }));
+    }
+    code.push(Inst::new(Op::Alu {
+        kind: AluKind::Sub,
+        dst: Reg(1),
+        src: Reg(1),
+        op2: Operand::Imm(1),
+    }));
+    if polled {
+        // The inserted check: load flag, branch if set.
+        code.push(Inst::new(Op::Load { dst: Reg(8), base: Reg(9), offset: 0 }));
+        code.push(Inst::new(Op::Bnez { src: Reg(8), target: top }));
+    }
+    code.push(Inst::new(Op::Bnez { src: Reg(1), target: top }));
+    code.push(Inst::new(Op::Halt));
+    Program::new(if polled { "tight-polled" } else { "tight" }, code)
+}
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: &'static str,
+    polling_tax_pct: f64,
+    safepoint_tax_pct: f64,
+}
+
+fn main() {
+    banner(
+        "§2 polling tax",
+        "Standing cost of preemption checks with zero preemptions",
+        "paper: Wasmtime up to ~50% on tight loops; Go ~7% geomean, 96% \
+         worst case; safepoint markers ≈ free",
+    );
+
+    let max = 6_000_000_000;
+    let mut rows = Vec::new();
+
+    // The suite: instrumented vs plain, with NO flag writer (the tax is
+    // pure instrumentation).
+    let suite: Vec<(&'static str, _, _)> = vec![
+        (
+            "fib",
+            fib(100_000, Instrument::None),
+            fib(100_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
+        ),
+        (
+            "linpack",
+            linpack(60_000, Instrument::None),
+            linpack(60_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
+        ),
+        (
+            "memops",
+            memops(60_000, Instrument::None),
+            memops(60_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
+        ),
+        (
+            "matmul",
+            matmul(60_000, Instrument::None, 0),
+            matmul(60_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
+        ),
+        (
+            "base64",
+            base64(40_000, Instrument::None, 0),
+            base64(40_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
+        ),
+    ];
+    for (name, plain, polled) in suite {
+        let safep = {
+            // Same workload with safepoint markers instead of checks.
+            match name {
+                "fib" => fib(100_000, Instrument::Safepoint),
+                "linpack" => linpack(60_000, Instrument::Safepoint),
+                "memops" => memops(60_000, Instrument::Safepoint),
+                "matmul" => matmul(60_000, Instrument::Safepoint, 0),
+                _ => base64(40_000, Instrument::Safepoint, 0),
+            }
+        };
+        let base = run_workload(SystemConfig::xui(), &plain, IrqSource::None, max);
+        let poll = run_workload(SystemConfig::xui(), &polled, IrqSource::None, max);
+        let sp = run_workload(SystemConfig::xui(), &safep, IrqSource::None, max);
+        rows.push(Row {
+            benchmark: name,
+            polling_tax_pct: poll.overhead_pct(&base),
+            safepoint_tax_pct: sp.overhead_pct(&base),
+        });
+    }
+
+    // The tight-loop worst case, measured directly.
+    let run_tight = |polled| {
+        let mut sys = System::new(SystemConfig::xui(), vec![tight_loop(300_000, polled)]);
+        sys.run_until_core_halted(0, 2_000_000_000).expect("halts") as f64
+    };
+    let tight_tax = (run_tight(true) / run_tight(false) - 1.0) * 100.0;
+    rows.push(Row {
+        benchmark: "tight-loop (worst case)",
+        polling_tax_pct: tight_tax,
+        safepoint_tax_pct: 0.0,
+    });
+
+    let mut t = Table::new(vec!["benchmark", "polling tax", "safepoint tax"]);
+    for r in &rows {
+        t.row(vec![
+            r.benchmark.to_string(),
+            format!("{:.2}%", r.polling_tax_pct),
+            format!("{:.2}%", r.safepoint_tax_pct),
+        ]);
+    }
+    t.print();
+
+    let geo: f64 = rows[..5]
+        .iter()
+        .map(|r| (1.0 + r.polling_tax_pct / 100.0).ln())
+        .sum::<f64>()
+        / 5.0;
+    println!(
+        "\n  polling tax geomean {:.1}% (Go measured ~7%), worst case {:.0}% \
+         (Wasmtime: up to ~50%, Go: up to 96%); safepoints ≤{:.2}% everywhere",
+        (geo.exp() - 1.0) * 100.0,
+        tight_tax,
+        rows[..5]
+            .iter()
+            .map(|r| r.safepoint_tax_pct)
+            .fold(0.0f64, f64::max)
+    );
+
+    save_json("x4_polling_tax", &rows);
+}

@@ -1,0 +1,201 @@
+//! # xui-bench
+//!
+//! The benchmark harness of the xUI reproduction: one binary per paper
+//! table/figure (see `src/bin/`), plus Criterion micro-benchmarks of the
+//! hot paths (`benches/hotpaths.rs`). This library crate holds shared
+//! reporting helpers: aligned-table printing and JSON result persistence
+//! under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple aligned table printer for experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < cols {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            println!("  {}", joined.join("  "));
+        };
+        line(&self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!("\n=== {id}: {title}");
+    println!("    paper reference: {paper_ref}\n");
+}
+
+/// Saves a serializable result as `results/<id>.json` (best effort).
+pub fn save_json<T: Serialize>(id: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = fs::write(&path, json);
+        println!("\n    [saved {}]", path.display());
+    }
+}
+
+/// Formats a cycle count as microseconds at the paper's 2 GHz clock.
+#[must_use]
+pub fn us(cycles: u64) -> String {
+    format!("{:.2}µs", cycles as f64 / 2_000.0)
+}
+
+/// Formats a ratio as a percentage.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panic() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        t.print();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(2_000), "1.00µs");
+        assert_eq!(pct(0.456), "45.6%");
+    }
+}
+
+/// A minimal ASCII line/series chart for figure binaries: one or more
+/// named series over a shared numeric x-axis, rendered as rows of bars so
+/// trends are visible directly in terminal output.
+#[derive(Debug, Clone, Default)]
+pub struct AsciiChart {
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart with axis labels.
+    #[must_use]
+    pub fn new(x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series of (x, y) points.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((name.into(), points));
+    }
+
+    /// Renders to stdout: grouped horizontal bars per x value.
+    pub fn print(&self) {
+        let max_y = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(_, y)| y))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let name_w = self
+            .series
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0);
+        let width = 46usize;
+        println!("  {} vs {} (bar = {:.4} max)", self.y_label, self.x_label, max_y);
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        for x in xs {
+            println!("  {} = {x}", self.x_label);
+            for (name, pts) in &self.series {
+                if let Some(&(_, y)) = pts.iter().find(|&&(px, _)| px == x) {
+                    let bar = ((y / max_y) * width as f64).round() as usize;
+                    println!(
+                        "    {name:<name_w$} |{}{} {y:.3}",
+                        "#".repeat(bar),
+                        " ".repeat(width - bar.min(width)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn chart_prints_without_panic() {
+        let mut c = AsciiChart::new("load", "free");
+        c.series("polling", vec![(0.0, 0.0), (40.0, 0.0)]);
+        c.series("xUI", vec![(0.0, 1.0), (40.0, 0.45)]);
+        c.print();
+    }
+
+    #[test]
+    fn empty_chart_is_safe() {
+        AsciiChart::new("x", "y").print();
+    }
+}

@@ -1,0 +1,338 @@
+//! The Kernel-Bypass timer (KB_Timer, §4.3).
+//!
+//! One KB_Timer exists per physical core and is multiplexed among threads
+//! by the OS. User code programs it with two new instructions —
+//! `set_timer(cycles, mode)` and `clear_timer()` — without any system
+//! call. Expiry is delivered as a user interrupt through the
+//! interrupt-delivery microcode *directly* (no UPID access), which is why a
+//! KB_Timer interrupt costs only ~105 cycles (§4.2, Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XuiError;
+use crate::vectors::UserVector;
+
+/// Timer operating mode, the one-bit flag of `set_timer` (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimerMode {
+    /// `cycles` is an absolute deadline; the timer fires once and disarms.
+    /// Matches the APIC tradition of specifying the *next* deadline when
+    /// software multiplexes many timers.
+    OneShot,
+    /// `cycles` is a period; the timer fires every `period` cycles.
+    Periodic,
+}
+
+/// Saved timer state, what the kernel reads from `kb_timer_state_MSR` on a
+/// context switch and restores on resume (§4.3 "Multiplexing the
+/// KB_Timer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KbTimerState {
+    /// Absolute deadline of the next firing, in cycles.
+    pub deadline: u64,
+    /// Period for periodic mode (meaningless for one-shot).
+    pub period: u64,
+    /// Operating mode.
+    pub mode: TimerMode,
+    /// The user vector the kernel assigned to timer interrupts.
+    pub vector: UserVector,
+}
+
+/// The per-core kernel-bypass timer.
+///
+/// The kernel enables the timer and assigns its vector through
+/// `kb_config_MSR`; user code then arms and disarms it directly.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::kb_timer::{KbTimer, TimerMode};
+/// use xui_core::vectors::UserVector;
+///
+/// let mut timer = KbTimer::new();
+/// timer.enable(UserVector::new(1)?);
+/// // Arm a periodic 10-kcycle timer at time 0.
+/// timer.set_timer(10_000, TimerMode::Periodic, 0)?;
+/// assert_eq!(timer.poll(9_999), None);
+/// assert_eq!(timer.poll(10_000), Some(UserVector::new(1)?));
+/// assert_eq!(timer.poll(20_000), Some(UserVector::new(1)?));
+/// # Ok::<(), xui_core::error::XuiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KbTimer {
+    /// Kernel enable bit + vector (the `kb_config_MSR`).
+    config: Option<UserVector>,
+    armed: Option<KbTimerState>,
+}
+
+impl KbTimer {
+    /// Creates a disabled timer (kernel has not written `kb_config_MSR`).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            config: None,
+            armed: None,
+        }
+    }
+
+    /// Kernel side: enables the timer and assigns the user vector expiry
+    /// is delivered on.
+    pub fn enable(&mut self, vector: UserVector) {
+        self.config = Some(vector);
+    }
+
+    /// Kernel side: disables the timer, disarming it.
+    pub fn disable(&mut self) {
+        self.config = None;
+        self.armed = None;
+    }
+
+    /// True if the kernel has enabled the timer for the current thread.
+    #[must_use]
+    pub const fn is_enabled(&self) -> bool {
+        self.config.is_some()
+    }
+
+    /// True if the timer is armed.
+    #[must_use]
+    pub const fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// The `set_timer(cycles, mode)` instruction (§4.3): for
+    /// [`TimerMode::Periodic`], `cycles` is a period measured from `now`;
+    /// for [`TimerMode::OneShot`], `cycles` is an absolute deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::KbTimerDisabled`] if the kernel has not enabled
+    /// the timer (the instruction faults).
+    pub fn set_timer(&mut self, cycles: u64, mode: TimerMode, now: u64) -> Result<(), XuiError> {
+        let vector = self.config.ok_or(XuiError::KbTimerDisabled)?;
+        let state = match mode {
+            TimerMode::Periodic => KbTimerState {
+                deadline: now.saturating_add(cycles),
+                period: cycles.max(1),
+                mode,
+                vector,
+            },
+            TimerMode::OneShot => KbTimerState {
+                deadline: cycles,
+                period: 0,
+                mode,
+                vector,
+            },
+        };
+        self.armed = Some(state);
+        Ok(())
+    }
+
+    /// The `clear_timer()` instruction: disarms without firing.
+    pub fn clear_timer(&mut self) {
+        self.armed = None;
+    }
+
+    /// Advances the timer to `now`. If the deadline has been reached,
+    /// returns the vector to deliver; a periodic timer re-arms for the
+    /// next period, a one-shot timer disarms.
+    ///
+    /// At most one firing is reported per call even if several periods
+    /// elapsed — matching APIC-timer behaviour where missed periods
+    /// coalesce into the single pending interrupt line.
+    pub fn poll(&mut self, now: u64) -> Option<UserVector> {
+        let state = self.armed?;
+        if now < state.deadline {
+            return None;
+        }
+        match state.mode {
+            TimerMode::OneShot => {
+                self.armed = None;
+            }
+            TimerMode::Periodic => {
+                // Re-arm relative to the *scheduled* deadline so periodic
+                // firing does not drift, skipping periods that already
+                // elapsed (they coalesce).
+                let elapsed = now - state.deadline;
+                let skip = elapsed / state.period + 1;
+                self.armed = Some(KbTimerState {
+                    deadline: state.deadline + skip * state.period,
+                    ..state
+                });
+            }
+        }
+        Some(state.vector)
+    }
+
+    /// The next deadline, if armed — what the DES uses to schedule the
+    /// firing event instead of polling every cycle.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.armed.map(|s| s.deadline)
+    }
+
+    /// Kernel side: reads `kb_timer_state_MSR` for a context switch.
+    /// Returns `None` if the timer is not armed.
+    #[must_use]
+    pub fn save_state(&self) -> Option<KbTimerState> {
+        self.armed
+    }
+
+    /// Kernel side: restores a previously saved state when the owning
+    /// thread resumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::KbTimerDisabled`] if the timer is not enabled.
+    pub fn restore_state(&mut self, state: KbTimerState) -> Result<(), XuiError> {
+        if self.config.is_none() {
+            return Err(XuiError::KbTimerDisabled);
+        }
+        self.armed = Some(state);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uv(raw: u8) -> UserVector {
+        UserVector::new(raw).unwrap()
+    }
+
+    fn enabled() -> KbTimer {
+        let mut t = KbTimer::new();
+        t.enable(uv(7));
+        t
+    }
+
+    #[test]
+    fn disabled_timer_faults_on_set() {
+        let mut t = KbTimer::new();
+        assert_eq!(
+            t.set_timer(100, TimerMode::OneShot, 0),
+            Err(XuiError::KbTimerDisabled)
+        );
+    }
+
+    #[test]
+    fn one_shot_fires_once_at_deadline() {
+        let mut t = enabled();
+        t.set_timer(500, TimerMode::OneShot, 0).unwrap();
+        assert!(t.is_armed());
+        assert_eq!(t.poll(499), None);
+        assert_eq!(t.poll(500), Some(uv(7)));
+        assert!(!t.is_armed());
+        assert_eq!(t.poll(10_000), None, "one-shot does not refire");
+    }
+
+    #[test]
+    fn one_shot_cycles_is_absolute_deadline() {
+        let mut t = enabled();
+        // Armed at now=1000 with deadline 500: already past, fires at once.
+        t.set_timer(500, TimerMode::OneShot, 1000).unwrap();
+        assert_eq!(t.poll(1000), Some(uv(7)));
+    }
+
+    #[test]
+    fn periodic_fires_every_period_without_drift() {
+        let mut t = enabled();
+        t.set_timer(1000, TimerMode::Periodic, 250).unwrap();
+        assert_eq!(t.next_deadline(), Some(1250));
+        assert_eq!(t.poll(1250), Some(uv(7)));
+        assert_eq!(t.next_deadline(), Some(2250));
+        // Poll late: fires once, deadline stays on the 250+1000k grid.
+        assert_eq!(t.poll(2900), Some(uv(7)));
+        assert_eq!(t.next_deadline(), Some(3250));
+    }
+
+    #[test]
+    fn periodic_coalesces_missed_periods() {
+        let mut t = enabled();
+        t.set_timer(100, TimerMode::Periodic, 0).unwrap();
+        // 10 periods elapse; one firing reported, deadline jumps past now.
+        assert_eq!(t.poll(1000), Some(uv(7)));
+        assert!(t.next_deadline().unwrap() > 1000);
+    }
+
+    #[test]
+    fn clear_timer_disarms() {
+        let mut t = enabled();
+        t.set_timer(100, TimerMode::OneShot, 0).unwrap();
+        t.clear_timer();
+        assert_eq!(t.poll(100), None);
+        assert!(t.is_enabled(), "clear_timer does not disable the feature");
+    }
+
+    #[test]
+    fn disable_clears_everything() {
+        let mut t = enabled();
+        t.set_timer(100, TimerMode::OneShot, 0).unwrap();
+        t.disable();
+        assert!(!t.is_enabled());
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn save_restore_round_trips_across_context_switch() {
+        let mut t = enabled();
+        t.set_timer(1000, TimerMode::Periodic, 0).unwrap();
+        let saved = t.save_state().unwrap();
+        t.clear_timer(); // another thread runs; its timer state differs
+        assert_eq!(t.poll(5000), None);
+        t.restore_state(saved).unwrap();
+        assert_eq!(t.poll(5000), Some(uv(7)), "restored deadline was 1000");
+    }
+
+    #[test]
+    fn restore_requires_enable() {
+        let mut t = enabled();
+        t.set_timer(10, TimerMode::OneShot, 0).unwrap();
+        let saved = t.save_state().unwrap();
+        t.disable();
+        assert_eq!(t.restore_state(saved), Err(XuiError::KbTimerDisabled));
+    }
+
+    #[test]
+    fn zero_period_is_clamped() {
+        let mut t = enabled();
+        t.set_timer(0, TimerMode::Periodic, 10).unwrap();
+        // Fires, and must not loop forever or divide by zero.
+        assert!(t.poll(10).is_some());
+        assert!(t.next_deadline().unwrap() > 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// A periodic timer polled at arbitrary times always keeps its
+        /// deadline strictly ahead of the poll time after firing, and all
+        /// deadlines stay on the arming grid.
+        #[test]
+        fn periodic_deadline_invariants(
+            period in 1u64..10_000,
+            start in 0u64..1_000_000,
+            polls in proptest::collection::vec(1u64..50_000, 1..50),
+        ) {
+            let mut t = KbTimer::new();
+            t.enable(UserVector::new(0).unwrap());
+            t.set_timer(period, TimerMode::Periodic, start).unwrap();
+            let mut now = start;
+            for step in polls {
+                now += step;
+                let fired = t.poll(now);
+                let deadline = t.next_deadline().unwrap();
+                prop_assert!(deadline > now);
+                prop_assert_eq!((deadline - start) % period, 0, "deadline stays on grid");
+                if fired.is_none() {
+                    prop_assert!(deadline - now <= period);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The UINTR model-specific-register file.
+//!
+//! Intel's UIPI exposes its per-thread state through a small set of MSRs
+//! that the kernel context-switches (§3.1: "programmed through MSRs and
+//! in-memory tables"). This module models that register file faithfully
+//! enough to express the paper's mechanisms:
+//!
+//! | MSR | role |
+//! |---|---|
+//! | `IA32_UINTR_HANDLER` | user handler entry point |
+//! | `IA32_UINTR_STACKADJUST` | stack adjustment/alternate stack on delivery |
+//! | `IA32_UINTR_MISC` | `UINV` (notification vector) + `UITTSZ` (UITT size) |
+//! | `IA32_UINTR_PD` | UPID address |
+//! | `IA32_UINTR_TT` | UITT address (+ enable bit 0) |
+//! | `IA32_UINTR_RR` | the UIRR posted-vector bitmap |
+//!
+//! xUI adds two more (§4.3): `KB_CONFIG` (enable + vector) and
+//! `KB_TIMER_STATE` (deadline readout for context switches).
+
+use serde::{Deserialize, Serialize};
+
+use crate::vectors::Vector;
+
+/// The per-thread UINTR MSR file.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::msr::UintrMsrs;
+/// use xui_core::vectors::Vector;
+///
+/// let mut msrs = UintrMsrs::new();
+/// msrs.set_handler(0x4000);
+/// msrs.set_uinv(Vector::new(0xec));
+/// msrs.set_uittsz(4);
+/// let saved = msrs.xsave();
+/// let restored = xui_core::msr::UintrMsrs::xrstor(saved);
+/// assert_eq!(restored, msrs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UintrMsrs {
+    handler: u64,
+    stack_adjust: u64,
+    misc: u64,
+    pd: u64,
+    tt: u64,
+    rr: u64,
+}
+
+const UINV_SHIFT: u32 = 32;
+const UITTSZ_MASK: u64 = 0xffff_ffff;
+const TT_ENABLE: u64 = 1;
+
+impl UintrMsrs {
+    /// A zeroed register file (reset state: user interrupts disabled).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            handler: 0,
+            stack_adjust: 0,
+            misc: 0,
+            pd: 0,
+            tt: 0,
+            rr: 0,
+        }
+    }
+
+    /// `IA32_UINTR_HANDLER`: the user handler entry point.
+    #[must_use]
+    pub const fn handler(&self) -> u64 {
+        self.handler
+    }
+
+    /// Writes `IA32_UINTR_HANDLER`.
+    pub fn set_handler(&mut self, rip: u64) {
+        self.handler = rip;
+    }
+
+    /// `IA32_UINTR_STACKADJUST`: delivery stack adjustment. Bit 0 selects
+    /// "load as stack pointer" vs "subtract from current stack".
+    #[must_use]
+    pub const fn stack_adjust(&self) -> u64 {
+        self.stack_adjust
+    }
+
+    /// Writes `IA32_UINTR_STACKADJUST`.
+    pub fn set_stack_adjust(&mut self, v: u64) {
+        self.stack_adjust = v;
+    }
+
+    /// `UINV` from `IA32_UINTR_MISC`: the conventional vector that marks
+    /// arriving IPIs as user-interrupt notifications.
+    #[must_use]
+    pub const fn uinv(&self) -> Vector {
+        Vector::new((self.misc >> UINV_SHIFT) as u8)
+    }
+
+    /// Sets `UINV`.
+    pub fn set_uinv(&mut self, v: Vector) {
+        self.misc =
+            (self.misc & UITTSZ_MASK) | ((v.as_u8() as u64) << UINV_SHIFT);
+    }
+
+    /// `UITTSZ` from `IA32_UINTR_MISC`: highest valid UITT index.
+    #[must_use]
+    pub const fn uittsz(&self) -> u32 {
+        (self.misc & UITTSZ_MASK) as u32
+    }
+
+    /// Sets `UITTSZ`.
+    pub fn set_uittsz(&mut self, size: u32) {
+        self.misc = (self.misc & !UITTSZ_MASK) | u64::from(size);
+    }
+
+    /// `IA32_UINTR_PD`: the UPID address.
+    #[must_use]
+    pub const fn upid_addr(&self) -> u64 {
+        self.pd
+    }
+
+    /// Writes `IA32_UINTR_PD`.
+    pub fn set_upid_addr(&mut self, addr: u64) {
+        self.pd = addr;
+    }
+
+    /// `IA32_UINTR_TT`: UITT base address; bit 0 enables `senduipi`.
+    #[must_use]
+    pub const fn uitt_addr(&self) -> u64 {
+        self.tt & !TT_ENABLE
+    }
+
+    /// True if `senduipi` is enabled for this thread.
+    #[must_use]
+    pub const fn senduipi_enabled(&self) -> bool {
+        self.tt & TT_ENABLE != 0
+    }
+
+    /// Writes `IA32_UINTR_TT`.
+    pub fn set_uitt(&mut self, addr: u64, enabled: bool) {
+        self.tt = (addr & !TT_ENABLE) | u64::from(enabled);
+    }
+
+    /// `IA32_UINTR_RR`: the UIRR bitmap (one bit per user vector).
+    #[must_use]
+    pub const fn rr(&self) -> u64 {
+        self.rr
+    }
+
+    /// Writes `IA32_UINTR_RR` (kernel slow-path repost).
+    pub fn set_rr(&mut self, bits: u64) {
+        self.rr = bits;
+    }
+
+    /// Serializes the register file as its XSAVE-area image (the kernel
+    /// context-switches UINTR state through XSAVES on real hardware).
+    #[must_use]
+    pub const fn xsave(&self) -> [u64; 6] {
+        [
+            self.handler,
+            self.stack_adjust,
+            self.misc,
+            self.pd,
+            self.tt,
+            self.rr,
+        ]
+    }
+
+    /// Restores from an XSAVE-area image.
+    #[must_use]
+    pub const fn xrstor(image: [u64; 6]) -> Self {
+        Self {
+            handler: image[0],
+            stack_adjust: image[1],
+            misc: image[2],
+            pd: image[3],
+            tt: image[4],
+            rr: image[5],
+        }
+    }
+}
+
+/// The xUI `kb_config_MSR` (§4.3): kernel enable + assigned user vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KbConfigMsr {
+    raw: u64,
+}
+
+impl KbConfigMsr {
+    const ENABLE: u64 = 1 << 63;
+
+    /// Disabled timer.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { raw: 0 }
+    }
+
+    /// Enables the KB_Timer with a delivery vector.
+    pub fn enable(&mut self, uv: u8) {
+        self.raw = Self::ENABLE | u64::from(uv & 63);
+    }
+
+    /// Disables the timer.
+    pub fn disable(&mut self) {
+        self.raw = 0;
+    }
+
+    /// True if enabled.
+    #[must_use]
+    pub const fn is_enabled(&self) -> bool {
+        self.raw & Self::ENABLE != 0
+    }
+
+    /// The assigned user vector.
+    #[must_use]
+    pub const fn vector(&self) -> u8 {
+        (self.raw & 63) as u8
+    }
+
+    /// Raw MSR value.
+    #[must_use]
+    pub const fn raw(&self) -> u64 {
+        self.raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_is_disabled() {
+        let m = UintrMsrs::new();
+        assert_eq!(m.handler(), 0);
+        assert!(!m.senduipi_enabled());
+        assert_eq!(m.rr(), 0);
+        assert_eq!(m.uinv(), Vector::new(0));
+    }
+
+    #[test]
+    fn misc_packs_uinv_and_uittsz_independently() {
+        let mut m = UintrMsrs::new();
+        m.set_uinv(Vector::new(0xec));
+        m.set_uittsz(256);
+        assert_eq!(m.uinv(), Vector::new(0xec));
+        assert_eq!(m.uittsz(), 256);
+        m.set_uittsz(7);
+        assert_eq!(m.uinv(), Vector::new(0xec), "UINV survives UITTSZ write");
+        m.set_uinv(Vector::new(0x20));
+        assert_eq!(m.uittsz(), 7, "UITTSZ survives UINV write");
+    }
+
+    #[test]
+    fn tt_enable_bit_is_bit_zero() {
+        let mut m = UintrMsrs::new();
+        m.set_uitt(0x7f00_0000, true);
+        assert!(m.senduipi_enabled());
+        assert_eq!(m.uitt_addr(), 0x7f00_0000);
+        m.set_uitt(0x7f00_0000, false);
+        assert!(!m.senduipi_enabled());
+    }
+
+    #[test]
+    fn xsave_round_trip() {
+        let mut m = UintrMsrs::new();
+        m.set_handler(0x4000);
+        m.set_stack_adjust(0x80);
+        m.set_uinv(Vector::new(0xec));
+        m.set_uittsz(64);
+        m.set_upid_addr(0x2000_0040);
+        m.set_uitt(0x3000_0000, true);
+        m.set_rr(0b1010);
+        assert_eq!(UintrMsrs::xrstor(m.xsave()), m);
+    }
+
+    #[test]
+    fn kb_config_packs_enable_and_vector() {
+        let mut kb = KbConfigMsr::new();
+        assert!(!kb.is_enabled());
+        kb.enable(63);
+        assert!(kb.is_enabled());
+        assert_eq!(kb.vector(), 63);
+        kb.enable(64 + 5); // masked into the 6-bit space
+        assert_eq!(kb.vector(), 5);
+        kb.disable();
+        assert!(!kb.is_enabled());
+        assert_eq!(kb.raw(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// XSAVE/XRSTOR is the identity for arbitrary register contents.
+        #[test]
+        fn xsave_is_lossless(image in any::<[u64; 6]>()) {
+            let m = UintrMsrs::xrstor(image);
+            prop_assert_eq!(m.xsave(), image);
+        }
+
+        /// MISC field updates never interfere.
+        #[test]
+        fn misc_fields_are_isolated(uinv in any::<u8>(), sz in any::<u32>()) {
+            let mut m = UintrMsrs::new();
+            m.set_uinv(Vector::new(uinv));
+            m.set_uittsz(sz);
+            prop_assert_eq!(m.uinv(), Vector::new(uinv));
+            prop_assert_eq!(m.uittsz(), sz);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Hardware safepoints (§4.4).
+//!
+//! When *safepoint mode* is enabled, the processor delivers user interrupts
+//! only at instructions carrying the safepoint marker (on x86, an
+//! instruction prefix). This lets precisely-garbage-collected runtimes take
+//! preemption only where stack maps are valid, at near-zero cost: a
+//! safepoint-marked instruction with no pending interrupt behaves exactly
+//! like the unmarked instruction.
+//!
+//! This module holds the architectural flag and the boundary-check
+//! predicate; the pipeline-level behaviour (misspeculated safepoints,
+//! µop-cache interaction) lives in `xui-sim`.
+
+use serde::{Deserialize, Serialize};
+
+/// The one-bit safepoint-mode flag (an MSR, toggled via a system call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SafepointMode {
+    enabled: bool,
+}
+
+impl SafepointMode {
+    /// Creates the flag in the disabled state (ordinary delivery at any
+    /// instruction boundary).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { enabled: false }
+    }
+
+    /// Enables safepoint-only delivery.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disables safepoint-only delivery.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// True if interrupts may only be taken at safepoint instructions.
+    #[must_use]
+    pub const fn is_enabled(self) -> bool {
+        self.enabled
+    }
+
+    /// The extended instruction-boundary check (§4.4 "Microarchitecture
+    /// design"): may an interrupt be delivered at an instruction boundary
+    /// where the *next* instruction has the given safepoint marking?
+    ///
+    /// With safepoint mode off, every boundary qualifies; with it on, only
+    /// boundaries at safepoint-marked instructions do.
+    #[must_use]
+    pub const fn delivery_allowed(self, at_safepoint_instruction: bool) -> bool {
+        !self.enabled || at_safepoint_instruction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_allows_everywhere() {
+        let mode = SafepointMode::new();
+        assert!(!mode.is_enabled());
+        assert!(mode.delivery_allowed(false));
+        assert!(mode.delivery_allowed(true));
+    }
+
+    #[test]
+    fn enabled_mode_gates_on_safepoints() {
+        let mut mode = SafepointMode::new();
+        mode.enable();
+        assert!(mode.is_enabled());
+        assert!(!mode.delivery_allowed(false));
+        assert!(mode.delivery_allowed(true));
+    }
+
+    #[test]
+    fn toggle_round_trip() {
+        let mut mode = SafepointMode::new();
+        mode.enable();
+        mode.disable();
+        assert!(!mode.is_enabled());
+        assert!(mode.delivery_allowed(false));
+    }
+}

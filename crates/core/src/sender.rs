@@ -1,0 +1,364 @@
+//! Sender-side `senduipi` semantics (§3.2–3.3 steps (1)–(2)).
+//!
+//! `senduipi(index)` looks up the destination's UPID in the UITT, posts the
+//! user vector into `PIR` with an atomic RMW, and — unless notifications
+//! are suppressed (`SN`) or one is already outstanding (`ON`) — sets `ON`
+//! and sends a conventional IPI to the core named by `NDST` with vector
+//! `NV`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XuiError;
+use crate::msr::UintrMsrs;
+use crate::uitt::{Uitt, UittIndex, UpidAddr};
+use crate::upid::Upid;
+use crate::vectors::{ApicId, Vector};
+
+/// A conventional inter-processor interrupt message travelling the system
+/// bus from the sender's APIC to the receiver's APIC (§3.3 step (3)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IpiMessage {
+    /// Destination core.
+    pub dest: ApicId,
+    /// The notification vector (`NV` from the UPID); the receiver compares
+    /// it against its `UINV` MSR to recognise a user-interrupt
+    /// notification.
+    pub vector: Vector,
+}
+
+/// What a successful `senduipi` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SendOutcome {
+    /// Whether the posted vector was newly set in `PIR` (false if the same
+    /// vector was already pending and coalesced).
+    pub newly_posted: bool,
+    /// The IPI to put on the bus, if any. `None` when `SN` suppressed the
+    /// notification or `ON` indicated one is already outstanding.
+    pub ipi: Option<IpiMessage>,
+    /// True if `SN` was set (receiver context-switched out): the vector is
+    /// posted for the kernel to deliver later, but no IPI is sent.
+    pub suppressed: bool,
+}
+
+/// Abstract shared memory holding UPIDs.
+///
+/// The architectural model performs real loads and RMWs on descriptors
+/// through this trait so that callers can attach coherence/timing semantics
+/// (the cycle-level simulator) or use a plain map (protocol-level tests).
+/// A `&mut M` can be passed wherever `M: UpidMemory` is required.
+pub trait UpidMemory {
+    /// Loads the descriptor at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownUpid`] if no descriptor lives at `addr`.
+    fn load_upid(&self, addr: UpidAddr) -> Result<Upid, XuiError>;
+
+    /// Stores the descriptor at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownUpid`] if no descriptor lives at `addr`.
+    fn store_upid(&mut self, addr: UpidAddr, upid: Upid) -> Result<(), XuiError>;
+
+    /// Atomically read-modify-writes the descriptor at `addr`, returning
+    /// the *pre-modification* value (like a fetch-and-op).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownUpid`] if no descriptor lives at `addr`.
+    fn rmw_upid(
+        &mut self,
+        addr: UpidAddr,
+        f: &mut dyn FnMut(&mut Upid),
+    ) -> Result<Upid, XuiError> {
+        let before = self.load_upid(addr)?;
+        let mut after = before;
+        f(&mut after);
+        self.store_upid(addr, after)?;
+        Ok(before)
+    }
+}
+
+impl<M: UpidMemory + ?Sized> UpidMemory for &mut M {
+    fn load_upid(&self, addr: UpidAddr) -> Result<Upid, XuiError> {
+        (**self).load_upid(addr)
+    }
+
+    fn store_upid(&mut self, addr: UpidAddr, upid: Upid) -> Result<(), XuiError> {
+        (**self).store_upid(addr, upid)
+    }
+}
+
+/// A plain map-backed [`UpidMemory`] for protocol-level modelling and
+/// tests.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::sender::{MapUpidMemory, UpidMemory};
+/// use xui_core::uitt::UpidAddr;
+/// use xui_core::upid::Upid;
+///
+/// let mut mem = MapUpidMemory::new();
+/// mem.insert(UpidAddr(0x40), Upid::new());
+/// assert!(mem.load_upid(UpidAddr(0x40)).is_ok());
+/// assert!(mem.load_upid(UpidAddr(0x80)).is_err());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapUpidMemory {
+    map: HashMap<u64, Upid>,
+}
+
+impl MapUpidMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps a descriptor at `addr` (what the kernel's `register_handler`
+    /// allocation does).
+    pub fn insert(&mut self, addr: UpidAddr, upid: Upid) {
+        self.map.insert(addr.as_u64(), upid);
+    }
+
+    /// Removes the descriptor at `addr`, returning it if present.
+    pub fn remove(&mut self, addr: UpidAddr) -> Option<Upid> {
+        self.map.remove(&addr.as_u64())
+    }
+
+    /// Number of mapped descriptors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no descriptor is mapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl UpidMemory for MapUpidMemory {
+    fn load_upid(&self, addr: UpidAddr) -> Result<Upid, XuiError> {
+        self.map
+            .get(&addr.as_u64())
+            .copied()
+            .ok_or(XuiError::UnknownUpid { addr: addr.as_u64() })
+    }
+
+    fn store_upid(&mut self, addr: UpidAddr, upid: Upid) -> Result<(), XuiError> {
+        match self.map.get_mut(&addr.as_u64()) {
+            Some(slot) => {
+                *slot = upid;
+                Ok(())
+            }
+            None => Err(XuiError::UnknownUpid { addr: addr.as_u64() }),
+        }
+    }
+}
+
+/// Executes the architectural effects of `senduipi uitt[index]`.
+///
+/// Performs the UITT lookup, the posting RMW on the UPID, and decides
+/// whether an IPI goes on the bus, per §3.2:
+///
+/// 1. set the `PIR` bit for the entry's user vector;
+/// 2. if `SN` is set, stop — the kernel will deliver on resume;
+/// 3. if `ON` is clear, set `ON` and emit an IPI to (`NDST`, `NV`);
+///    if `ON` is already set an earlier notification still covers the
+///    newly posted vector, so no duplicate IPI is needed.
+///
+/// # Errors
+///
+/// Returns [`XuiError::InvalidUittIndex`] for a bad index (hardware `#GP`)
+/// or [`XuiError::UnknownUpid`] if the entry points at unmapped memory.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::sender::{senduipi, MapUpidMemory};
+/// use xui_core::uitt::{Uitt, UpidAddr};
+/// use xui_core::upid::Upid;
+/// use xui_core::vectors::{ApicId, UserVector, Vector};
+///
+/// let mut mem = MapUpidMemory::new();
+/// let mut upid = Upid::new();
+/// upid.set_nv(Vector::new(0xec));
+/// upid.set_ndst(ApicId::new(1));
+/// mem.insert(UpidAddr(0x40), upid);
+///
+/// let mut uitt = Uitt::new();
+/// let idx = uitt.register(UpidAddr(0x40), UserVector::new(7)?);
+///
+/// let outcome = senduipi(&uitt, &mut mem, idx)?;
+/// let ipi = outcome.ipi.expect("first send raises an IPI");
+/// assert_eq!(ipi.dest, ApicId::new(1));
+/// # Ok::<(), xui_core::error::XuiError>(())
+/// ```
+pub fn senduipi<M: UpidMemory>(
+    uitt: &Uitt,
+    mem: &mut M,
+    index: UittIndex,
+) -> Result<SendOutcome, XuiError> {
+    let entry = uitt.lookup(index)?;
+    let mut newly_posted = false;
+    let mut raise_ipi = false;
+    let before = mem.rmw_upid(entry.upid, &mut |upid| {
+        newly_posted = upid.post(entry.vector);
+        if !upid.sn() && !upid.on() {
+            upid.set_on(true);
+            raise_ipi = true;
+        }
+    })?;
+    let suppressed = before.sn();
+    let ipi = raise_ipi.then(|| IpiMessage {
+        dest: before.ndst(),
+        vector: before.nv(),
+    });
+    Ok(SendOutcome {
+        newly_posted,
+        ipi,
+        suppressed,
+    })
+}
+
+/// Like [`senduipi`], but first performs the architectural permission
+/// checks against the thread's MSR file: the `IA32_UINTR_TT` enable bit
+/// must be set and the index must not exceed `UITTSZ`.
+///
+/// # Errors
+///
+/// Returns [`XuiError::SenduipiDisabled`] if the feature is off,
+/// [`XuiError::InvalidUittIndex`] if the index exceeds `UITTSZ` or the
+/// entry is invalid, and propagates descriptor errors.
+pub fn senduipi_checked<M: UpidMemory>(
+    msrs: &UintrMsrs,
+    uitt: &Uitt,
+    mem: &mut M,
+    index: UittIndex,
+) -> Result<SendOutcome, XuiError> {
+    if !msrs.senduipi_enabled() {
+        return Err(XuiError::SenduipiDisabled);
+    }
+    if index.0 > msrs.uittsz() as usize {
+        return Err(XuiError::InvalidUittIndex { index: index.0 });
+    }
+    senduipi(uitt, mem, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::UserVector;
+
+    fn setup(sn: bool, on: bool) -> (Uitt, MapUpidMemory, UittIndex, UpidAddr) {
+        let addr = UpidAddr(0x40);
+        let mut upid = Upid::new();
+        upid.set_nv(Vector::new(0xec));
+        upid.set_ndst(ApicId::new(3));
+        upid.set_sn(sn);
+        upid.set_on(on);
+        let mut mem = MapUpidMemory::new();
+        mem.insert(addr, upid);
+        let mut uitt = Uitt::new();
+        let idx = uitt.register(addr, UserVector::new(9).unwrap());
+        (uitt, mem, idx, addr)
+    }
+
+    #[test]
+    fn first_send_posts_and_raises_ipi() {
+        let (uitt, mut mem, idx, addr) = setup(false, false);
+        let outcome = senduipi(&uitt, &mut mem, idx).unwrap();
+        assert!(outcome.newly_posted);
+        assert!(!outcome.suppressed);
+        assert_eq!(
+            outcome.ipi,
+            Some(IpiMessage {
+                dest: ApicId::new(3),
+                vector: Vector::new(0xec)
+            })
+        );
+        let upid = mem.load_upid(addr).unwrap();
+        assert!(upid.on());
+        assert_eq!(upid.pir(), 1 << 9);
+    }
+
+    #[test]
+    fn outstanding_notification_coalesces_ipis() {
+        let (uitt, mut mem, idx, addr) = setup(false, true);
+        let outcome = senduipi(&uitt, &mut mem, idx).unwrap();
+        assert!(outcome.newly_posted);
+        assert_eq!(outcome.ipi, None, "ON already set: no duplicate IPI");
+        assert!(mem.load_upid(addr).unwrap().on());
+    }
+
+    #[test]
+    fn suppressed_notification_posts_without_ipi() {
+        let (uitt, mut mem, idx, addr) = setup(true, false);
+        let outcome = senduipi(&uitt, &mut mem, idx).unwrap();
+        assert!(outcome.suppressed);
+        assert_eq!(outcome.ipi, None);
+        let upid = mem.load_upid(addr).unwrap();
+        assert_eq!(upid.pir(), 1 << 9, "vector still posted for the slow path");
+        assert!(!upid.on(), "ON untouched while suppressed");
+    }
+
+    #[test]
+    fn invalid_index_faults() {
+        let (_, mut mem, _, _) = setup(false, false);
+        let uitt = Uitt::new();
+        assert_eq!(
+            senduipi(&uitt, &mut mem, UittIndex(0)),
+            Err(XuiError::InvalidUittIndex { index: 0 })
+        );
+    }
+
+    #[test]
+    fn dangling_upid_pointer_errors() {
+        let mut uitt = Uitt::new();
+        let idx = uitt.register(UpidAddr(0xdead), UserVector::new(1).unwrap());
+        let mut mem = MapUpidMemory::new();
+        assert_eq!(
+            senduipi(&uitt, &mut mem, idx),
+            Err(XuiError::UnknownUpid { addr: 0xdead })
+        );
+    }
+
+    #[test]
+    fn checked_send_enforces_msrs() {
+        use crate::msr::UintrMsrs;
+        let (uitt, mut mem, idx, _) = setup(false, false);
+        let mut msrs = UintrMsrs::new();
+        // Disabled: #UD.
+        assert_eq!(
+            senduipi_checked(&msrs, &uitt, &mut mem, idx),
+            Err(XuiError::SenduipiDisabled)
+        );
+        // Enabled but UITTSZ too small for index 1.
+        msrs.set_uitt(0x3000_0000, true);
+        msrs.set_uittsz(0);
+        assert!(senduipi_checked(&msrs, &uitt, &mut mem, idx).is_ok());
+        assert_eq!(
+            senduipi_checked(&msrs, &uitt, &mut mem, UittIndex(1)),
+            Err(XuiError::InvalidUittIndex { index: 1 })
+        );
+        // Properly sized: succeeds.
+        msrs.set_uittsz(8);
+        assert!(senduipi_checked(&msrs, &uitt, &mut mem, idx).is_ok());
+    }
+
+    #[test]
+    fn two_sends_same_vector_one_ipi() {
+        let (uitt, mut mem, idx, _) = setup(false, false);
+        let first = senduipi(&uitt, &mut mem, idx).unwrap();
+        let second = senduipi(&uitt, &mut mem, idx).unwrap();
+        assert!(first.ipi.is_some());
+        assert!(second.ipi.is_none());
+        assert!(!second.newly_posted);
+    }
+}

@@ -1,0 +1,93 @@
+//! The user-interrupt flag (UIF) and its manipulation instructions.
+//!
+//! `clui`/`stui` clear and set the flag, blocking and unblocking user
+//! interrupt delivery, analogous to `cli`/`sti` in kernel mode (§3.2).
+//! `testui` queries it. Delivery clears UIF on handler entry and `uiret`
+//! restores it, so handlers run with further user interrupts masked.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-thread user-interrupt flag.
+///
+/// When the flag is *set*, user interrupts may be delivered; when *clear*,
+/// posted interrupts stay pending in `UIRR` until the flag is set again.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::uif::Uif;
+///
+/// let mut uif = Uif::set();
+/// uif.clui();
+/// assert!(!uif.testui());
+/// uif.stui();
+/// assert!(uif.testui());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Uif {
+    enabled: bool,
+}
+
+impl Uif {
+    /// Creates the flag in the *set* (delivery enabled) state — the state a
+    /// thread is in right after `register_handler` + `stui`.
+    #[must_use]
+    pub const fn set() -> Self {
+        Self { enabled: true }
+    }
+
+    /// Creates the flag in the *clear* (delivery blocked) state — the reset
+    /// state of the hardware flag.
+    #[must_use]
+    pub const fn clear() -> Self {
+        Self { enabled: false }
+    }
+
+    /// `clui`: clears the flag, blocking user-interrupt delivery.
+    pub fn clui(&mut self) {
+        self.enabled = false;
+    }
+
+    /// `stui`: sets the flag, enabling user-interrupt delivery.
+    pub fn stui(&mut self) {
+        self.enabled = true;
+    }
+
+    /// `testui`: returns whether delivery is currently enabled.
+    #[must_use]
+    pub const fn testui(self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for Uif {
+    /// Hardware reset state: interrupts blocked until the thread executes
+    /// `stui`.
+    fn default() -> Self {
+        Self::clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_blocks_delivery() {
+        assert!(!Uif::default().testui());
+    }
+
+    #[test]
+    fn clui_stui_toggle() {
+        let mut uif = Uif::set();
+        assert!(uif.testui());
+        uif.clui();
+        assert!(!uif.testui());
+        uif.clui();
+        assert!(!uif.testui(), "clui is idempotent");
+        uif.stui();
+        assert!(uif.testui());
+        uif.stui();
+        assert!(uif.testui(), "stui is idempotent");
+    }
+}

@@ -1,0 +1,182 @@
+//! The user-interrupt request register (UIRR).
+//!
+//! Notification processing drains the UPID's `PIR` into this 64-bit
+//! per-core register (§3.3 step (4)); delivery then services the highest
+//! pending user vector (step (5)). With xUI, the KB_Timer and interrupt
+//! forwarding post into UIRR *directly*, skipping the UPID and its shared
+//! memory traffic — that is where the 231 → 105 cycle reduction comes from
+//! (§4.2 "Cheaper than shared memory notification?").
+
+use serde::{Deserialize, Serialize};
+
+use crate::vectors::UserVector;
+
+/// The 64-bit user-interrupt request register (one bit per user vector).
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::uirr::Uirr;
+/// use xui_core::vectors::UserVector;
+///
+/// let mut uirr = Uirr::new();
+/// uirr.post(UserVector::new(3)?);
+/// uirr.post(UserVector::new(40)?);
+/// // Delivery services the highest pending vector first.
+/// assert_eq!(uirr.take_highest(), UserVector::new(40).ok());
+/// assert_eq!(uirr.take_highest(), UserVector::new(3).ok());
+/// assert_eq!(uirr.take_highest(), None);
+/// # Ok::<(), xui_core::error::XuiError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Uirr {
+    bits: u64,
+}
+
+impl Uirr {
+    /// Creates an empty register.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { bits: 0 }
+    }
+
+    /// Returns the raw pending bitmap.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Posts one user vector.
+    pub fn post(&mut self, uv: UserVector) {
+        self.bits |= uv.bit();
+    }
+
+    /// Merges a whole `PIR` bitmap (the notification-processing step).
+    pub fn merge_pir(&mut self, pir: u64) {
+        self.bits |= pir;
+    }
+
+    /// True if no user interrupt is pending.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of pending user vectors.
+    #[must_use]
+    pub const fn pending_count(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Returns the highest pending vector without clearing it.
+    #[must_use]
+    pub fn peek_highest(self) -> Option<UserVector> {
+        if self.bits == 0 {
+            None
+        } else {
+            let idx = 63 - self.bits.leading_zeros() as u8;
+            Some(UserVector::new(idx).expect("index of a u64 bit is < 64"))
+        }
+    }
+
+    /// Clears and returns the highest pending vector — the one delivery
+    /// services next (higher vectors have higher priority, matching APIC
+    /// convention).
+    pub fn take_highest(&mut self) -> Option<UserVector> {
+        let uv = self.peek_highest()?;
+        self.bits &= !uv.bit();
+        Some(uv)
+    }
+
+    /// Clears every pending vector (used when state is migrated to the
+    /// kernel on the slow path).
+    pub fn drain(&mut self) -> u64 {
+        core::mem::take(&mut self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uv(raw: u8) -> UserVector {
+        UserVector::new(raw).unwrap()
+    }
+
+    #[test]
+    fn empty_register_has_nothing_pending() {
+        let mut uirr = Uirr::new();
+        assert!(uirr.is_empty());
+        assert_eq!(uirr.pending_count(), 0);
+        assert_eq!(uirr.peek_highest(), None);
+        assert_eq!(uirr.take_highest(), None);
+    }
+
+    #[test]
+    fn highest_priority_first() {
+        let mut uirr = Uirr::new();
+        uirr.post(uv(0));
+        uirr.post(uv(63));
+        uirr.post(uv(17));
+        assert_eq!(uirr.pending_count(), 3);
+        assert_eq!(uirr.take_highest(), Some(uv(63)));
+        assert_eq!(uirr.take_highest(), Some(uv(17)));
+        assert_eq!(uirr.take_highest(), Some(uv(0)));
+        assert!(uirr.is_empty());
+    }
+
+    #[test]
+    fn merge_pir_accumulates() {
+        let mut uirr = Uirr::new();
+        uirr.merge_pir(0b1010);
+        uirr.merge_pir(0b0110);
+        assert_eq!(uirr.bits(), 0b1110);
+    }
+
+    #[test]
+    fn posting_same_vector_twice_coalesces() {
+        let mut uirr = Uirr::new();
+        uirr.post(uv(5));
+        uirr.post(uv(5));
+        assert_eq!(uirr.pending_count(), 1);
+        assert_eq!(uirr.take_highest(), Some(uv(5)));
+        assert_eq!(uirr.take_highest(), None);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut uirr = Uirr::new();
+        uirr.post(uv(1));
+        uirr.post(uv(2));
+        assert_eq!(uirr.drain(), 0b110);
+        assert!(uirr.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Repeated take_highest returns exactly the set of posted vectors
+        /// in strictly decreasing order.
+        #[test]
+        fn take_highest_enumerates_posted_set(bits in any::<u64>()) {
+            let mut uirr = Uirr::new();
+            uirr.merge_pir(bits);
+            let mut seen = 0u64;
+            let mut last: Option<u8> = None;
+            while let Some(uv) = uirr.take_highest() {
+                if let Some(prev) = last {
+                    prop_assert!(uv.as_u8() < prev, "not strictly decreasing");
+                }
+                last = Some(uv.as_u8());
+                seen |= uv.bit();
+            }
+            prop_assert_eq!(seen, bits);
+            prop_assert!(uirr.is_empty());
+        }
+    }
+}

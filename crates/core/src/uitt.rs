@@ -1,0 +1,191 @@
+//! The User Interrupt Target Table (UITT).
+//!
+//! A UITT is a per-process, kernel-managed table granting the process
+//! permission to send user interrupts. Each valid entry is a tuple
+//! ⟨UPID address, user vector⟩ (§3.1). `senduipi` takes an index into this
+//! table; an invalid index faults.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XuiError;
+use crate::vectors::UserVector;
+
+/// Address of a UPID in (simulated) shared memory.
+///
+/// UITT entries reference UPIDs by address because the descriptor is a
+/// memory-resident structure that sender microcode reads and RMWs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct UpidAddr(pub u64);
+
+impl UpidAddr {
+    /// Returns the raw address.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Index of an entry in a [`Uitt`], the operand of `senduipi`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct UittIndex(pub usize);
+
+/// One UITT entry: where to post (`upid`) and what to post (`vector`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UittEntry {
+    /// Address of the destination thread's UPID.
+    pub upid: UpidAddr,
+    /// The user vector delivered to the destination's handler.
+    pub vector: UserVector,
+    /// Whether the entry is valid; `senduipi` on an invalid entry faults.
+    pub valid: bool,
+}
+
+/// A per-process User Interrupt Target Table.
+///
+/// The kernel appends entries via `register_sender(...)`; the process sends
+/// with `senduipi(index)`.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::uitt::{Uitt, UpidAddr};
+/// use xui_core::vectors::UserVector;
+///
+/// let mut uitt = Uitt::new();
+/// let idx = uitt.register(UpidAddr(0x1000), UserVector::new(3)?);
+/// let entry = uitt.lookup(idx)?;
+/// assert_eq!(entry.upid, UpidAddr(0x1000));
+/// # Ok::<(), xui_core::error::XuiError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uitt {
+    entries: Vec<UittEntry>,
+}
+
+impl Uitt {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a valid entry, returning the index `senduipi` should use.
+    pub fn register(&mut self, upid: UpidAddr, vector: UserVector) -> UittIndex {
+        self.entries.push(UittEntry {
+            upid,
+            vector,
+            valid: true,
+        });
+        UittIndex(self.entries.len() - 1)
+    }
+
+    /// Looks up an entry for `senduipi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::InvalidUittIndex`] if the index is out of range
+    /// or the entry has been invalidated — the conditions under which
+    /// hardware raises `#GP`.
+    pub fn lookup(&self, index: UittIndex) -> Result<UittEntry, XuiError> {
+        match self.entries.get(index.0) {
+            Some(entry) if entry.valid => Ok(*entry),
+            _ => Err(XuiError::InvalidUittIndex { index: index.0 }),
+        }
+    }
+
+    /// Invalidates an entry (e.g. the destination unregistered its
+    /// handler). Subsequent `senduipi` through this index faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::InvalidUittIndex`] if the index is out of range.
+    pub fn invalidate(&mut self, index: UittIndex) -> Result<(), XuiError> {
+        match self.entries.get_mut(index.0) {
+            Some(entry) => {
+                entry.valid = false;
+                Ok(())
+            }
+            None => Err(XuiError::InvalidUittIndex { index: index.0 }),
+        }
+    }
+
+    /// Number of slots in the table (valid or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entry was ever registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the table's slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &UittEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uv(raw: u8) -> UserVector {
+        UserVector::new(raw).unwrap()
+    }
+
+    #[test]
+    fn register_then_lookup() {
+        let mut uitt = Uitt::new();
+        let a = uitt.register(UpidAddr(0x100), uv(1));
+        let b = uitt.register(UpidAddr(0x200), uv(2));
+        assert_eq!(a, UittIndex(0));
+        assert_eq!(b, UittIndex(1));
+        assert_eq!(uitt.lookup(a).unwrap().upid, UpidAddr(0x100));
+        assert_eq!(uitt.lookup(b).unwrap().vector, uv(2));
+        assert_eq!(uitt.len(), 2);
+        assert!(!uitt.is_empty());
+    }
+
+    #[test]
+    fn lookup_out_of_range_faults() {
+        let uitt = Uitt::new();
+        assert_eq!(
+            uitt.lookup(UittIndex(0)),
+            Err(XuiError::InvalidUittIndex { index: 0 })
+        );
+    }
+
+    #[test]
+    fn invalidated_entry_faults_but_keeps_indices_stable() {
+        let mut uitt = Uitt::new();
+        let a = uitt.register(UpidAddr(0x100), uv(1));
+        let b = uitt.register(UpidAddr(0x200), uv(2));
+        uitt.invalidate(a).unwrap();
+        assert_eq!(
+            uitt.lookup(a),
+            Err(XuiError::InvalidUittIndex { index: 0 })
+        );
+        assert_eq!(uitt.lookup(b).unwrap().upid, UpidAddr(0x200));
+    }
+
+    #[test]
+    fn invalidate_out_of_range_faults() {
+        let mut uitt = Uitt::new();
+        assert!(uitt.invalidate(UittIndex(3)).is_err());
+    }
+
+    #[test]
+    fn iter_walks_in_index_order() {
+        let mut uitt = Uitt::new();
+        uitt.register(UpidAddr(0x1), uv(0));
+        uitt.register(UpidAddr(0x2), uv(1));
+        let addrs: Vec<_> = uitt.iter().map(|e| e.upid.as_u64()).collect();
+        assert_eq!(addrs, vec![0x1, 0x2]);
+    }
+}

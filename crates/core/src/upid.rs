@@ -1,0 +1,354 @@
+//! The User Posted Interrupt Descriptor (UPID), bit-exact per Table 1 of
+//! the paper.
+//!
+//! A UPID is a 128-bit, per-thread descriptor shared in memory among all
+//! cores. Senders post interrupts into its `PIR` field with an atomic RMW;
+//! the receiving core's notification-processing microcode drains `PIR` into
+//! its `UIRR` register. The kernel uses `SN` to suppress notifications while
+//! the thread is context-switched out, and rewrites `NDST` when the thread
+//! migrates between cores.
+//!
+//! | Field | Description | Bits |
+//! |-------|-------------|------|
+//! | ON    | outstanding notification | 0 |
+//! | SN    | suppressed notification  | 1 |
+//! | NV    | notification vector      | 23:16 |
+//! | NDST  | notification destination (APIC ID) | 63:32 |
+//! | PIR   | posted interrupt requests (one bit per user vector) | 127:64 |
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::vectors::{ApicId, UserVector, Vector};
+
+const ON_BIT: u128 = 1 << 0;
+const SN_BIT: u128 = 1 << 1;
+const NV_SHIFT: u32 = 16;
+const NV_MASK: u128 = 0xff << NV_SHIFT;
+const NDST_SHIFT: u32 = 32;
+const NDST_MASK: u128 = 0xffff_ffff << NDST_SHIFT;
+const PIR_SHIFT: u32 = 64;
+const PIR_MASK: u128 = (u64::MAX as u128) << PIR_SHIFT;
+
+/// A User Posted Interrupt Descriptor (Table 1).
+///
+/// The descriptor is stored as a single 128-bit value with the exact field
+/// placement of the hardware structure, so models that move UPIDs through
+/// simulated memory can treat them as two adjacent 64-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use xui_core::upid::Upid;
+/// use xui_core::vectors::{ApicId, UserVector, Vector};
+///
+/// let mut upid = Upid::new();
+/// upid.set_nv(Vector::new(0xec));
+/// upid.set_ndst(ApicId::new(2));
+/// upid.post(UserVector::new(5)?);
+/// assert!(upid.pir() & (1 << 5) != 0);
+/// # Ok::<(), xui_core::error::XuiError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Upid {
+    bits: u128,
+}
+
+impl Upid {
+    /// Creates an all-zero UPID (no notification outstanding, nothing
+    /// posted, destination APIC 0).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { bits: 0 }
+    }
+
+    /// Reconstructs a UPID from its raw 128-bit representation.
+    #[must_use]
+    pub const fn from_bits(bits: u128) -> Self {
+        Self { bits }
+    }
+
+    /// Returns the raw 128-bit representation.
+    #[must_use]
+    pub const fn bits(self) -> u128 {
+        self.bits
+    }
+
+    /// Returns the low 64-bit word (ON, SN, NV, NDST) as laid out in
+    /// memory.
+    #[must_use]
+    pub const fn low_word(self) -> u64 {
+        self.bits as u64
+    }
+
+    /// Returns the high 64-bit word (PIR) as laid out in memory.
+    #[must_use]
+    pub const fn high_word(self) -> u64 {
+        (self.bits >> PIR_SHIFT) as u64
+    }
+
+    /// Reconstructs a UPID from its two 64-bit memory words.
+    #[must_use]
+    pub const fn from_words(low: u64, high: u64) -> Self {
+        Self {
+            bits: (low as u128) | ((high as u128) << PIR_SHIFT),
+        }
+    }
+
+    /// Outstanding-notification bit: set by the sender when it issues a
+    /// notification IPI, cleared by the receiver's notification-processing
+    /// microcode.
+    #[must_use]
+    pub const fn on(self) -> bool {
+        self.bits & ON_BIT != 0
+    }
+
+    /// Sets or clears the ON bit.
+    pub fn set_on(&mut self, value: bool) {
+        if value {
+            self.bits |= ON_BIT;
+        } else {
+            self.bits &= !ON_BIT;
+        }
+    }
+
+    /// Suppressed-notification bit: set by the kernel when the thread is
+    /// context-switched out so senders stop issuing IPIs (§3.2).
+    #[must_use]
+    pub const fn sn(self) -> bool {
+        self.bits & SN_BIT != 0
+    }
+
+    /// Sets or clears the SN bit.
+    pub fn set_sn(&mut self, value: bool) {
+        if value {
+            self.bits |= SN_BIT;
+        } else {
+            self.bits &= !SN_BIT;
+        }
+    }
+
+    /// Notification vector: the conventional 8-bit vector the sender's IPI
+    /// carries so the receiver can recognise it as a user-interrupt
+    /// notification (compared against `UINV`).
+    #[must_use]
+    pub const fn nv(self) -> Vector {
+        Vector::new(((self.bits & NV_MASK) >> NV_SHIFT) as u8)
+    }
+
+    /// Sets the notification vector.
+    pub fn set_nv(&mut self, nv: Vector) {
+        self.bits = (self.bits & !NV_MASK) | ((nv.as_u8() as u128) << NV_SHIFT);
+    }
+
+    /// Notification destination: APIC ID of the core the thread is
+    /// currently running on. The OS rewrites this on migration (§3.2).
+    #[must_use]
+    pub const fn ndst(self) -> ApicId {
+        ApicId::new(((self.bits & NDST_MASK) >> NDST_SHIFT) as u32)
+    }
+
+    /// Sets the notification destination.
+    pub fn set_ndst(&mut self, ndst: ApicId) {
+        self.bits = (self.bits & !NDST_MASK) | ((ndst.as_u32() as u128) << NDST_SHIFT);
+    }
+
+    /// Posted interrupt requests: one bit per user vector.
+    #[must_use]
+    pub const fn pir(self) -> u64 {
+        (self.bits >> PIR_SHIFT) as u64
+    }
+
+    /// Overwrites the whole PIR field.
+    pub fn set_pir(&mut self, pir: u64) {
+        self.bits = (self.bits & !PIR_MASK) | ((pir as u128) << PIR_SHIFT);
+    }
+
+    /// Posts a user vector into PIR (the sender-side step (1) of §3.3).
+    /// Returns `true` if the bit was newly set.
+    pub fn post(&mut self, uv: UserVector) -> bool {
+        let was_set = self.pir() & uv.bit() != 0;
+        self.bits |= (uv.bit() as u128) << PIR_SHIFT;
+        !was_set
+    }
+
+    /// Atomically drains PIR, returning the previously posted set and
+    /// leaving PIR empty — the receiver-side notification-processing step
+    /// that moves posted vectors into `UIRR` (§3.3 step (4)).
+    pub fn take_pir(&mut self) -> u64 {
+        let pir = self.pir();
+        self.bits &= !PIR_MASK;
+        pir
+    }
+
+    /// True if any user vector is posted.
+    #[must_use]
+    pub const fn has_posted(self) -> bool {
+        self.pir() != 0
+    }
+}
+
+impl fmt::Debug for Upid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Upid")
+            .field("on", &self.on())
+            .field("sn", &self.sn())
+            .field("nv", &self.nv())
+            .field("ndst", &self.ndst())
+            .field("pir", &format_args!("{:#018x}", self.pir()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_upid_is_zero() {
+        let upid = Upid::new();
+        assert_eq!(upid.bits(), 0);
+        assert!(!upid.on());
+        assert!(!upid.sn());
+        assert_eq!(upid.nv(), Vector::new(0));
+        assert_eq!(upid.ndst(), ApicId::new(0));
+        assert_eq!(upid.pir(), 0);
+        assert!(!upid.has_posted());
+    }
+
+    #[test]
+    fn table1_bit_positions_are_exact() {
+        let mut upid = Upid::new();
+        upid.set_on(true);
+        assert_eq!(upid.bits(), 1 << 0);
+        upid.set_on(false);
+
+        upid.set_sn(true);
+        assert_eq!(upid.bits(), 1 << 1);
+        upid.set_sn(false);
+
+        upid.set_nv(Vector::new(0xff));
+        assert_eq!(upid.bits(), 0xff << 16);
+        upid.set_nv(Vector::new(0));
+
+        upid.set_ndst(ApicId::new(u32::MAX));
+        assert_eq!(upid.bits(), 0xffff_ffffu128 << 32);
+        upid.set_ndst(ApicId::new(0));
+
+        upid.set_pir(u64::MAX);
+        assert_eq!(upid.bits(), (u64::MAX as u128) << 64);
+    }
+
+    #[test]
+    fn post_sets_single_bit_and_reports_novelty() {
+        let mut upid = Upid::new();
+        let uv = UserVector::new(9).unwrap();
+        assert!(upid.post(uv));
+        assert_eq!(upid.pir(), 1 << 9);
+        assert!(!upid.post(uv), "re-posting the same vector is not new");
+        assert_eq!(upid.pir(), 1 << 9);
+    }
+
+    #[test]
+    fn take_pir_drains() {
+        let mut upid = Upid::new();
+        upid.post(UserVector::new(0).unwrap());
+        upid.post(UserVector::new(63).unwrap());
+        let drained = upid.take_pir();
+        assert_eq!(drained, (1 << 0) | (1 << 63));
+        assert_eq!(upid.pir(), 0);
+        assert_eq!(upid.take_pir(), 0);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut upid = Upid::new();
+        upid.set_on(true);
+        upid.set_nv(Vector::new(0xec));
+        upid.set_ndst(ApicId::new(7));
+        upid.post(UserVector::new(33).unwrap());
+        let rebuilt = Upid::from_words(upid.low_word(), upid.high_word());
+        assert_eq!(rebuilt, upid);
+    }
+
+    #[test]
+    fn debug_mentions_fields() {
+        let upid = Upid::new();
+        let text = format!("{upid:?}");
+        for field in ["on", "sn", "nv", "ndst", "pir"] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Setting any one field never disturbs the others (field isolation
+        /// in the Table 1 layout).
+        #[test]
+        fn field_isolation(bits in any::<u128>(), nv in any::<u8>(), ndst in any::<u32>(),
+                           pir in any::<u64>(), on in any::<bool>(), sn in any::<bool>()) {
+            let base = Upid::from_bits(bits);
+
+            let mut u = base;
+            u.set_nv(Vector::new(nv));
+            prop_assert_eq!(u.on(), base.on());
+            prop_assert_eq!(u.sn(), base.sn());
+            prop_assert_eq!(u.ndst(), base.ndst());
+            prop_assert_eq!(u.pir(), base.pir());
+            prop_assert_eq!(u.nv(), Vector::new(nv));
+
+            let mut u = base;
+            u.set_ndst(ApicId::new(ndst));
+            prop_assert_eq!(u.nv(), base.nv());
+            prop_assert_eq!(u.pir(), base.pir());
+            prop_assert_eq!(u.ndst(), ApicId::new(ndst));
+
+            let mut u = base;
+            u.set_pir(pir);
+            prop_assert_eq!(u.nv(), base.nv());
+            prop_assert_eq!(u.ndst(), base.ndst());
+            prop_assert_eq!(u.on(), base.on());
+            prop_assert_eq!(u.pir(), pir);
+
+            let mut u = base;
+            u.set_on(on);
+            u.set_sn(sn);
+            prop_assert_eq!(u.nv(), base.nv());
+            prop_assert_eq!(u.ndst(), base.ndst());
+            prop_assert_eq!(u.pir(), base.pir());
+            prop_assert_eq!(u.on(), on);
+            prop_assert_eq!(u.sn(), sn);
+        }
+
+        /// Posting vectors accumulates exactly the posted set, and draining
+        /// returns it (no interrupt lost or invented at the descriptor
+        /// level).
+        #[test]
+        fn post_then_drain_is_lossless(raw_vectors in proptest::collection::vec(0u8..64, 0..32)) {
+            let mut upid = Upid::new();
+            let mut expected = 0u64;
+            for raw in &raw_vectors {
+                let uv = UserVector::new(*raw).unwrap();
+                upid.post(uv);
+                expected |= uv.bit();
+            }
+            prop_assert_eq!(upid.pir(), expected);
+            prop_assert_eq!(upid.take_pir(), expected);
+            prop_assert_eq!(upid.pir(), 0);
+        }
+
+        /// Word round-trip is the identity for arbitrary descriptors.
+        #[test]
+        fn words_round_trip(bits in any::<u128>()) {
+            let upid = Upid::from_bits(bits);
+            prop_assert_eq!(Upid::from_words(upid.low_word(), upid.high_word()), upid);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Random distributions used by the paper's workloads, implemented from
+//! uniform draws so the only external randomness dependency is `rand`.
+//!
+//! - exponential inter-arrival times (Poisson arrival processes, §5.3 and
+//!   §5.4: "an exponential distribution for inter-packet arrival times");
+//! - the bimodal RocksDB service distribution (99.5% GET / 0.5% SCAN);
+//! - bounded uniform noise for accelerator response times (§5.4: "random
+//!   noise with varying magnitude").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A sampleable distribution over non-negative durations (in ticks).
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws one value rounded to integer ticks (at least 0).
+    fn sample_ticks<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let v = self.sample(rng);
+        if v <= 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+/// Exponential distribution with the given mean.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use xui_des::dist::{Exp, Sample};
+///
+/// let exp = Exp::with_mean(2000.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let draws: Vec<f64> = (0..10_000).map(|_| exp.sample(&mut rng)).collect();
+/// let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+/// assert!((mean - 2000.0).abs() < 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with the given mean (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    #[must_use]
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Self { mean }
+    }
+
+    /// Creates from a rate λ (events per tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn with_rate(rate: f64) -> Self {
+        Self::with_mean(1.0 / rate)
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Sample for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1-u avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -self.mean * (1.0 - u).ln()
+    }
+}
+
+/// A constant (deterministic) "distribution".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constant(pub f64);
+
+impl Sample for Constant {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.0
+    }
+}
+
+/// Bimodal mixture: with probability `p_heavy` draw `heavy`, else `light`.
+/// Models the paper's RocksDB workload (99.5% GET @ 1.2 µs, 0.5% SCAN @
+/// 580 µs).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use xui_des::dist::{Bimodal, Sample};
+///
+/// // Paper workload at 2 GHz: GET = 2400 cycles, SCAN = 1_160_000 cycles.
+/// let service = Bimodal::new(0.005, 1_160_000.0, 2_400.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let v = service.sample(&mut rng);
+/// assert!(v == 2_400.0 || v == 1_160_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bimodal {
+    p_heavy: f64,
+    heavy: f64,
+    light: f64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_heavy` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p_heavy: f64, heavy: f64, light: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_heavy), "p_heavy must be in [0,1]");
+        Self {
+            p_heavy,
+            heavy,
+            light,
+        }
+    }
+
+    /// Expected value of the mixture.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.p_heavy * self.heavy + (1.0 - self.p_heavy) * self.light
+    }
+
+    /// Draws a value along with whether it was the heavy mode (useful for
+    /// tagging requests as GET vs SCAN).
+    pub fn sample_tagged<R: Rng + ?Sized>(&self, rng: &mut R) -> (f64, bool) {
+        let heavy = rng.gen::<f64>() < self.p_heavy;
+        (if heavy { self.heavy } else { self.light }, heavy)
+    }
+}
+
+impl Sample for Bimodal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_tagged(rng).0
+    }
+}
+
+/// A base value plus uniform noise in `[-magnitude, +magnitude]`,
+/// clamped at zero. Models accelerator offload-latency variability
+/// (§5.4 "we model offload latencies by adding random noise with varying
+/// magnitude to the response time of the accelerator").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Noisy {
+    base: f64,
+    magnitude: f64,
+}
+
+impl Noisy {
+    /// Creates a noisy value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude` is negative.
+    #[must_use]
+    pub fn new(base: f64, magnitude: f64) -> Self {
+        assert!(magnitude >= 0.0, "magnitude must be non-negative");
+        Self { base, magnitude }
+    }
+
+    /// The noiseless base value.
+    #[must_use]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+}
+
+impl Sample for Noisy {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.magnitude == 0.0 {
+            return self.base;
+        }
+        let noise = rng.gen_range(-self.magnitude..=self.magnitude);
+        (self.base + noise).max(0.0)
+    }
+}
+
+/// An open-loop Poisson arrival process: successive arrival times with
+/// exponential gaps.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use xui_des::dist::PoissonProcess;
+///
+/// // 100k requests/s at 2 GHz ⇒ rate 100_000 / 2e9 per cycle.
+/// let mut arrivals = PoissonProcess::with_rate(100_000.0 / 2e9);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let t1 = arrivals.next_arrival(&mut rng);
+/// let t2 = arrivals.next_arrival(&mut rng);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonProcess {
+    gap: Exp,
+    next: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given event rate (events per tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn with_rate(rate: f64) -> Self {
+        Self {
+            gap: Exp::with_rate(rate),
+            next: 0.0,
+        }
+    }
+
+    /// Mean gap between arrivals, in ticks.
+    #[must_use]
+    pub fn mean_gap(&self) -> f64 {
+        self.gap.mean()
+    }
+
+    /// Draws the next absolute arrival time in ticks.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        self.next += self.gap.sample(rng).max(1e-9);
+        self.next.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn exp_mean_converges() {
+        let exp = Exp::with_mean(500.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 500.0).abs() < 10.0, "mean={mean}");
+    }
+
+    #[test]
+    fn exp_with_rate_inverts_mean() {
+        let exp = Exp::with_rate(0.01);
+        assert!((exp.mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_zero_mean() {
+        let _ = Exp::with_mean(0.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let c = Constant(7.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(c.sample(&mut rng), 7.5);
+        assert_eq!(c.sample_ticks(&mut rng), 8);
+    }
+
+    #[test]
+    fn bimodal_fraction_converges() {
+        let b = Bimodal::new(0.005, 1_160_000.0, 2_400.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let heavy = (0..n)
+            .filter(|_| b.sample_tagged(&mut rng).1)
+            .count();
+        let frac = heavy as f64 / n as f64;
+        assert!((frac - 0.005).abs() < 0.001, "frac={frac}");
+        assert!((b.mean() - (0.005 * 1_160_000.0 + 0.995 * 2_400.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_stays_in_band_and_nonnegative() {
+        let n = Noisy::new(4000.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = n.sample(&mut rng);
+            assert!((3000.0..=5000.0).contains(&v), "v={v}");
+        }
+        let clamped = Noisy::new(10.0, 100.0);
+        for _ in 0..1000 {
+            assert!(clamped.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic() {
+        let n = Noisy::new(4000.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(n.sample(&mut rng), 4000.0);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotonic_and_rate_correct() {
+        let mut p = PoissonProcess::with_rate(1.0 / 200.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut last = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let t = p.next_arrival(&mut rng);
+            assert!(t >= last);
+            last = t;
+        }
+        let observed_rate = f64::from(n) / last as f64;
+        assert!(
+            (observed_rate - 1.0 / 200.0).abs() / (1.0 / 200.0) < 0.05,
+            "rate={observed_rate}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let exp = Exp::with_mean(100.0);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1234);
+            (0..100).map(|_| exp.sample_ticks(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1234);
+            (0..100).map(|_| exp.sample_ticks(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,320 @@
+//! A deterministic discrete-event engine.
+//!
+//! Events are closures scheduled at absolute times. Ties are broken by
+//! scheduling order (FIFO among same-time events), which — together with
+//! seeded RNG — makes every simulation run bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Simulation time in ticks. Experiments in this workspace interpret ticks
+/// as CPU cycles at 2 GHz (2000 ticks = 1 µs), matching the paper's
+/// operating point.
+pub type SimTime = u64;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A boxed event action.
+type Action<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+struct Scheduled<S> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event engine: a clock plus a priority queue of pending events.
+///
+/// The engine is generic over a world state `S`; each event receives
+/// `&mut S` and `&mut Engine<S>` so it can mutate the world and schedule
+/// further events.
+///
+/// # Examples
+///
+/// ```
+/// use xui_des::engine::Engine;
+///
+/// let mut engine: Engine<Vec<u64>> = Engine::new();
+/// let mut log = Vec::new();
+/// engine.schedule_at(10, |s, _| s.push(10));
+/// engine.schedule_at(5, |s, eng| {
+///     s.push(5);
+///     eng.schedule_in(2, |s, _| s.push(7));
+/// });
+/// engine.run(&mut log);
+/// assert_eq!(log, vec![5, 7, 10]);
+/// ```
+pub struct Engine<S> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    cancelled: HashSet<EventId>,
+    executed: u64,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> std::fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine at time 0 with no events.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            next_id: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events (including cancelled ones not yet
+    /// reaped).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — scheduling into the past is a
+    /// causality bug in the caller.
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        action: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) -> EventId {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            id,
+            action: Box::new(action),
+        }));
+        self.seq += 1;
+        id
+    }
+
+    /// Schedules `action` after a relative `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        action: impl FnOnce(&mut S, &mut Engine<S>) + 'static,
+    ) -> EventId {
+        let time = self.now.saturating_add(delay);
+        self.schedule_at(time, action)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that
+    /// already ran (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Runs one event; returns `false` if the queue was empty.
+    pub fn step(&mut self, state: &mut S) -> bool {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.time >= self.now, "heap returned out-of-order event");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(state, self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self, state: &mut S) {
+        while self.step(state) {}
+    }
+
+    /// Runs until the queue drains or the clock passes `until`
+    /// (events scheduled later stay pending). Returns the number of
+    /// events executed by this call.
+    pub fn run_until(&mut self, state: &mut S, until: SimTime) -> u64 {
+        let start = self.executed;
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= until => {
+                    self.step(state);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(until);
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        engine.schedule_at(30, |s: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| s.push(30));
+        engine.schedule_at(10, |s: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| s.push(10));
+        engine.schedule_at(20, |s: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| s.push(20));
+        engine.run(&mut log);
+        assert_eq!(log, vec![10, 20, 30]);
+        assert_eq!(engine.executed(), 3);
+        assert_eq!(engine.now(), 30);
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..10u64 {
+            engine.schedule_at(5, move |s: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| {
+                s.push(i);
+            });
+        }
+        engine.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut engine: Engine<u64> = Engine::new();
+        let mut count = 0u64;
+        fn tick(count: &mut u64, engine: &mut Engine<u64>) {
+            *count += 1;
+            if *count < 5 {
+                engine.schedule_in(10, tick);
+            }
+        }
+        engine.schedule_at(0, tick);
+        engine.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(engine.now(), 40);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let mut engine: Engine<Vec<&'static str>> = Engine::new();
+        let mut log = Vec::new();
+        let keep = engine.schedule_at(1, |s: &mut Vec<&'static str>, _: &mut Engine<_>| {
+            s.push("keep");
+        });
+        let drop_it = engine.schedule_at(2, |s: &mut Vec<&'static str>, _: &mut Engine<_>| {
+            s.push("drop");
+        });
+        engine.cancel(drop_it);
+        let _ = keep;
+        engine.run(&mut log);
+        assert_eq!(log, vec!["keep"]);
+        assert_eq!(engine.executed(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        engine.schedule_at(10, |s: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| s.push(10));
+        engine.schedule_at(100, |s: &mut Vec<u64>, _: &mut Engine<Vec<u64>>| s.push(100));
+        let ran = engine.run_until(&mut log, 50);
+        assert_eq!(ran, 1);
+        assert_eq!(log, vec![10]);
+        assert_eq!(engine.now(), 50);
+        assert_eq!(engine.pending(), 1);
+        engine.run(&mut log);
+        assert_eq!(log, vec![10, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(10, |_: &mut (), _: &mut Engine<()>| {});
+        engine.run(&mut ());
+        engine.schedule_at(5, |_: &mut (), _: &mut Engine<()>| {});
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Execution order is a stable sort of (time, insertion order).
+        #[test]
+        fn execution_is_stable_time_sort(times in proptest::collection::vec(0u64..1000, 1..100)) {
+            let mut engine: Engine<Vec<(u64, usize)>> = Engine::new();
+            let mut log = Vec::new();
+            for (i, t) in times.iter().copied().enumerate() {
+                engine.schedule_at(t, move |s: &mut Vec<(u64, usize)>, _: &mut Engine<_>| {
+                    s.push((t, i));
+                });
+            }
+            engine.run(&mut log);
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+            expected.sort_by_key(|&(t, i)| (t, i));
+            prop_assert_eq!(log, expected);
+        }
+    }
+}

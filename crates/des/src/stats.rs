@@ -1,0 +1,403 @@
+//! Measurement utilities: an HDR-style log-bucketed histogram for latency
+//! percentiles, and cycle accounting for the paper's "free cycles"
+//! breakdowns (Figures 8 and 9).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BITS: u32 = 6;
+const SUB_COUNT: u64 = 1 << SUB_BITS; // 64 sub-buckets/octave: ≤1.6% error
+const EXACT_LIMIT: u64 = SUB_COUNT * 2; // values < 128 recorded exactly
+
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // ≥ 7
+        let octave = (msb - SUB_BITS) as u64; // ≥ 1
+        let sub = (v >> (msb - SUB_BITS)) & (SUB_COUNT - 1);
+        (EXACT_LIMIT + (octave - 1) * SUB_COUNT + sub) as usize
+    }
+}
+
+fn bucket_high(index: usize) -> u64 {
+    let index = index as u64;
+    if index < EXACT_LIMIT {
+        index
+    } else {
+        let rel = index - EXACT_LIMIT;
+        let octave = rel / SUB_COUNT + 1;
+        let sub = rel % SUB_COUNT;
+        let width = 1u64 << octave;
+        // Lower bound of the bucket, plus (width - 1) for the upper bound.
+        ((SUB_COUNT + sub) << octave) + (width - 1)
+    }
+}
+
+/// A log-bucketed histogram of non-negative integer samples (e.g. latency
+/// in cycles), with ≤1.6% relative quantile error and exact min/max/mean.
+///
+/// # Examples
+///
+/// ```
+/// use xui_des::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.min(), 1);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.percentile(50.0);
+/// assert!((490..=515).contains(&p50), "p50={p50}");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at the given percentile (0–100), with ≤1.6% relative
+    /// error. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_high(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (idx, &n) in other.buckets.iter().enumerate() {
+            self.buckets[idx] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// A compact summary (count/mean/p50/p95/p99/p999/max).
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            p999: self.percentile(99.9),
+            max: self.max(),
+        }
+    }
+}
+
+/// Compact percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+/// Cycle accounting by named category — how the paper splits a core's time
+/// into "networking cycles", "polling cycles" and "free cycles" (Fig 8) or
+/// notification overhead vs. free cycles (Fig 9).
+///
+/// # Examples
+///
+/// ```
+/// use xui_des::stats::CycleAccount;
+///
+/// let mut acct = CycleAccount::new();
+/// acct.add("networking", 400);
+/// acct.add("polling", 600);
+/// assert_eq!(acct.total(), 1000);
+/// assert!((acct.fraction("polling") - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleAccount {
+    categories: BTreeMap<String, u64>,
+}
+
+impl CycleAccount {
+    /// Creates an empty account.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds cycles to a category.
+    pub fn add(&mut self, category: &str, cycles: u64) {
+        *self.categories.entry(category.to_owned()).or_insert(0) += cycles;
+    }
+
+    /// Cycles recorded under `category`.
+    #[must_use]
+    pub fn get(&self, category: &str) -> u64 {
+        self.categories.get(category).copied().unwrap_or(0)
+    }
+
+    /// Total cycles across all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.categories.values().sum()
+    }
+
+    /// Fraction of the total in `category` (0.0 if the account is empty).
+    #[must_use]
+    pub fn fraction(&self, category: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(category) as f64 / total as f64
+        }
+    }
+
+    /// Iterates categories in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.categories.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..EXACT_LIMIT {
+            h.record(v);
+        }
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            let got = h.percentile(p);
+            let expected = ((p / 100.0) * EXACT_LIMIT as f64).ceil() as u64 - 1;
+            assert!(
+                got.abs_diff(expected) <= 1,
+                "p{p}: got {got} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for p in [0.0, 50.0, 100.0] {
+            let got = h.percentile(p);
+            let err = got.abs_diff(123_456) as f64 / 123_456.0;
+            assert!(err <= 0.02, "p{p}: got {got}");
+        }
+        assert_eq!(h.min(), 123_456);
+        assert_eq!(h.max(), 123_456);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1_000_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 0);
+        assert!(a.max() >= 1_000_000);
+    }
+
+    #[test]
+    fn summary_fields_are_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 7);
+        }
+        let s = h.summary();
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.p999);
+        assert!(s.p999 <= s.max);
+    }
+
+    #[test]
+    fn cycle_account_fractions() {
+        let mut acct = CycleAccount::new();
+        acct.add("a", 25);
+        acct.add("b", 75);
+        acct.add("a", 25);
+        assert_eq!(acct.get("a"), 50);
+        assert_eq!(acct.total(), 125);
+        assert!((acct.fraction("b") - 0.6).abs() < 1e-12);
+        assert_eq!(acct.fraction("missing"), 0.0);
+        let names: Vec<&str> = acct.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_account_fraction_is_zero() {
+        let acct = CycleAccount::new();
+        assert_eq!(acct.fraction("anything"), 0.0);
+        assert_eq!(acct.total(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Every recorded value falls in a bucket whose representative is
+        /// within 2% of it (log-bucket error bound).
+        #[test]
+        fn bucket_error_bound(v in 0u64..u64::MAX / 2) {
+            let idx = bucket_index(v);
+            let high = bucket_high(idx);
+            prop_assert!(high >= v, "high {high} < value {v}");
+            if v >= 128 {
+                let err = (high - v) as f64 / v as f64;
+                prop_assert!(err <= 0.02, "err {err} for value {v}");
+            }
+        }
+
+        /// Percentiles are monotone in p, bounded by min/max.
+        #[test]
+        fn percentiles_are_monotone(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut last = 0;
+            for p in 0..=20 {
+                let q = h.percentile(p as f64 * 5.0);
+                prop_assert!(q >= last);
+                last = q;
+            }
+            prop_assert!(h.percentile(0.0) >= h.min());
+            prop_assert!(h.percentile(100.0) <= h.max());
+        }
+
+        /// Mean is exact regardless of bucketing.
+        #[test]
+        fn mean_is_exact(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let expected = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+            prop_assert!((h.mean() - expected).abs() < 1e-6);
+        }
+    }
+}

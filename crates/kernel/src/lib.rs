@@ -1,0 +1,25 @@
+//! # xui-kernel
+//!
+//! The operating-system model of the xUI reproduction: per-event OS
+//! [`costs`] (§2), POSIX [`signals`] delivery, OS timer interfaces
+//! ([`os_timers`]: `setitimer`/`nanosleep`), the preemption-mechanism
+//! abstraction ([`preempt`]) used by the Aspen-like runtime, and the
+//! dedicated-[`timer_core`] model of Figure 6.
+//!
+//! Kernel bookkeeping for UIPI itself (SN bit on context switch, slow-path
+//! repost, NDST rewriting on migration, KB_Timer MSR save/restore) lives in
+//! `xui_core::model::ProtocolModel`, which this crate builds on.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod os_timers;
+pub mod preempt;
+pub mod signals;
+pub mod timer_core;
+pub mod uintr;
+
+pub use costs::OsCosts;
+pub use preempt::PreemptMechanism;
+pub use timer_core::{TimeSource, TimerCoreSim};
+pub use uintr::UintrKernel;

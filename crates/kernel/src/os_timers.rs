@@ -1,0 +1,134 @@
+//! OS timer interfaces (§2 "Timers: expensive and complex"): `setitimer`
+//! interval ticks delivered as signals, and `nanosleep` deadline sleeps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::costs::OsCosts;
+
+/// Minimum usable `setitimer` period at the paper's operating point —
+/// §6.2.3 calls 2 µs "almost at the limit of the OS interval timer".
+pub const SETITIMER_MIN_PERIOD: u64 = 4_000; // 2 µs @ 2 GHz
+
+/// An OS interval timer delivering periodic ticks to user code.
+///
+/// # Examples
+///
+/// ```
+/// use xui_kernel::os_timers::{IntervalTimer, SETITIMER_MIN_PERIOD};
+///
+/// let mut t = IntervalTimer::setitimer(1_000); // clamped up to the min
+/// assert_eq!(t.period(), SETITIMER_MIN_PERIOD);
+/// let first = t.next_tick(0);
+/// let second = t.next_tick(first.fires_at);
+/// assert_eq!(second.fires_at - first.fires_at, SETITIMER_MIN_PERIOD);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalTimer {
+    period: u64,
+    per_tick_cost: u64,
+    ticks: u64,
+}
+
+/// One timer tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tick {
+    /// Cycle the tick's handler starts.
+    pub fires_at: u64,
+    /// Cycles of OS overhead charged for this tick.
+    pub cost: u64,
+}
+
+impl IntervalTimer {
+    /// A `setitimer`-backed timer: each tick is a signal; the period is
+    /// clamped to the interface's practical minimum.
+    #[must_use]
+    pub fn setitimer(period: u64) -> Self {
+        Self {
+            period: period.max(SETITIMER_MIN_PERIOD),
+            per_tick_cost: OsCosts::paper().setitimer_tick,
+            ticks: 0,
+        }
+    }
+
+    /// A `nanosleep`-loop timer: each tick is a sleep/wake round.
+    #[must_use]
+    pub fn nanosleep(period: u64) -> Self {
+        Self {
+            period: period.max(1),
+            per_tick_cost: OsCosts::paper().nanosleep_wake,
+            ticks: 0,
+        }
+    }
+
+    /// The effective period.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Per-tick OS cost.
+    #[must_use]
+    pub fn tick_cost(&self) -> u64 {
+        self.per_tick_cost
+    }
+
+    /// Computes the next tick strictly after `now`, aligned to the period
+    /// grid.
+    pub fn next_tick(&mut self, now: u64) -> Tick {
+        self.ticks += 1;
+        let fires_at = (now / self.period + 1) * self.period;
+        Tick {
+            fires_at,
+            cost: self.per_tick_cost,
+        }
+    }
+
+    /// Ticks issued so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Fraction of a core this timer consumes at its period.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.per_tick_cost as f64 / self.period as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setitimer_clamps_to_minimum_period() {
+        let t = IntervalTimer::setitimer(100);
+        assert_eq!(t.period(), SETITIMER_MIN_PERIOD);
+        let t = IntervalTimer::setitimer(40_000);
+        assert_eq!(t.period(), 40_000);
+    }
+
+    #[test]
+    fn ticks_land_on_the_grid() {
+        let mut t = IntervalTimer::nanosleep(10_000);
+        assert_eq!(t.next_tick(0).fires_at, 10_000);
+        assert_eq!(t.next_tick(10_000).fires_at, 20_000);
+        assert_eq!(t.next_tick(25_000).fires_at, 30_000);
+        assert_eq!(t.ticks(), 3);
+    }
+
+    #[test]
+    fn utilization_reflects_interface_cost() {
+        let s = IntervalTimer::setitimer(40_000); // 20 µs
+        let n = IntervalTimer::nanosleep(40_000);
+        assert!((s.utilization() - 4_800.0 / 40_000.0).abs() < 1e-12);
+        assert!(n.utilization() < s.utilization());
+    }
+
+    #[test]
+    fn fine_grained_setitimer_eats_the_core() {
+        // At the 2 µs floor, each tick costs 2.4 µs: >100% of a core.
+        let t = IntervalTimer::setitimer(1);
+        assert!(t.utilization() > 1.0);
+    }
+}

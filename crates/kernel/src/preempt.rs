@@ -1,0 +1,96 @@
+//! Preemption-mechanism abstraction: how a user-level runtime gets its
+//! periodic preemption interrupts, and what each fire costs (§5.3, §6.2.1).
+
+use serde::{Deserialize, Serialize};
+
+use xui_core::{CostModel, NotifyMechanism};
+
+use crate::costs::OsCosts;
+
+/// The preemption mechanisms compared in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PreemptMechanism {
+    /// No preemption: requests run to completion.
+    None,
+    /// POSIX signals from a timer thread.
+    Signal,
+    /// UIPI sent by a dedicated software-timer core (the paper's
+    /// "UIPI SW Timer"): flush-style delivery on the worker, plus a core
+    /// burned as the time source.
+    UipiSwTimer,
+    /// xUI: per-core KB_Timer with tracked delivery; no timer core.
+    XuiKbTimer,
+}
+
+impl PreemptMechanism {
+    /// Receiver-side cost charged on the worker core per timer fire.
+    #[must_use]
+    pub fn receiver_cost(self, hw: &CostModel) -> u64 {
+        match self {
+            Self::None => 0,
+            Self::Signal => hw.receiver_cost(NotifyMechanism::Signal),
+            Self::UipiSwTimer => hw.receiver_cost(NotifyMechanism::UipiFlush),
+            Self::XuiKbTimer => hw.receiver_cost(NotifyMechanism::TrackedDirect),
+        }
+    }
+
+    /// Whether the mechanism needs a dedicated timer core (§6.1 "Benefits
+    /// of eliminating timing cores").
+    #[must_use]
+    pub fn needs_timer_core(self) -> bool {
+        matches!(self, Self::Signal | Self::UipiSwTimer)
+    }
+
+    /// Cost of one preemption event on the worker: delivery + scheduler
+    /// decision + user-thread switch (when a switch happens).
+    #[must_use]
+    pub fn preemption_cost(self, hw: &CostModel, os: &OsCosts) -> u64 {
+        self.receiver_cost(hw) + os.sched_check + os.uthread_switch
+    }
+
+    /// Cost of a timer fire that does not result in a switch (current
+    /// thread keeps running, e.g. nothing else is runnable or the quantum
+    /// was not exhausted).
+    #[must_use]
+    pub fn fire_only_cost(self, hw: &CostModel, os: &OsCosts) -> u64 {
+        if matches!(self, Self::None) {
+            0
+        } else {
+            self.receiver_cost(hw) + os.sched_check
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ordering_matches_the_paper() {
+        let hw = CostModel::paper();
+        let os = OsCosts::paper();
+        let none = PreemptMechanism::None.preemption_cost(&hw, &os);
+        let xui = PreemptMechanism::XuiKbTimer.preemption_cost(&hw, &os);
+        let uipi = PreemptMechanism::UipiSwTimer.preemption_cost(&hw, &os);
+        let sig = PreemptMechanism::Signal.preemption_cost(&hw, &os);
+        assert!(none < xui && xui < uipi && uipi < sig);
+        // xUI ≈ 105 + scheduler/switch; UIPI ≈ 645 + the same.
+        assert_eq!(uipi - xui, 645 - 105);
+    }
+
+    #[test]
+    fn timer_core_requirements() {
+        assert!(PreemptMechanism::UipiSwTimer.needs_timer_core());
+        assert!(PreemptMechanism::Signal.needs_timer_core());
+        assert!(!PreemptMechanism::XuiKbTimer.needs_timer_core());
+        assert!(!PreemptMechanism::None.needs_timer_core());
+    }
+
+    #[test]
+    fn none_is_free() {
+        let hw = CostModel::paper();
+        let os = OsCosts::paper();
+        assert_eq!(PreemptMechanism::None.fire_only_cost(&hw, &os), 0);
+        assert_eq!(PreemptMechanism::None.receiver_cost(&hw), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The Figure 6 experiment: CPU consumption of a dedicated timer core
+//! that obtains time from the OS (`setitimer` or `nanosleep`) or by
+//! busy-spinning on `rdtsc`, and then preempts N application cores by
+//! sending UIPIs.
+//!
+//! xUI eliminates this core entirely: each core's KB_Timer is its own
+//! time source (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+use xui_core::CostModel;
+
+use crate::costs::OsCosts;
+
+/// How the timer thread learns that an interval elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeSource {
+    /// `setitimer()`: a signal is delivered every interval.
+    Setitimer,
+    /// `nanosleep()`: sleep until the next deadline, pay a wake-up.
+    Nanosleep,
+    /// Busy-spin reading `rdtsc`: zero OS cost, burns the whole core.
+    RdtscSpin,
+    /// xUI: no timer core exists; every core has a KB_Timer.
+    XuiKbTimer,
+}
+
+/// Result of simulating the timer core for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimerCoreReport {
+    /// Fraction of the timer core consumed (0–1). For `RdtscSpin` the
+    /// core is always fully consumed; `busy_fraction` still reports the
+    /// *useful* fraction so saturation is visible.
+    pub cpu_utilization: f64,
+    /// Fraction of the interval spent doing useful notification work.
+    pub busy_fraction: f64,
+    /// Intervals that fired on time.
+    pub on_time_ticks: u64,
+    /// Intervals that were late because the previous tick overran.
+    pub late_ticks: u64,
+}
+
+/// Configuration of the Figure 6 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimerCoreSim {
+    /// Time source used by the timer thread.
+    pub source: TimeSource,
+    /// Preemption interval in cycles (e.g. 10 000 = 5 µs).
+    pub interval: u64,
+    /// Number of application (receiver) cores to notify each interval.
+    pub receivers: usize,
+    /// OS costs.
+    pub os: OsCosts,
+    /// Hardware costs (for `senduipi`).
+    pub hw: CostModel,
+}
+
+impl TimerCoreSim {
+    /// Creates the experiment with paper costs.
+    #[must_use]
+    pub fn new(source: TimeSource, interval: u64, receivers: usize) -> Self {
+        Self {
+            source,
+            interval,
+            receivers,
+            os: OsCosts::paper(),
+            hw: CostModel::paper(),
+        }
+    }
+
+    /// Cycles of work per tick: obtain time + send one UIPI per receiver.
+    #[must_use]
+    pub fn work_per_tick(&self) -> u64 {
+        let time_cost = match self.source {
+            TimeSource::Setitimer => self.os.setitimer_tick,
+            TimeSource::Nanosleep => self.os.nanosleep_wake,
+            TimeSource::RdtscSpin => 0,
+            TimeSource::XuiKbTimer => return 0,
+        };
+        let per_receiver = self.hw.senduipi + self.os.spin_loop_per_receiver;
+        time_cost + per_receiver * self.receivers as u64
+    }
+
+    /// Simulates `ticks` intervals tick-by-tick, modelling overrun: if a
+    /// tick's work exceeds the interval, the next tick starts late.
+    #[must_use]
+    pub fn run(&self, ticks: u64) -> TimerCoreReport {
+        if matches!(self.source, TimeSource::XuiKbTimer) {
+            // No timer core exists at all.
+            return TimerCoreReport {
+                cpu_utilization: 0.0,
+                busy_fraction: 0.0,
+                on_time_ticks: ticks,
+                late_ticks: 0,
+            };
+        }
+        let work = self.work_per_tick();
+        let mut now = 0u64;
+        let mut busy = 0u64;
+        let mut on_time = 0u64;
+        let mut late = 0u64;
+        for tick in 0..ticks {
+            let deadline = tick * self.interval;
+            if now <= deadline {
+                now = deadline;
+                on_time += 1;
+            } else {
+                late += 1;
+            }
+            now += work;
+            busy += work;
+        }
+        let span = now.max(ticks * self.interval);
+        let busy_fraction = busy as f64 / span as f64;
+        let cpu_utilization = match self.source {
+            // The spinning thread burns the core regardless of load.
+            TimeSource::RdtscSpin => 1.0,
+            _ => busy_fraction,
+        };
+        TimerCoreReport {
+            cpu_utilization,
+            busy_fraction,
+            on_time_ticks: on_time,
+            late_ticks: late,
+        }
+    }
+
+    /// Largest number of receivers this configuration can notify without
+    /// overrunning its interval.
+    #[must_use]
+    pub fn max_receivers(&self) -> usize {
+        let time_cost = match self.source {
+            TimeSource::Setitimer => self.os.setitimer_tick,
+            TimeSource::Nanosleep => self.os.nanosleep_wake,
+            TimeSource::RdtscSpin => 0,
+            TimeSource::XuiKbTimer => return usize::MAX,
+        };
+        if time_cost >= self.interval {
+            return 0;
+        }
+        let per_receiver = self.hw.senduipi + self.os.spin_loop_per_receiver;
+        ((self.interval - time_cost) / per_receiver) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIVE_US: u64 = 10_000;
+
+    #[test]
+    fn xui_needs_no_timer_core() {
+        let sim = TimerCoreSim::new(TimeSource::XuiKbTimer, FIVE_US, 16);
+        let r = sim.run(1000);
+        assert_eq!(r.cpu_utilization, 0.0);
+        assert_eq!(r.late_ticks, 0);
+    }
+
+    #[test]
+    fn rdtsc_spin_supports_22_receivers_at_5us() {
+        // §6.1: "we found we could support up to 22 application cores at
+        // a 5 µs preemption interval".
+        let sim = TimerCoreSim::new(TimeSource::RdtscSpin, FIVE_US, 0);
+        assert_eq!(sim.max_receivers(), 22);
+        let ok = TimerCoreSim::new(TimeSource::RdtscSpin, FIVE_US, 22).run(10_000);
+        assert_eq!(ok.late_ticks, 0, "22 receivers fit");
+        let over = TimerCoreSim::new(TimeSource::RdtscSpin, FIVE_US, 23).run(10_000);
+        assert!(over.late_ticks > 0, "23 receivers overrun");
+    }
+
+    #[test]
+    fn os_interfaces_consume_core_as_rate_rises() {
+        // At 1 ms the OS cost is small; at 5 µs it dominates.
+        let slow = TimerCoreSim::new(TimeSource::Setitimer, 2_000_000, 4).run(1000);
+        let fast = TimerCoreSim::new(TimeSource::Setitimer, FIVE_US, 4).run(1000);
+        assert!(slow.busy_fraction < 0.01, "{}", slow.busy_fraction);
+        assert!(fast.busy_fraction > 0.5, "{}", fast.busy_fraction);
+        assert!(fast.busy_fraction > slow.busy_fraction);
+    }
+
+    #[test]
+    fn utilization_grows_linearly_with_receivers() {
+        let base = TimerCoreSim::new(TimeSource::Nanosleep, FIVE_US, 0).run(1000);
+        let with8 = TimerCoreSim::new(TimeSource::Nanosleep, FIVE_US, 8).run(1000);
+        let per_recv = (with8.busy_fraction - base.busy_fraction) / 8.0;
+        // Each receiver adds senduipi (383) + loop (70) per 10 000 cycles.
+        assert!((per_recv - 453.0 / 10_000.0).abs() < 0.005, "{per_recv}");
+    }
+
+    #[test]
+    fn spinning_always_burns_the_whole_core() {
+        let r = TimerCoreSim::new(TimeSource::RdtscSpin, FIVE_US, 1).run(100);
+        assert_eq!(r.cpu_utilization, 1.0);
+        assert!(r.busy_fraction < 0.1);
+    }
+
+    #[test]
+    fn overloaded_timer_reports_saturated_utilization() {
+        let r = TimerCoreSim::new(TimeSource::Setitimer, 4_000, 8).run(1000);
+        assert!(r.busy_fraction > 0.99);
+        assert!(r.late_ticks > 900);
+    }
+}

@@ -1,0 +1,312 @@
+//! The UIPI/xUI kernel interface (§3.2, §4.3, §4.5): system calls that
+//! set up routes, multiplex the KB_Timer, and manage threads — wrapping
+//! the architectural [`ProtocolModel`] with syscall/context-switch cost
+//! accounting.
+//!
+//! The point the paper's design makes is visible directly in the
+//! accounting: *setup* goes through the kernel and costs syscalls, but
+//! the *data path* (`senduipi`, delivery, `uiret`, `set_timer`) never
+//! enters the kernel and charges nothing here.
+
+use serde::{Deserialize, Serialize};
+
+use xui_core::kb_timer::TimerMode;
+use xui_core::model::{CoreId, ProtocolModel, ThreadId};
+use xui_core::vectors::{UserVector, Vector};
+use xui_core::XuiError;
+
+use crate::costs::OsCosts;
+
+/// Per-syscall CPU costs (cycles @ 2 GHz): a kernel entry/exit plus the
+/// table/descriptor work each call performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyscallCosts {
+    /// `register_handler(...)`: allocate a UPID, wire the handler.
+    pub register_handler: u64,
+    /// `register_sender(...)`: append a UITT entry.
+    pub register_sender: u64,
+    /// `enable_kb_timer()` / `disable_kb_timer()`.
+    pub enable_kb_timer: u64,
+    /// Registering a forwarded device vector (§4.5).
+    pub register_forwarding: u64,
+}
+
+impl SyscallCosts {
+    /// Plausible Linux-like costs at 2 GHz.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            register_handler: 3_000,
+            register_sender: 2_400,
+            enable_kb_timer: 1_800,
+            register_forwarding: 2_600,
+        }
+    }
+}
+
+impl Default for SyscallCosts {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Where charged cycles went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UintrAccounting {
+    /// Cycles spent in setup system calls.
+    pub syscall_cycles: u64,
+    /// Cycles spent on kernel context switches (SN/NDST/timer/forwarding
+    /// bookkeeping rides along for free on the switch).
+    pub switch_cycles: u64,
+    /// Number of system calls made.
+    pub syscalls: u64,
+    /// Number of context switches performed.
+    pub switches: u64,
+    /// User-level data-path operations that cost the kernel nothing.
+    pub kernel_free_ops: u64,
+}
+
+/// The kernel interface over the architectural model.
+///
+/// # Examples
+///
+/// ```
+/// use xui_kernel::uintr::UintrKernel;
+/// use xui_core::model::CoreId;
+/// use xui_core::vectors::UserVector;
+///
+/// let mut k = UintrKernel::new(2);
+/// let a = k.create_thread();
+/// let b = k.create_thread();
+/// k.register_handler(b, 0x4000)?;
+/// let idx = k.register_sender(a, b, UserVector::new(3)?)?;
+/// k.schedule(a, CoreId(0))?;
+/// k.schedule(b, CoreId(1))?;
+/// k.senduipi(a, idx)?; // user level: charges no kernel cycles
+/// assert_eq!(k.run_pending(b)?.len(), 1);
+/// assert!(k.accounting().syscall_cycles > 0);
+/// # Ok::<(), xui_core::XuiError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct UintrKernel {
+    model: ProtocolModel,
+    costs: SyscallCosts,
+    os: OsCosts,
+    acct: UintrAccounting,
+}
+
+impl UintrKernel {
+    /// Creates a kernel over `cores` idle cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            model: ProtocolModel::new(cores),
+            costs: SyscallCosts::paper(),
+            os: OsCosts::paper(),
+            acct: UintrAccounting::default(),
+        }
+    }
+
+    /// The cycle accounting so far.
+    #[must_use]
+    pub fn accounting(&self) -> UintrAccounting {
+        self.acct
+    }
+
+    /// Direct access to the underlying architectural model.
+    #[must_use]
+    pub fn model(&self) -> &ProtocolModel {
+        &self.model
+    }
+
+    fn syscall(&mut self, cost: u64) {
+        self.acct.syscalls += 1;
+        self.acct.syscall_cycles += cost;
+    }
+
+    /// Creates a thread (no syscall charged: part of thread spawn).
+    pub fn create_thread(&mut self) -> ThreadId {
+        self.model.create_thread()
+    }
+
+    /// `register_handler(...)` system call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn register_handler(&mut self, tid: ThreadId, handler: u64) -> Result<(), XuiError> {
+        self.syscall(self.costs.register_handler);
+        self.model.register_handler(tid, handler).map(|_| ())
+    }
+
+    /// `register_sender(...)` system call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn register_sender(
+        &mut self,
+        sender: ThreadId,
+        receiver: ThreadId,
+        uv: UserVector,
+    ) -> Result<xui_core::uitt::UittIndex, XuiError> {
+        self.syscall(self.costs.register_sender);
+        self.model.register_sender(sender, receiver, uv)
+    }
+
+    /// `enable_kb_timer()` system call (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn enable_kb_timer(&mut self, tid: ThreadId, uv: UserVector) -> Result<(), XuiError> {
+        self.syscall(self.costs.enable_kb_timer);
+        self.model.enable_kb_timer(tid, uv)
+    }
+
+    /// Device-interrupt forwarding registration (§4.5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn register_forwarding(
+        &mut self,
+        tid: ThreadId,
+        core: CoreId,
+        vector: Vector,
+        uv: UserVector,
+    ) -> Result<(), XuiError> {
+        self.syscall(self.costs.register_forwarding);
+        self.model.register_forwarding(tid, core, vector, uv)
+    }
+
+    /// Kernel context switch in: charges a kthread switch; the UIPI
+    /// bookkeeping (clear SN, rewrite NDST, repost, restore timer and
+    /// forwarding state) rides along.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn schedule(&mut self, tid: ThreadId, core: CoreId) -> Result<(), XuiError> {
+        self.acct.switches += 1;
+        self.acct.switch_cycles += self.os.kthread_switch;
+        self.model.schedule(tid, core)
+    }
+
+    /// Kernel context switch out (sets SN, saves timer/forwarding
+    /// state). Switch cost is charged on the resume side only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn deschedule(&mut self, core: CoreId) -> Result<Option<ThreadId>, XuiError> {
+        self.model.deschedule(core)
+    }
+
+    /// `senduipi` — pure user level, zero kernel cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn senduipi(
+        &mut self,
+        sender: ThreadId,
+        index: xui_core::uitt::UittIndex,
+    ) -> Result<(), XuiError> {
+        self.acct.kernel_free_ops += 1;
+        self.model.senduipi(sender, index)
+    }
+
+    /// `set_timer` — pure user level, zero kernel cycles (§4.3:
+    /// "directly programmable from user space").
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn set_timer(
+        &mut self,
+        tid: ThreadId,
+        cycles: u64,
+        mode: TimerMode,
+    ) -> Result<(), XuiError> {
+        self.acct.kernel_free_ops += 1;
+        self.model.set_timer(tid, cycles, mode)
+    }
+
+    /// Advances time (timers may fire).
+    pub fn advance_time(&mut self, to: u64) {
+        self.model.advance_time(to);
+    }
+
+    /// Delivers pending user interrupts on a running thread — pure user
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XuiError`] from the model.
+    pub fn run_pending(&mut self, tid: ThreadId) -> Result<Vec<UserVector>, XuiError> {
+        self.acct.kernel_free_ops += 1;
+        self.model.run_pending(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uv(raw: u8) -> UserVector {
+        UserVector::new(raw).unwrap()
+    }
+
+    #[test]
+    fn setup_costs_syscalls_data_path_is_free() {
+        let mut k = UintrKernel::new(2);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        k.register_handler(b, 0x4000).unwrap();
+        let idx = k.register_sender(a, b, uv(3)).unwrap();
+        k.schedule(a, CoreId(0)).unwrap();
+        k.schedule(b, CoreId(1)).unwrap();
+        let setup = k.accounting();
+        assert_eq!(setup.syscalls, 2);
+        assert_eq!(setup.switches, 2);
+        assert!(setup.syscall_cycles > 0);
+
+        // A million sends would charge exactly the same kernel cycles.
+        for _ in 0..100 {
+            k.senduipi(a, idx).unwrap();
+            k.run_pending(b).unwrap();
+        }
+        let after = k.accounting();
+        assert_eq!(after.syscall_cycles, setup.syscall_cycles);
+        assert_eq!(after.switch_cycles, setup.switch_cycles);
+        assert_eq!(after.kernel_free_ops, 200);
+    }
+
+    #[test]
+    fn kb_timer_setup_once_then_user_level_rearming() {
+        let mut k = UintrKernel::new(1);
+        let t = k.create_thread();
+        k.register_handler(t, 0x1).unwrap();
+        k.enable_kb_timer(t, uv(1)).unwrap();
+        k.schedule(t, CoreId(0)).unwrap();
+        let setup_syscalls = k.accounting().syscalls;
+        // Re-arming the timer every quantum is kernel-free.
+        for i in 0..50u64 {
+            k.set_timer(t, 1_000, TimerMode::Periodic).unwrap();
+            k.advance_time((i + 1) * 1_000);
+            k.run_pending(t).unwrap();
+        }
+        assert_eq!(k.accounting().syscalls, setup_syscalls);
+    }
+
+    #[test]
+    fn forwarding_registration_is_charged() {
+        let mut k = UintrKernel::new(1);
+        let t = k.create_thread();
+        k.register_handler(t, 0x1).unwrap();
+        k.register_forwarding(t, CoreId(0), Vector::new(8), uv(4)).unwrap();
+        assert_eq!(k.accounting().syscalls, 2);
+        assert!(k.accounting().syscall_cycles >= 5_000);
+    }
+}

@@ -1,0 +1,384 @@
+//! DIR-24-8 longest-prefix-match, the algorithm behind DPDK's `rte_lpm`
+//! used by the paper's l3fwd configuration (§5.4: "the Longest Prefix
+//! Match (LPM) algorithm, a routing table containing 16,000 entries").
+//!
+//! A 2^24-entry first-level table resolves prefixes up to /24 in one
+//! memory access; longer prefixes indirect into 256-entry second-level
+//! groups.
+
+use serde::{Deserialize, Serialize};
+
+/// A next-hop identifier (15 bits usable, as in `rte_lpm`).
+pub type NextHop = u16;
+
+const TBL24_SIZE: usize = 1 << 24;
+const TBL8_GROUP: usize = 256;
+/// Entry flag: the low 15 bits index a tbl8 group instead of naming a
+/// next hop.
+const EXT: u16 = 0x8000;
+const INVALID: u16 = u16::MAX;
+
+/// One routing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    /// Network address (host byte order).
+    pub prefix: u32,
+    /// Prefix length, 1–32.
+    pub depth: u8,
+    /// Next hop delivered on match.
+    pub next_hop: NextHop,
+}
+
+impl Route {
+    /// Creates a route, masking the prefix to its depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not in 1..=32 or `next_hop` ≥ 0x8000.
+    #[must_use]
+    pub fn new(prefix: u32, depth: u8, next_hop: NextHop) -> Self {
+        assert!((1..=32).contains(&depth), "depth must be 1..=32");
+        assert!(next_hop < EXT, "next hop must fit in 15 bits");
+        Self {
+            prefix: prefix & Self::mask(depth),
+            depth,
+            next_hop,
+        }
+    }
+
+    fn mask(depth: u8) -> u32 {
+        if depth == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(depth))
+        }
+    }
+
+    /// True if `ip` falls inside this prefix.
+    #[must_use]
+    pub fn matches(&self, ip: u32) -> bool {
+        ip & Self::mask(self.depth) == self.prefix
+    }
+}
+
+/// The DIR-24-8 table.
+///
+/// # Examples
+///
+/// ```
+/// use xui_net::lpm::{Lpm, Route};
+///
+/// let mut lpm = Lpm::new();
+/// lpm.add(Route::new(0x0a000000, 8, 1)); // 10.0.0.0/8 → 1
+/// lpm.add(Route::new(0x0a010000, 16, 2)); // 10.1.0.0/16 → 2
+/// assert_eq!(lpm.lookup(0x0a020304), Some(1));
+/// assert_eq!(lpm.lookup(0x0a010304), Some(2), "longest prefix wins");
+/// assert_eq!(lpm.lookup(0x0b000000), None);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Lpm {
+    tbl24: Vec<u16>,
+    tbl24_depth: Vec<u8>,
+    tbl8: Vec<u16>,
+    tbl8_depth: Vec<u8>,
+    rules: Vec<Route>,
+}
+
+impl std::fmt::Debug for Lpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lpm")
+            .field("rules", &self.rules.len())
+            .field("tbl8_groups", &(self.tbl8.len() / TBL8_GROUP))
+            .finish()
+    }
+}
+
+impl Default for Lpm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lpm {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tbl24: vec![INVALID; TBL24_SIZE],
+            tbl24_depth: vec![0; TBL24_SIZE],
+            tbl8: Vec::new(),
+            tbl8_depth: Vec::new(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Number of installed rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rule is installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Installed rules (diagnostics / rebuild).
+    #[must_use]
+    pub fn rules(&self) -> &[Route] {
+        &self.rules
+    }
+
+    fn alloc_tbl8(&mut self) -> usize {
+        let group = self.tbl8.len() / TBL8_GROUP;
+        self.tbl8.extend(std::iter::repeat_n(INVALID, TBL8_GROUP));
+        self.tbl8_depth.extend(std::iter::repeat_n(0, TBL8_GROUP));
+        group
+    }
+
+    /// Adds (or overwrites) a route.
+    pub fn add(&mut self, route: Route) {
+        self.rules.retain(|r| !(r.prefix == route.prefix && r.depth == route.depth));
+        self.rules.push(route);
+        if route.depth <= 24 {
+            self.add_short(route);
+        } else {
+            self.add_long(route);
+        }
+    }
+
+    fn add_short(&mut self, route: Route) {
+        let first = (route.prefix >> 8) as usize;
+        let count = 1usize << (24 - route.depth);
+        for idx in first..first + count {
+            let entry = self.tbl24[idx];
+            if entry != INVALID && entry & EXT != 0 {
+                // Push into the existing tbl8 group where shallower.
+                let group = (entry & !EXT) as usize;
+                for off in 0..TBL8_GROUP {
+                    let t8 = group * TBL8_GROUP + off;
+                    if self.tbl8[t8] == INVALID || self.tbl8_depth[t8] <= route.depth {
+                        self.tbl8[t8] = route.next_hop;
+                        self.tbl8_depth[t8] = route.depth;
+                    }
+                }
+            } else if entry == INVALID || self.tbl24_depth[idx] <= route.depth {
+                self.tbl24[idx] = route.next_hop;
+                self.tbl24_depth[idx] = route.depth;
+            }
+        }
+    }
+
+    fn add_long(&mut self, route: Route) {
+        let idx = (route.prefix >> 8) as usize;
+        let entry = self.tbl24[idx];
+        let group = if entry != INVALID && entry & EXT != 0 {
+            (entry & !EXT) as usize
+        } else {
+            let group = self.alloc_tbl8();
+            // Seed the new group with the covering short route, if any.
+            let (fill, fill_depth) = if entry == INVALID {
+                (INVALID, 0)
+            } else {
+                (entry, self.tbl24_depth[idx])
+            };
+            for off in 0..TBL8_GROUP {
+                self.tbl8[group * TBL8_GROUP + off] = fill;
+                self.tbl8_depth[group * TBL8_GROUP + off] = fill_depth;
+            }
+            self.tbl24[idx] = EXT | group as u16;
+            self.tbl24_depth[idx] = 0;
+            group
+        };
+        let first = (route.prefix & 0xff) as usize;
+        let count = 1usize << (32 - route.depth);
+        for off in first..first + count {
+            let t8 = group * TBL8_GROUP + off;
+            if self.tbl8[t8] == INVALID || self.tbl8_depth[t8] <= route.depth {
+                self.tbl8[t8] = route.next_hop;
+                self.tbl8_depth[t8] = route.depth;
+            }
+        }
+    }
+
+    /// Looks up the next hop for `ip`: one tbl24 access, plus one tbl8
+    /// access for /25+ prefixes.
+    #[must_use]
+    pub fn lookup(&self, ip: u32) -> Option<NextHop> {
+        let entry = self.tbl24[(ip >> 8) as usize];
+        if entry == INVALID {
+            return None;
+        }
+        if entry & EXT == 0 {
+            return Some(entry);
+        }
+        let group = (entry & !EXT) as usize;
+        let t8 = self.tbl8[group * TBL8_GROUP + (ip & 0xff) as usize];
+        if t8 == INVALID {
+            None
+        } else {
+            Some(t8)
+        }
+    }
+
+    /// Removes a route (by prefix/depth) and rebuilds the tables.
+    /// Returns true if a rule was removed.
+    pub fn delete(&mut self, prefix: u32, depth: u8) -> bool {
+        let masked = prefix & Route::mask(depth);
+        let before = self.rules.len();
+        self.rules.retain(|r| !(r.prefix == masked && r.depth == depth));
+        if self.rules.len() == before {
+            return false;
+        }
+        let rules = std::mem::take(&mut self.rules);
+        self.tbl24.iter_mut().for_each(|e| *e = INVALID);
+        self.tbl24_depth.iter_mut().for_each(|d| *d = 0);
+        self.tbl8.clear();
+        self.tbl8_depth.clear();
+        // Reinsert shallow-to-deep so depth precedence is reconstructed.
+        let mut sorted = rules;
+        sorted.sort_by_key(|r| r.depth);
+        for r in sorted {
+            self.add(r);
+        }
+        true
+    }
+}
+
+/// Reference implementation: linear scan for the deepest matching rule.
+/// Used by tests to validate the DIR-24-8 structure.
+#[must_use]
+pub fn linear_lookup(rules: &[Route], ip: u32) -> Option<NextHop> {
+    rules
+        .iter()
+        .filter(|r| r.matches(ip))
+        .max_by_key(|r| r.depth)
+        .map(|r| r.next_hop)
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use super::*;
+
+    #[test]
+    fn empty_table_matches_nothing() {
+        let lpm = Lpm::new();
+        assert!(lpm.is_empty());
+        assert_eq!(lpm.lookup(0x01020304), None);
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut lpm = Lpm::new();
+        lpm.add(Route::new(0, 1, 7));
+        assert_eq!(lpm.lookup(0x00000001), Some(7));
+        assert_eq!(lpm.lookup(0x7fffffff), Some(7));
+        assert_eq!(lpm.lookup(0x80000000), None, "only the 0/1 half");
+    }
+
+    #[test]
+    fn longest_prefix_wins_across_levels() {
+        let mut lpm = Lpm::new();
+        lpm.add(Route::new(0x0a000000, 8, 1));
+        lpm.add(Route::new(0x0a010000, 16, 2));
+        lpm.add(Route::new(0x0a010200, 24, 3));
+        lpm.add(Route::new(0x0a010280, 25, 4));
+        lpm.add(Route::new(0x0a0102fe, 32, 5));
+        assert_eq!(lpm.lookup(0x0a_33_44_55), Some(1));
+        assert_eq!(lpm.lookup(0x0a_01_44_55), Some(2));
+        assert_eq!(lpm.lookup(0x0a_01_02_10), Some(3));
+        assert_eq!(lpm.lookup(0x0a_01_02_90), Some(4));
+        assert_eq!(lpm.lookup(0x0a_01_02_fe), Some(5));
+    }
+
+    #[test]
+    fn long_then_short_insertion_order() {
+        // Insert a /26 before the covering /16: the /16 must fill the
+        // group's uncovered entries, not clobber the /26.
+        let mut lpm = Lpm::new();
+        lpm.add(Route::new(0x0a010240, 26, 9));
+        lpm.add(Route::new(0x0a010000, 16, 2));
+        assert_eq!(lpm.lookup(0x0a010250), Some(9), "/26 survives");
+        assert_eq!(lpm.lookup(0x0a010210), Some(2), "/16 covers the rest");
+        assert_eq!(lpm.lookup(0x0a019999 & 0xffff00ff), Some(2));
+    }
+
+    #[test]
+    fn delete_restores_shorter_cover() {
+        let mut lpm = Lpm::new();
+        lpm.add(Route::new(0x0a000000, 8, 1));
+        lpm.add(Route::new(0x0a010000, 16, 2));
+        assert_eq!(lpm.lookup(0x0a010101), Some(2));
+        assert!(lpm.delete(0x0a010000, 16));
+        assert_eq!(lpm.lookup(0x0a010101), Some(1), "falls back to /8");
+        assert!(!lpm.delete(0x0a010000, 16), "already gone");
+        assert_eq!(lpm.len(), 1);
+    }
+
+    #[test]
+    fn paper_scale_16k_routes() {
+        // §5.4: 16 000 routes. Generate deterministic pseudo-random
+        // routes and validate against the linear reference on a sample.
+        let mut rng = StdRng::seed_from_u64(2025);
+        let mut lpm = Lpm::new();
+        let mut rules = Vec::new();
+        for i in 0..16_000u32 {
+            let depth = rng.gen_range(8..=28);
+            let prefix: u32 = rng.gen();
+            let route = Route::new(prefix, depth, ((i % 16) + 1) as u16);
+            lpm.add(route);
+            rules.retain(|r: &Route| !(r.prefix == route.prefix && r.depth == route.depth));
+            rules.push(route);
+        }
+        assert_eq!(lpm.len(), rules.len());
+        for _ in 0..20_000 {
+            let ip: u32 = rng.gen();
+            assert_eq!(lpm.lookup(ip), linear_lookup(&rules, ip), "ip={ip:#x}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn route_strategy() -> impl Strategy<Value = Route> {
+        (any::<u32>(), 1u8..=32, 0u16..100)
+            .prop_map(|(prefix, depth, nh)| Route::new(prefix, depth, nh))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// DIR-24-8 lookup equals the linear-scan reference for arbitrary
+        /// rule sets and addresses.
+        #[test]
+        fn matches_linear_reference(
+            routes in proptest::collection::vec(route_strategy(), 1..40),
+            probes in proptest::collection::vec(any::<u32>(), 1..200),
+        ) {
+            let mut lpm = Lpm::new();
+            let mut rules: Vec<Route> = Vec::new();
+            for r in routes {
+                lpm.add(r);
+                rules.retain(|x| !(x.prefix == r.prefix && x.depth == r.depth));
+                rules.push(r);
+            }
+            for ip in probes {
+                prop_assert_eq!(lpm.lookup(ip), linear_lookup(&rules, ip), "ip={:#x}", ip);
+            }
+            // Probe rule boundaries too (first/last address of each prefix).
+            for r in &rules {
+                let lo = r.prefix;
+                let hi = r.prefix | !(if r.depth == 0 { 0 } else { u32::MAX << (32 - r.depth as u32) });
+                prop_assert_eq!(lpm.lookup(lo), linear_lookup(&rules, lo));
+                prop_assert_eq!(lpm.lookup(hi), linear_lookup(&rules, hi));
+            }
+        }
+    }
+}

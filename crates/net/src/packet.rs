@@ -1,0 +1,238 @@
+//! Packets and NIC receive queues.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A 64-byte IPv4/UDP packet, as in the paper's l3fwd workload (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Monotonic packet id.
+    pub id: u64,
+    /// Destination IPv4 address (what LPM routes on).
+    pub dst_ip: u32,
+    /// Arrival cycle at the NIC.
+    pub arrived_at: u64,
+}
+
+/// A NIC receive descriptor ring.
+///
+/// # Examples
+///
+/// ```
+/// use xui_net::packet::{Packet, RxQueue};
+///
+/// let mut q = RxQueue::new(4);
+/// for i in 0..5 {
+///     q.push(Packet { id: i, dst_ip: 0, arrived_at: i });
+/// }
+/// assert_eq!(q.len(), 4);
+/// assert_eq!(q.drops(), 1, "ring overflow drops");
+/// assert_eq!(q.pop().unwrap().id, 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RxQueue {
+    ring: VecDeque<Packet>,
+    capacity: usize,
+    drops: u64,
+    received: u64,
+}
+
+impl RxQueue {
+    /// Creates a ring with the given descriptor count.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            drops: 0,
+            received: 0,
+        }
+    }
+
+    /// DMA-side enqueue; drops when the ring is full (as real NICs do).
+    pub fn push(&mut self, packet: Packet) {
+        if self.ring.len() >= self.capacity {
+            self.drops += 1;
+        } else {
+            self.ring.push_back(packet);
+            self.received += 1;
+        }
+    }
+
+    /// Driver-side dequeue.
+    pub fn pop(&mut self) -> Option<Packet> {
+        self.ring.pop_front()
+    }
+
+    /// Packets currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if no packet is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Packets dropped due to ring overflow.
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Packets accepted into the ring.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+/// A NIC transmit descriptor ring: the driver enqueues routed packets,
+/// the NIC drains them at line rate. l3fwd sends packets "back to the
+/// same NIC" (§5.4), so a slow TX side backpressures the router.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxQueue {
+    ring: VecDeque<(u64, Packet)>, // (ready-to-wire-at, packet)
+    capacity: usize,
+    /// Cycles per packet on the wire (64 B at line rate).
+    wire_cycles: u64,
+    last_wire_free: u64,
+    sent: u64,
+    drops: u64,
+}
+
+impl TxQueue {
+    /// Creates a TX ring with the given descriptor count and per-packet
+    /// wire time.
+    #[must_use]
+    pub fn new(capacity: usize, wire_cycles: u64) -> Self {
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            wire_cycles: wire_cycles.max(1),
+            last_wire_free: 0,
+            sent: 0,
+            drops: 0,
+        }
+    }
+
+    /// Driver-side enqueue at time `now`; returns false (and counts a
+    /// drop) if the ring is full.
+    pub fn push(&mut self, now: u64, packet: Packet) -> bool {
+        self.drain(now);
+        if self.ring.len() >= self.capacity {
+            self.drops += 1;
+            return false;
+        }
+        let start = self.last_wire_free.max(now);
+        self.last_wire_free = start + self.wire_cycles;
+        self.ring.push_back((self.last_wire_free, packet));
+        true
+    }
+
+    /// Removes packets the wire has finished transmitting by `now`.
+    pub fn drain(&mut self, now: u64) {
+        while matches!(self.ring.front(), Some(&(t, _)) if t <= now) {
+            self.ring.pop_front();
+            self.sent += 1;
+        }
+    }
+
+    /// Packets put on the wire.
+    #[must_use]
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets dropped because the TX ring was full.
+    #[must_use]
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Descriptors currently occupied.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if no packet is queued for transmit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            dst_ip: 0x0a000001,
+            arrived_at: id * 10,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = RxQueue::new(8);
+        q.push(pkt(1));
+        q.push(pkt(2));
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q = RxQueue::new(2);
+        q.push(pkt(1));
+        q.push(pkt(2));
+        q.push(pkt(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.received(), 2);
+    }
+
+    #[test]
+    fn tx_drains_at_wire_rate() {
+        let mut tx = TxQueue::new(8, 100);
+        assert!(tx.push(0, pkt(1)));
+        assert!(tx.push(0, pkt(2)));
+        assert_eq!(tx.len(), 2);
+        tx.drain(99);
+        assert_eq!(tx.sent(), 0, "first packet still on the wire");
+        tx.drain(100);
+        assert_eq!(tx.sent(), 1);
+        tx.drain(200);
+        assert_eq!(tx.sent(), 2);
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn tx_backpressure_drops_when_ring_full() {
+        let mut tx = TxQueue::new(2, 1_000);
+        assert!(tx.push(0, pkt(1)));
+        assert!(tx.push(0, pkt(2)));
+        assert!(!tx.push(0, pkt(3)), "ring full, wire too slow");
+        assert_eq!(tx.drops(), 1);
+        // Once the wire catches up, pushes succeed again.
+        assert!(tx.push(2_000, pkt(4)));
+        assert_eq!(tx.sent(), 2);
+    }
+
+    #[test]
+    fn tx_wire_serializes_back_to_back_pushes() {
+        let mut tx = TxQueue::new(64, 100);
+        for i in 0..10 {
+            assert!(tx.push(0, pkt(i)));
+        }
+        tx.drain(999);
+        assert_eq!(tx.sent(), 9, "one packet per 100 cycles of wire");
+    }
+}

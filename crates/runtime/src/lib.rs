@@ -1,0 +1,17 @@
+//! # xui-runtime
+//!
+//! An Aspen-like user-level runtime model (§5.3): user threads
+//! ([`uthread`]), work-stealing run queues ([`stealing`]), and the
+//! preemptive request server of Figure 7 ([`server`]), which compares
+//! no-preemption, UIPI-software-timer, and xUI-KB_Timer scheduling of
+//! the paper's bimodal RocksDB workload under open-loop Poisson load.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod stealing;
+pub mod uthread;
+
+pub use server::{run_server, ServerConfig, ServerReport};
+pub use stealing::StealQueues;
+pub use uthread::{Uthread, UthreadId};

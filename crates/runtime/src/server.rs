@@ -1,0 +1,470 @@
+//! The §5.3 / Figure 7 experiment: an Aspen-like runtime serving the
+//! bimodal RocksDB workload from an open-loop Poisson load generator,
+//! with preemptive scheduling driven by one of the mechanisms in
+//! [`PreemptMechanism`].
+//!
+//! Without preemption, a 580 µs SCAN at the head of the line blocks every
+//! queued 1.2 µs GET. With a 5 µs quantum, GETs overtake SCANs at the
+//! next timer fire; what differs between UIPI and xUI is the per-fire
+//! cost charged to the worker (and whether a separate core must serve as
+//! the time source).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use xui_core::CostModel;
+use xui_des::dist::PoissonProcess;
+use xui_des::stats::{Histogram, Summary};
+use xui_kernel::{OsCosts, PreemptMechanism};
+use xui_workloads::rocksdb::{RequestClass, RocksDbModel};
+
+use crate::stealing::StealQueues;
+use crate::uthread::{Uthread, UthreadId};
+
+/// Configuration of a server run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Number of worker cores.
+    pub workers: usize,
+    /// Preemption quantum in cycles (paper: 10 000 = 5 µs).
+    pub quantum: u64,
+    /// Preemption mechanism.
+    pub mechanism: PreemptMechanism,
+    /// Offered load in requests per second (at the 2 GHz clock).
+    pub rps: f64,
+    /// Simulated duration in cycles.
+    pub duration: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Service-time model.
+    pub model: RocksDbModel,
+}
+
+impl ServerConfig {
+    /// The paper's single-worker configuration with a 5 µs quantum.
+    #[must_use]
+    pub fn paper(mechanism: PreemptMechanism, rps: f64) -> Self {
+        Self {
+            workers: 1,
+            quantum: 10_000,
+            mechanism,
+            rps,
+            duration: 600_000_000, // 0.3 s
+            seed: 42,
+            model: RocksDbModel::paper(),
+        }
+    }
+}
+
+/// Results of a server run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// GET sojourn-time summary (cycles).
+    pub get_latency: Summary,
+    /// SCAN sojourn-time summary (cycles).
+    pub scan_latency: Summary,
+    /// Completed GETs.
+    pub completed_gets: u64,
+    /// Completed SCANs.
+    pub completed_scans: u64,
+    /// Requests still queued/running when the run ended.
+    pub unfinished: u64,
+    /// Total preemptions performed.
+    pub preemptions: u64,
+    /// Timer fires that did not preempt.
+    pub fires_without_switch: u64,
+    /// Cross-worker steals performed (multi-worker runs).
+    pub steals: u64,
+    /// Worker busy fraction (work + overhead).
+    pub busy_fraction: f64,
+    /// Achieved throughput in requests/second.
+    pub achieved_rps: f64,
+    /// Whether the run kept up with offered load (queue did not blow up).
+    pub stable: bool,
+}
+
+impl ServerReport {
+    /// GET p99.9 latency in microseconds.
+    #[must_use]
+    pub fn get_p999_us(&self) -> f64 {
+        self.get_latency.p999 as f64 / 2_000.0
+    }
+
+    /// SCAN p99 latency in microseconds.
+    #[must_use]
+    pub fn scan_p99_us(&self) -> f64 {
+        self.scan_latency.p99 as f64 / 2_000.0
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Arrival,
+    /// Periodic preemption-timer fire on a worker.
+    Fire { worker: usize },
+    /// The running segment on a worker completes (epoch-guarded).
+    SegEnd { worker: usize, epoch: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    tid: usize,
+    /// Simulation time after which service accrues (skips overhead
+    /// windows).
+    progress_from: u64,
+    /// Time this thread was (re)dispatched, for quantum accounting.
+    started_at: u64,
+}
+
+#[derive(Debug, Default)]
+struct Worker {
+    running: Option<Running>,
+    epoch: u64,
+    busy: u64,
+}
+
+/// Runs the simulation described by `cfg`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_server(cfg: &ServerConfig) -> ServerReport {
+    let hw = CostModel::paper();
+    let os = OsCosts::paper();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut arrivals = PoissonProcess::with_rate(cfg.rps / 2e9);
+
+    let mut threads: Vec<Uthread> = Vec::new();
+    // Per-worker run queues with work stealing, as in Aspen (§5.3).
+    let mut queue: StealQueues<usize> = StealQueues::new(cfg.workers);
+    let mut workers: Vec<Worker> = (0..cfg.workers).map(|_| Worker::default()).collect();
+
+    let mut heap: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>, seq: &mut u64, t: u64, ev: Ev| {
+        heap.push(Reverse((t, *seq, ev)));
+        *seq += 1;
+    };
+
+    let mut get_latency = Histogram::new();
+    let mut scan_latency = Histogram::new();
+    let mut completed_gets = 0u64;
+    let mut completed_scans = 0u64;
+    let mut preemptions = 0u64;
+    let mut fires_without_switch = 0u64;
+
+    // Prime the event queue.
+    let first = arrivals.next_arrival(&mut rng);
+    push(&mut heap, &mut seq, first, Ev::Arrival);
+    if !matches!(cfg.mechanism, PreemptMechanism::None) {
+        for w in 0..cfg.workers {
+            push(&mut heap, &mut seq, cfg.quantum, Ev::Fire { worker: w });
+        }
+    }
+
+    let mut last_time = 0u64;
+    while let Some(Reverse((t, _, ev))) = heap.pop() {
+        // Stop at the horizon: the backlog present now is the measure of
+        // (in)stability, so it must not be drained after arrivals cease.
+        if t > cfg.duration {
+            break;
+        }
+        last_time = t;
+        match ev {
+            Ev::Arrival => {
+                let (class, service) = cfg.model.sample(&mut rng);
+                let tid = threads.len();
+                threads.push(Uthread::new(UthreadId(tid), class, t, service));
+                queue.push(tid % cfg.workers, tid);
+                // Wake an idle worker.
+                if let Some(w) = workers.iter().position(|w| w.running.is_none()) {
+                    dispatch(w, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads);
+                }
+                if t < cfg.duration {
+                    let next = arrivals.next_arrival(&mut rng).max(t + 1);
+                    push(&mut heap, &mut seq, next, Ev::Arrival);
+                }
+            }
+            Ev::SegEnd { worker, epoch } => {
+                if workers[worker].epoch != epoch {
+                    continue; // stale: the segment was interrupted
+                }
+                let Some(run) = workers[worker].running.take() else {
+                    continue;
+                };
+                let thread = &mut threads[run.tid];
+                workers[worker].busy += t.saturating_sub(run.progress_from.min(t));
+                thread.remaining = 0;
+                let sojourn = t - thread.arrived_at;
+                match thread.class {
+                    RequestClass::Get => {
+                        get_latency.record(sojourn);
+                        completed_gets += 1;
+                    }
+                    RequestClass::Scan => {
+                        scan_latency.record(sojourn);
+                        completed_scans += 1;
+                    }
+                }
+                dispatch(worker, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads);
+            }
+            Ev::Fire { worker } => {
+                // The periodic preemption timer (KB_Timer or SW timer
+                // core) fires every quantum of wall-clock time.
+                if t < cfg.duration.saturating_add(cfg.quantum * 4) {
+                    push(&mut heap, &mut seq, t + cfg.quantum, Ev::Fire { worker });
+                }
+                let Some(run) = workers[worker].running else {
+                    continue; // idle worker: timer masked/parked
+                };
+                if t <= run.progress_from {
+                    continue; // still inside an overhead window
+                }
+                let executed = t - run.progress_from;
+                let ran_long_enough = t.saturating_sub(run.started_at) >= cfg.quantum;
+                let should_switch = ran_long_enough && !queue.is_empty();
+                // (stealing makes any queued thread reachable from here)
+                let tid = run.tid;
+                if should_switch {
+                    // Preempt: charge delivery + scheduler + uthread
+                    // switch, requeue at the tail, run the next thread.
+                    let cost = cfg.mechanism.preemption_cost(&hw, &os);
+                    preemptions += 1;
+                    threads[tid].run_for(executed);
+                    threads[tid].preemptions += 1;
+                    workers[worker].busy += executed + cost;
+                    workers[worker].epoch += 1;
+                    workers[worker].running = None;
+                    queue.push(worker, tid);
+                    dispatch_at(
+                        worker,
+                        t + cost,
+                        &mut workers,
+                        &mut queue,
+                        &mut heap,
+                        &mut seq,
+                        &threads,
+                    );
+                } else {
+                    // Fire without a switch: the handler runs, decides to
+                    // resume the same thread; only the delivery +
+                    // scheduler check are charged.
+                    let cost = cfg.mechanism.fire_only_cost(&hw, &os);
+                    fires_without_switch += 1;
+                    threads[tid].run_for(executed);
+                    workers[worker].busy += executed + cost;
+                    workers[worker].epoch += 1;
+                    let remaining = threads[tid].remaining;
+                    let epoch = workers[worker].epoch;
+                    workers[worker].running = Some(Running {
+                        tid,
+                        progress_from: t + cost,
+                        started_at: run.started_at,
+                    });
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        t + cost + remaining,
+                        Ev::SegEnd { worker, epoch },
+                    );
+                }
+            }
+        }
+        if heap.is_empty() {
+            break;
+        }
+    }
+
+    let unfinished = queue.total_len() as u64
+        + workers.iter().filter(|w| w.running.is_some()).count() as u64;
+    let total_busy: u64 = workers.iter().map(|w| w.busy).sum();
+    let span = last_time.max(1) * cfg.workers as u64;
+    let completed = completed_gets + completed_scans;
+    let achieved_rps = completed as f64 / (last_time.max(1) as f64 / 2e9);
+    // Stability heuristic: nearly everything offered got served.
+    let stable = unfinished <= 2 + completed / 500;
+
+    ServerReport {
+        get_latency: get_latency.summary(),
+        scan_latency: scan_latency.summary(),
+        completed_gets,
+        completed_scans,
+        unfinished,
+        preemptions,
+        fires_without_switch,
+        steals: queue.steals,
+        busy_fraction: (total_busy as f64 / span as f64).min(1.0),
+        achieved_rps,
+        stable,
+    }
+}
+
+fn dispatch(
+    worker: usize,
+    t: u64,
+    workers: &mut [Worker],
+    queue: &mut StealQueues<usize>,
+    heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: &mut u64,
+    threads: &[Uthread],
+) {
+    dispatch_at(worker, t, workers, queue, heap, seq, threads);
+}
+
+fn dispatch_at(
+    worker: usize,
+    t: u64,
+    workers: &mut [Worker],
+    queue: &mut StealQueues<usize>,
+    heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: &mut u64,
+    threads: &[Uthread],
+) {
+    // FIFO from the worker's own queue for fairness; steal the oldest
+    // work from the most loaded peer when idle.
+    let Some(tid) = queue.pop_fifo_or_steal(worker) else {
+        return;
+    };
+    workers[worker].epoch += 1;
+    let epoch = workers[worker].epoch;
+    workers[worker].running = Some(Running {
+        tid,
+        progress_from: t,
+        started_at: t,
+    });
+    let remaining = threads[tid].remaining;
+    heap.push(Reverse((t + remaining, *seq, Ev::SegEnd { worker, epoch })));
+    *seq += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mechanism: PreemptMechanism, rps: f64) -> ServerReport {
+        let mut cfg = ServerConfig::paper(mechanism, rps);
+        cfg.duration = 120_000_000; // 60 ms
+        run_server(&cfg)
+    }
+
+    #[test]
+    fn low_load_everything_completes() {
+        let r = quick(PreemptMechanism::None, 20_000.0);
+        assert!(r.stable);
+        assert!(r.completed_gets > 500);
+        assert!(r.get_latency.p50 >= 2_400, "at least the service time");
+    }
+
+    #[test]
+    fn no_preemption_suffers_head_of_line_blocking() {
+        // Even at low load, GETs stuck behind a 580 µs SCAN see huge
+        // tails (paper: "hundreds of microseconds, even under very low
+        // load").
+        let none = quick(PreemptMechanism::None, 50_000.0);
+        let xui = quick(PreemptMechanism::XuiKbTimer, 50_000.0);
+        assert!(
+            none.get_latency.p999 > 200_000,
+            "no-preempt GET p999 should exceed 100 µs: {}",
+            none.get_latency.p999
+        );
+        assert!(
+            xui.get_latency.p999 < none.get_latency.p999 / 4,
+            "preemption mitigates HoL blocking: {} vs {}",
+            xui.get_latency.p999,
+            none.get_latency.p999
+        );
+        assert!(xui.preemptions > 0);
+    }
+
+    #[test]
+    fn xui_has_lower_overhead_than_uipi() {
+        // Same load, same quantum: xUI charges less per fire, so the
+        // worker is less busy.
+        let uipi = quick(PreemptMechanism::UipiSwTimer, 100_000.0);
+        let xui = quick(PreemptMechanism::XuiKbTimer, 100_000.0);
+        assert!(uipi.stable && xui.stable);
+        assert!(
+            xui.busy_fraction < uipi.busy_fraction,
+            "xUI {} < UIPI {}",
+            xui.busy_fraction,
+            uipi.busy_fraction
+        );
+    }
+
+    #[test]
+    fn overload_is_reported_unstable() {
+        // Saturation is ≈245 k rps; 400 k cannot keep up.
+        let r = quick(PreemptMechanism::XuiKbTimer, 400_000.0);
+        assert!(!r.stable);
+        assert!(r.unfinished > 0);
+    }
+
+    #[test]
+    fn scans_are_preempted_many_times() {
+        let r = quick(PreemptMechanism::XuiKbTimer, 120_000.0);
+        assert!(r.completed_scans > 0);
+        // A 580 µs scan at a 5 µs quantum with queued GETs gets sliced.
+        assert!(
+            r.preemptions >= r.completed_scans * 10,
+            "preemptions={} scans={}",
+            r.preemptions,
+            r.completed_scans
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = quick(PreemptMechanism::XuiKbTimer, 80_000.0);
+        let b = quick(PreemptMechanism::XuiKbTimer, 80_000.0);
+        assert_eq!(a.completed_gets, b.completed_gets);
+        assert_eq!(a.get_latency.p999, b.get_latency.p999);
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+
+    #[test]
+    fn two_workers_halve_the_load_per_worker() {
+        let mut cfg = ServerConfig::paper(PreemptMechanism::XuiKbTimer, 150_000.0);
+        cfg.duration = 120_000_000;
+        let one = run_server(&cfg);
+        cfg.workers = 2;
+        let two = run_server(&cfg);
+        assert!(two.busy_fraction < one.busy_fraction);
+        assert!(two.stable);
+    }
+}
+
+#[cfg(test)]
+mod stealing_tests {
+    use super::*;
+
+    #[test]
+    fn multi_worker_steals_balance_load() {
+        // Two workers, all arrivals land round-robin; stealing keeps both
+        // busy even when one queue empties first.
+        let mut cfg = ServerConfig::paper(PreemptMechanism::XuiKbTimer, 300_000.0);
+        cfg.workers = 2;
+        cfg.duration = 120_000_000;
+        let r = run_server(&cfg);
+        assert!(r.stable, "two workers absorb 300k rps");
+        assert!(r.steals > 0, "idle workers steal queued requests");
+        assert!(r.completed_gets > 10_000);
+    }
+
+    #[test]
+    fn stealing_preserves_tail_latency_benefits() {
+        let mut one = ServerConfig::paper(PreemptMechanism::XuiKbTimer, 200_000.0);
+        one.duration = 120_000_000;
+        let mut two = one.clone();
+        two.workers = 2;
+        let r1 = run_server(&one);
+        let r2 = run_server(&two);
+        assert!(
+            r2.get_latency.p999 <= r1.get_latency.p999,
+            "a second worker cannot hurt tails: {} vs {}",
+            r2.get_latency.p999,
+            r1.get_latency.p999
+        );
+    }
+}

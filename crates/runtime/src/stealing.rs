@@ -1,0 +1,190 @@
+//! A work-stealing run-queue set, modelling Aspen's load balancing
+//! ("balances threads across cores using work stealing", §5.3).
+//!
+//! Owners push/pop at the back of their own deque (LIFO for locality);
+//! thieves steal from the front of the victim's deque (FIFO — oldest
+//! work first).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of per-worker deques with stealing.
+///
+/// # Examples
+///
+/// ```
+/// use xui_runtime::stealing::StealQueues;
+///
+/// let mut q: StealQueues<u32> = StealQueues::new(2);
+/// q.push(0, 1);
+/// q.push(0, 2);
+/// assert_eq!(q.pop(0), Some(2), "owner pops LIFO");
+/// assert_eq!(q.steal(1), Some(1), "thief steals the oldest");
+/// assert_eq!(q.pop(0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealQueues<T> {
+    queues: Vec<VecDeque<T>>,
+    /// Steals performed (diagnostics).
+    pub steals: u64,
+}
+
+impl<T> StealQueues<T> {
+    /// Creates `workers` empty queues.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            queues: (0..workers).map(|_| VecDeque::new()).collect(),
+            steals: 0,
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pushes work onto `worker`'s own queue.
+    pub fn push(&mut self, worker: usize, item: T) {
+        self.queues[worker].push_back(item);
+    }
+
+    /// Owner pop: newest-first from the worker's own queue (locality).
+    pub fn pop(&mut self, worker: usize) -> Option<T> {
+        self.queues[worker].pop_back()
+    }
+
+    /// Owner pop, oldest-first — what a fairness-oriented request
+    /// scheduler wants.
+    pub fn pop_fifo(&mut self, worker: usize) -> Option<T> {
+        self.queues[worker].pop_front()
+    }
+
+    /// Steals the oldest item from the most-loaded other queue.
+    pub fn steal(&mut self, thief: usize) -> Option<T> {
+        let victim = (0..self.queues.len())
+            .filter(|&w| w != thief && !self.queues[w].is_empty())
+            .max_by_key(|&w| self.queues[w].len())?;
+        self.steals += 1;
+        self.queues[victim].pop_front()
+    }
+
+    /// Owner pop, falling back to stealing when the local queue is empty.
+    pub fn pop_or_steal(&mut self, worker: usize) -> Option<T> {
+        self.pop(worker).or_else(|| self.steal(worker))
+    }
+
+    /// FIFO owner pop, falling back to stealing.
+    pub fn pop_fifo_or_steal(&mut self, worker: usize) -> Option<T> {
+        self.pop_fifo(worker).or_else(|| self.steal(worker))
+    }
+
+    /// Items queued at `worker`.
+    #[must_use]
+    pub fn len(&self, worker: usize) -> usize {
+        self.queues[worker].len()
+    }
+
+    /// Total queued items.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// True if every queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_targets_the_most_loaded_victim() {
+        let mut q: StealQueues<u32> = StealQueues::new(3);
+        q.push(0, 1);
+        q.push(2, 10);
+        q.push(2, 11);
+        q.push(2, 12);
+        assert_eq!(q.steal(1), Some(10), "steals oldest from worker 2");
+        assert_eq!(q.len(2), 2);
+        assert_eq!(q.steals, 1);
+    }
+
+    #[test]
+    fn thief_never_steals_from_itself() {
+        let mut q: StealQueues<u32> = StealQueues::new(2);
+        q.push(1, 5);
+        assert_eq!(q.steal(1), None);
+        assert_eq!(q.pop(1), Some(5));
+    }
+
+    #[test]
+    fn pop_or_steal_drains_everything() {
+        let mut q: StealQueues<u32> = StealQueues::new(4);
+        for w in 0..4 {
+            for i in 0..5 {
+                q.push(w, (w * 10 + i) as u32);
+            }
+        }
+        let mut seen = Vec::new();
+        // Worker 3 drains the whole system.
+        while let Some(v) = q.pop_or_steal(3) {
+            seen.push(v);
+        }
+        assert_eq!(seen.len(), 20);
+        assert!(q.is_empty());
+        assert_eq!(q.total_len(), 0);
+        assert!(q.steals >= 15, "most items were stolen");
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let mut q: StealQueues<u32> = StealQueues::new(1);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.steal(0), None);
+        assert_eq!(q.pop_or_steal(0), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Work conservation: everything pushed is popped exactly once,
+        /// regardless of the interleaving of pops and steals.
+        #[test]
+        fn work_is_conserved(
+            pushes in proptest::collection::vec((0usize..4, 0u32..1000), 0..100),
+            drain_order in proptest::collection::vec(0usize..4, 0..400),
+        ) {
+            let mut q: StealQueues<u32> = StealQueues::new(4);
+            let mut pushed = Vec::new();
+            for (w, v) in pushes {
+                q.push(w, v);
+                pushed.push(v);
+            }
+            let mut drained = Vec::new();
+            for w in drain_order {
+                if let Some(v) = q.pop_or_steal(w) {
+                    drained.push(v);
+                }
+            }
+            while let Some(v) = q.pop_or_steal(0) {
+                drained.push(v);
+            }
+            pushed.sort_unstable();
+            drained.sort_unstable();
+            prop_assert_eq!(pushed, drained);
+        }
+    }
+}

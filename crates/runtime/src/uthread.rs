@@ -1,0 +1,71 @@
+//! User-level threads (uthreads) as scheduled entities: one per in-flight
+//! request in the Aspen-like runtime model.
+
+use serde::{Deserialize, Serialize};
+
+use xui_workloads::rocksdb::RequestClass;
+
+/// Identifier of a user-level thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UthreadId(pub usize);
+
+/// A user-level thread serving one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uthread {
+    /// Thread id.
+    pub id: UthreadId,
+    /// Request class (GET or SCAN).
+    pub class: RequestClass,
+    /// Arrival time in cycles.
+    pub arrived_at: u64,
+    /// Total service demand in cycles.
+    pub service: u64,
+    /// Remaining service demand in cycles.
+    pub remaining: u64,
+    /// Number of times this thread has been preempted.
+    pub preemptions: u32,
+}
+
+impl Uthread {
+    /// Creates a thread for a freshly arrived request.
+    #[must_use]
+    pub fn new(id: UthreadId, class: RequestClass, arrived_at: u64, service: u64) -> Self {
+        Self {
+            id,
+            class,
+            arrived_at,
+            service,
+            remaining: service,
+            preemptions: 0,
+        }
+    }
+
+    /// True once the request has been fully served.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Consumes up to `cycles` of service; returns how much was consumed.
+    pub fn run_for(&mut self, cycles: u64) -> u64 {
+        let used = cycles.min(self.remaining);
+        self.remaining -= used;
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_for_consumes_and_clamps() {
+        let mut t = Uthread::new(UthreadId(0), RequestClass::Get, 100, 2_400);
+        assert!(!t.is_done());
+        assert_eq!(t.run_for(1_000), 1_000);
+        assert_eq!(t.remaining, 1_400);
+        assert_eq!(t.run_for(5_000), 1_400, "clamped to remaining");
+        assert!(t.is_done());
+        assert_eq!(t.run_for(10), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Core and system configuration (Table 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Interrupt-delivery strategy implemented by the pipeline front-end
+/// (§3.5 "Interrupt handling strategy" and §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeliveryStrategy {
+    /// Squash every in-flight µop, then redirect fetch to the interrupt
+    /// microcode — what Sapphire Rapids does (§3.5).
+    Flush,
+    /// Stop fetching, retire everything in flight, then redirect — the
+    /// strategy stock gem5 implements (§5.2).
+    Drain,
+    /// xUI tracked interrupts: immediately inject the interrupt microcode
+    /// into the µop stream without disturbing in-flight work, re-injecting
+    /// if a misprediction flush claims it (§4.2).
+    Tracked,
+}
+
+/// Microarchitectural parameters of one simulated core, defaulting to the
+/// paper's Sapphire-Rapids-like gem5 configuration (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// µops fetched per cycle.
+    pub fetch_width: usize,
+    /// µops dispatched (renamed) per cycle.
+    pub decode_width: usize,
+    /// µops issued to functional units per cycle.
+    pub issue_width: usize,
+    /// µops retired per cycle.
+    pub retire_width: usize,
+    /// µops squashed per cycle during misprediction/flush recovery.
+    pub squash_width: usize,
+    /// Reorder-buffer capacity.
+    pub rob_size: usize,
+    /// Issue-queue capacity (µops dispatched but not yet issued).
+    pub iq_size: usize,
+    /// Load-queue capacity.
+    pub lq_size: usize,
+    /// Store-queue capacity.
+    pub sq_size: usize,
+    /// Integer ALUs.
+    pub int_alu_units: usize,
+    /// Integer multipliers.
+    pub int_mult_units: usize,
+    /// FP ALU/MUL units.
+    pub fp_units: usize,
+    /// Load ports.
+    pub load_ports: usize,
+    /// Store ports.
+    pub store_ports: usize,
+    /// Front-end depth: cycles from fetch to dispatch-ready (pipeline
+    /// refill latency after a redirect).
+    pub frontend_depth: u64,
+    /// Capacity of the fetch/decode queue between the front-end and
+    /// dispatch (the IDQ); fetch stalls when it is full.
+    pub fetch_queue_size: usize,
+    /// Extra cycles to enter an MSROM microcode routine (micro-sequencer
+    /// startup); charged on redirects into microcode.
+    pub msrom_entry_latency: u64,
+    /// Additional microcode-assist startup charged when an interrupt is
+    /// delivered by *flushing*: the pipeline-flush + refill anatomy of
+    /// Fig 2 (~424 cycles total) that tracking eliminates (§4.2).
+    pub flush_assist_latency: u64,
+    /// Extra fixed stall after a *drain*-style delivery. Zero in the
+    /// paper's corrected model; stock gem5 "artificially added" 13
+    /// cycles after each drain (§5.2), reproduced by
+    /// [`SystemConfig::gem5_stock`].
+    pub drain_extra_penalty: u64,
+    /// Latency of a serializing MSR write (e.g. to the ICR inside
+    /// `senduipi`); such µops also wait until they reach the ROB head.
+    pub msr_write_latency: u64,
+    /// Latency of the `stui` µop (Table 2: 32 cycles).
+    pub stui_latency: u64,
+    /// Latency of the `clui` µop (Table 2: 2 cycles).
+    pub clui_latency: u64,
+    /// Latency of the `uiret` µop (Fig 2: 10 cycles).
+    pub uiret_latency: u64,
+    /// Integer multiply latency.
+    pub mult_latency: u64,
+    /// FP operation latency.
+    pub fp_latency: u64,
+}
+
+impl CoreConfig {
+    /// The paper's baseline x86 core (Table 3) with the microcode-latency
+    /// knobs calibrated so the simulated UIPI costs match the paper's
+    /// hardware characterization (§3.4, verified by
+    /// `tests/calibration.rs`).
+    #[must_use]
+    pub fn sapphire_rapids_like() -> Self {
+        Self {
+            fetch_width: 6,
+            decode_width: 6,
+            issue_width: 10,
+            retire_width: 10,
+            squash_width: 10,
+            rob_size: 384,
+            iq_size: 168,
+            lq_size: 128,
+            sq_size: 72,
+            int_alu_units: 6,
+            int_mult_units: 2,
+            fp_units: 3,
+            load_ports: 3,
+            store_ports: 2,
+            frontend_depth: 12,
+            fetch_queue_size: 64,
+            msrom_entry_latency: 26,
+            flush_assist_latency: 350,
+            drain_extra_penalty: 0,
+            msr_write_latency: 130,
+            stui_latency: 32,
+            clui_latency: 2,
+            uiret_latency: 10,
+            mult_latency: 3,
+            fp_latency: 4,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::sapphire_rapids_like()
+    }
+}
+
+/// Memory-hierarchy latencies and geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1D hit latency.
+    pub l1_latency: u64,
+    /// L2 hit latency.
+    pub l2_latency: u64,
+    /// Shared LLC hit latency.
+    pub llc_latency: u64,
+    /// DRAM latency (first touch / LLC miss).
+    pub mem_latency: u64,
+    /// Cache-to-cache transfer when another core holds the line modified
+    /// (the cost of reading a remotely-updated UPID or poll flag).
+    pub remote_latency: u64,
+    /// L1D sets (64 B lines; 32 KB 8-way ⇒ 64 sets).
+    pub l1_sets: usize,
+    /// L1D ways.
+    pub l1_ways: usize,
+    /// L2 sets (1 MB 16-way ⇒ 1024 sets).
+    pub l2_sets: usize,
+    /// L2 ways.
+    pub l2_ways: usize,
+}
+
+impl MemConfig {
+    /// Sapphire-Rapids-like hierarchy at the paper's 2 GHz clock.
+    #[must_use]
+    pub fn sapphire_rapids_like() -> Self {
+        Self {
+            l1_latency: 4,
+            l2_latency: 14,
+            llc_latency: 50,
+            mem_latency: 200,
+            remote_latency: 110,
+            l1_sets: 64,
+            l1_ways: 8,
+            l2_sets: 1024,
+            l2_ways: 16,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::sapphire_rapids_like()
+    }
+}
+
+/// Whole-system configuration.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Per-core pipeline parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// Interrupt-delivery strategy for every core.
+    pub strategy: DeliveryStrategyConfig,
+    /// APIC-to-APIC IPI transit latency over the system bus (calibrated
+    /// so `senduipi`-to-receiver-interrupt ≈ 380 cycles, Fig 2).
+    pub ipi_bus_latency: u64,
+}
+
+/// Strategy selection wrapper with a serde-friendly default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryStrategyConfig(pub DeliveryStrategy);
+
+impl Default for DeliveryStrategyConfig {
+    fn default() -> Self {
+        Self(DeliveryStrategy::Flush)
+    }
+}
+
+impl SystemConfig {
+    /// Baseline UIPI system: flush delivery, Table 3 core.
+    #[must_use]
+    pub fn uipi() -> Self {
+        Self {
+            core: CoreConfig::sapphire_rapids_like(),
+            mem: MemConfig::sapphire_rapids_like(),
+            strategy: DeliveryStrategyConfig(DeliveryStrategy::Flush),
+            ipi_bus_latency: 240,
+        }
+    }
+
+    /// xUI system: tracked delivery, same core.
+    #[must_use]
+    pub fn xui() -> Self {
+        Self {
+            strategy: DeliveryStrategyConfig(DeliveryStrategy::Tracked),
+            ..Self::uipi()
+        }
+    }
+
+    /// Drain-style delivery (the corrected model), for the §5.2
+    /// comparison.
+    #[must_use]
+    pub fn drain() -> Self {
+        Self {
+            strategy: DeliveryStrategyConfig(DeliveryStrategy::Drain),
+            ..Self::uipi()
+        }
+    }
+
+    /// Stock gem5's interrupt model as the paper found it (§5.2): drain
+    /// the pipeline, then "a fixed 13 cycles was artificially added
+    /// after each drain".
+    #[must_use]
+    pub fn gem5_stock() -> Self {
+        let mut cfg = Self::drain();
+        cfg.core.drain_extra_penalty = 13;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_parameters() {
+        let c = CoreConfig::sapphire_rapids_like();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.issue_width, 10);
+        assert_eq!(c.retire_width, 10);
+        assert_eq!(c.squash_width, 10);
+        assert_eq!(c.rob_size, 384);
+        assert_eq!(c.iq_size, 168);
+        assert_eq!(c.lq_size, 128);
+        assert_eq!(c.sq_size, 72);
+        assert_eq!(c.int_alu_units, 6);
+        assert_eq!(c.int_mult_units, 2);
+        assert_eq!(c.fp_units, 3);
+    }
+
+    #[test]
+    fn presets_differ_only_in_strategy() {
+        let uipi = SystemConfig::uipi();
+        let xui = SystemConfig::xui();
+        assert_eq!(uipi.core, xui.core);
+        assert_eq!(uipi.strategy.0, DeliveryStrategy::Flush);
+        assert_eq!(xui.strategy.0, DeliveryStrategy::Tracked);
+        assert_eq!(SystemConfig::drain().strategy.0, DeliveryStrategy::Drain);
+    }
+}

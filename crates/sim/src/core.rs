@@ -1,0 +1,1538 @@
+//! The cycle-level out-of-order core model.
+//!
+//! One [`Core`] implements a decoupled front-end (fetch + branch
+//! prediction + MSROM sequencing), an out-of-order backend (ROB, issue
+//! queue, functional units, load/store queues), and the three interrupt
+//! delivery strategies of §3.5/§4.2: **flush**, **drain**, and xUI
+//! **tracking**, plus hardware safepoint gating (§4.4).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::branch::BranchPredictor;
+use crate::config::{CoreConfig, DeliveryStrategy};
+use crate::isa::{AluKind, Inst, Op, Operand, Pc, Program, Reg, SetTimerMode, MSROM_BASE, REG_COUNT};
+use crate::mem::MemorySystem;
+use crate::microcode::{MicroOp, Msrom, Routine};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Functional-unit classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fu {
+    /// Integer ALU.
+    Int,
+    /// Integer multiplier.
+    Mult,
+    /// Floating point.
+    Fp,
+    /// Load port.
+    Load,
+    /// Store port.
+    Store,
+}
+
+/// Internal µop kinds (post-decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Kind {
+    Int,
+    Alu { kind: AluKind, imm: Option<i64> },
+    Li { imm: u64 },
+    Load { offset: i64 },
+    Store { offset: i64, data_imm: Option<u64> },
+    Branch { on_zero: bool, target: Pc, fall: Pc, predicted: bool },
+    Testui,
+    CluiU,
+    StuiU,
+    SetTimerU { cycles: u64, periodic: bool },
+    ClearTimerU,
+    SendUipiMarker,
+    UittLoadU { index: usize },
+    UpidPostU { index: usize },
+    IcrWriteU,
+    UpidDrainU,
+    DeliverTakeU,
+    DeliverCluiU,
+    JumpHandlerU { return_pc: Pc },
+    UiretU,
+    HaltU,
+}
+
+/// A decoded µop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uop {
+    kind: Kind,
+    srcs: [Option<Reg>; 2],
+    dst: Option<Reg>,
+    fu: Fu,
+    latency: u64,
+    /// Serializing MSR write: modeled through the micro chain plus its
+    /// long latency (the whole pipeline is paused while microcode runs).
+    serializing: bool,
+    from_interrupt: bool,
+    is_program: bool,
+    /// True for MSROM-sourced µops: microcode is sequenced serially, so
+    /// each such µop implicitly depends on the previous one.
+    micro: bool,
+    pc: Pc,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Ready,
+    Executing { done_at: u64 },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    uop: Uop,
+    deps: [Option<u64>; 3],
+    src_vals: [u64; 2],
+    deps_remaining: u8,
+    state: EntryState,
+    result: u64,
+    dependents: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    uop: Uop,
+    ready_at: u64,
+}
+
+/// Which reception routine an accepted interrupt needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IrqKind {
+    /// UIPI notification: notification processing + delivery.
+    Notif,
+    /// KB_Timer / forwarded device: delivery only.
+    DeliverOnly,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IrqState {
+    Idle,
+    FlushSquashing { kind: IrqKind },
+    Draining { kind: IrqKind },
+    WaitSafepoint { kind: IrqKind },
+    Injected { committed: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Recovery {
+    branch_seq: u64,
+    redirect_pc: Pc,
+}
+
+/// A UITT entry as configured into a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimUittEntry {
+    /// Destination thread's UPID address in simulated memory.
+    pub upid_addr: u64,
+    /// The 6-bit user vector to post.
+    pub user_vector: u8,
+}
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Committed program instructions (µops from MSROM excluded).
+    pub committed_insts: u64,
+    /// Committed µops (program + microcode).
+    pub committed_uops: u64,
+    /// µops squashed by mispredictions or interrupt flushes.
+    pub squashed_uops: u64,
+    /// User interrupts delivered (JumpHandler commits).
+    pub interrupts_delivered: u64,
+    /// `uiret` commits.
+    pub uirets: u64,
+    /// Branch mispredictions recovered.
+    pub mispredict_recoveries: u64,
+    /// Interrupt-flush events (flush strategy only).
+    pub irq_flushes: u64,
+    /// Tracked-interrupt re-injections after misprediction flushes.
+    pub irq_reinjections: u64,
+    /// Cycle the core halted, if it has.
+    pub halted_at: Option<u64>,
+}
+
+/// Per-delivered-interrupt timing record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrqTiming {
+    /// Cycle the interrupt was accepted by the core.
+    pub accepted_at: u64,
+    /// Cycle the microcode was injected into the µop stream.
+    pub injected_at: u64,
+    /// Cycle the handler was entered (JumpHandler commit).
+    pub handler_at: u64,
+    /// Cycle the matching `uiret` committed (0 until it does).
+    pub uiret_at: u64,
+}
+
+/// UPID field layout within the two 64-bit words at `upid_addr`
+/// (matching `xui_core::upid`): low word bit 0 = ON, bit 1 = SN,
+/// bits 32.. = NDST; high word = PIR.
+pub mod upid_words {
+    /// ON bit in the low word.
+    pub const ON: u64 = 1;
+    /// SN bit in the low word.
+    pub const SN: u64 = 2;
+    /// Shift of the NDST field in the low word.
+    pub const NDST_SHIFT: u32 = 32;
+}
+
+/// One simulated out-of-order core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Core index (== its APIC id in the simulated system).
+    pub id: usize,
+    cfg: CoreConfig,
+    strategy: DeliveryStrategy,
+    program: Program,
+    msrom: Msrom,
+
+    // ---- front end ----
+    fetch_pc: Pc,
+    fetch_enabled: bool,
+    fetch_stall_until: u64,
+    fetch_buffer: VecDeque<Fetched>,
+    predictor: BranchPredictor,
+    msrom_return: Pc,
+    msrom_arg: usize,
+    irq: IrqState,
+    irq_kind_pending: Option<IrqKind>,
+    irq_return_pc: Pc,
+    frame_stack_spec: Vec<Pc>,
+    /// Safepoint-only delivery mode (§4.4).
+    pub safepoint_mode: bool,
+
+    // ---- backend ----
+    rob: VecDeque<RobEntry>,
+    head_seq: u64,
+    next_seq: u64,
+    rename: [Option<u64>; REG_COUNT],
+    regs: [u64; REG_COUNT],
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    recovery: Option<Recovery>,
+    next_commit_pc: Pc,
+    halted: bool,
+    last_micro_seq: Option<u64>,
+    /// True while the micro-sequencer owns the front-end: set when a
+    /// routine's final µop is fetched, cleared when the routine's serial
+    /// chain finishes executing. Normal fetch is blocked meanwhile —
+    /// this is what makes microcode sequencing cost front-end bandwidth.
+    msrom_wait: bool,
+
+    // ---- architectural user-interrupt state ----
+    uif: bool,
+    uirr: u64,
+    last_taken_vector: u64,
+    /// This thread's UPID address in simulated memory.
+    pub upid_addr: u64,
+    /// Registered user handler entry PC.
+    pub handler_pc: Pc,
+    uitt: Vec<SimUittEntry>,
+    frames: Vec<Pc>,
+    pending_notif: bool,
+    ipi_flag: Option<usize>, // dest core decided by UpidPost
+    pending_ipi: Option<usize>, // dest core of an ICR write this cycle
+
+    // ---- KB timer ----
+    kbt_enabled: bool,
+    kbt_vector: u8,
+    kbt_deadline: Option<u64>,
+    kbt_period: Option<u64>,
+
+    // ---- measurement ----
+    /// Execution statistics.
+    pub stats: CoreStats,
+    /// Per-interrupt timing records.
+    pub irq_timings: Vec<IrqTiming>,
+    current_irq: IrqTiming,
+    /// Trace events (cycle, kind), recorded when `trace_enabled`.
+    pub trace: Vec<TraceEvent>,
+    /// Enables per-event tracing (Fig 2 timeline).
+    pub trace_enabled: bool,
+}
+
+impl Core {
+    /// Creates a core running `program` with the given strategy.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        cfg: CoreConfig,
+        strategy: DeliveryStrategy,
+        program: Program,
+    ) -> Self {
+        let mut regs = [0u64; REG_COUNT];
+        regs[Reg::SP.index()] = 0x0100_0000 + (id as u64) * 0x1_0000;
+        Self {
+            id,
+            cfg,
+            strategy,
+            program,
+            msrom: Msrom::new(),
+            fetch_pc: 0,
+            fetch_enabled: true,
+            fetch_stall_until: 0,
+            fetch_buffer: VecDeque::new(),
+            predictor: BranchPredictor::new(),
+            msrom_return: 0,
+            msrom_arg: 0,
+            irq: IrqState::Idle,
+            irq_kind_pending: None,
+            irq_return_pc: 0,
+            frame_stack_spec: Vec::new(),
+            safepoint_mode: false,
+            rob: VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            rename: [None; REG_COUNT],
+            regs,
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            recovery: None,
+            next_commit_pc: 0,
+            halted: false,
+            last_micro_seq: None,
+            msrom_wait: false,
+            uif: true,
+            uirr: 0,
+            last_taken_vector: 0,
+            upid_addr: 0x2000_0000 + (id as u64) * 64,
+            handler_pc: 0,
+            uitt: Vec::new(),
+            frames: Vec::new(),
+            pending_notif: false,
+            ipi_flag: None,
+            pending_ipi: None,
+            kbt_enabled: false,
+            kbt_vector: 0,
+            kbt_deadline: None,
+            kbt_period: None,
+            stats: CoreStats::default(),
+            irq_timings: Vec::new(),
+            current_irq: IrqTiming::default(),
+            trace: Vec::new(),
+            trace_enabled: false,
+        }
+    }
+
+    /// Registers the user-interrupt handler entry point.
+    pub fn set_handler(&mut self, pc: Pc) {
+        self.handler_pc = pc;
+    }
+
+    /// Adds a UITT entry, returning its index for `senduipi`.
+    pub fn add_uitt_entry(&mut self, entry: SimUittEntry) -> usize {
+        self.uitt.push(entry);
+        self.uitt.len() - 1
+    }
+
+    /// Sets an architectural register (workload setup).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs[reg.index()] = value;
+    }
+
+    /// Reads an architectural register (post-run inspection).
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// Enables the KB_Timer with a user vector (kernel-side
+    /// `enable_kb_timer()`).
+    pub fn enable_kb_timer(&mut self, vector: u8) {
+        self.kbt_enabled = true;
+        self.kbt_vector = vector & 63;
+    }
+
+    /// True once the core has committed `Halt` and drained.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Posts a forwarded device interrupt / timer vector straight into
+    /// UIRR (the xUI fast path: no UPID involved, §4.5).
+    pub fn post_direct(&mut self, user_vector: u8) {
+        self.uirr |= 1u64 << (user_vector & 63);
+    }
+
+    /// Signals arrival of a conventional IPI on the UIPI notification
+    /// vector (§3.3 step 3).
+    pub fn post_notification(&mut self, now: u64) {
+        self.pending_notif = true;
+        self.trace_event(now, TraceKind::IpiArrive);
+    }
+
+    /// Pending user-interrupt request bits (diagnostics).
+    #[must_use]
+    pub fn uirr(&self) -> u64 {
+        self.uirr
+    }
+
+    fn trace_event(&mut self, cycle: u64, kind: TraceKind) {
+        if self.trace_enabled {
+            self.trace.push(TraceEvent {
+                cycle,
+                core: self.id,
+                kind,
+            });
+        }
+    }
+
+    fn entry_index(&self, seq: u64) -> Option<usize> {
+        if seq < self.head_seq {
+            return None;
+        }
+        let idx = (seq - self.head_seq) as usize;
+        if idx < self.rob.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Decode
+    // ------------------------------------------------------------------
+
+    fn uop_common(kind: Kind, fu: Fu, latency: u64, pc: Pc) -> Uop {
+        Uop {
+            kind,
+            srcs: [None, None],
+            dst: None,
+            fu,
+            latency,
+            serializing: false,
+            from_interrupt: false,
+            is_program: false,
+            micro: false,
+            pc,
+        }
+    }
+
+    /// Decodes one program instruction into a µop and computes the next
+    /// fetch PC (with branch prediction). Returns `None` for pure
+    /// redirects.
+    fn decode_program(&mut self, inst: Inst, pc: Pc) -> Option<Uop> {
+        let mut next = pc + 1;
+        let uop = match inst.op {
+            Op::Nop => Some(Self::uop_common(Kind::Int, Fu::Int, 1, pc)),
+            Op::Alu { kind, dst, src, op2 } => {
+                let (imm, src2) = match op2 {
+                    Operand::Imm(i) => (Some(i), None),
+                    Operand::Reg(r) => (None, Some(r)),
+                };
+                let mut u = Self::uop_common(Kind::Alu { kind, imm }, Fu::Int, 1, pc);
+                u.srcs = [Some(src), src2];
+                u.dst = Some(dst);
+                Some(u)
+            }
+            Op::Li { dst, imm } => {
+                let mut u = Self::uop_common(Kind::Li { imm }, Fu::Int, 1, pc);
+                u.dst = Some(dst);
+                Some(u)
+            }
+            Op::Mul { dst, src, op2 } => {
+                let (imm, src2) = match op2 {
+                    Operand::Imm(i) => (Some(i), None),
+                    Operand::Reg(r) => (None, Some(r)),
+                };
+                let mut u = Self::uop_common(
+                    Kind::Alu { kind: AluKind::Add, imm },
+                    Fu::Mult,
+                    self.cfg.mult_latency,
+                    pc,
+                );
+                u.srcs = [Some(src), src2];
+                u.dst = Some(dst);
+                Some(u)
+            }
+            Op::Fp { dst, src, op2 } => {
+                let (imm, src2) = match op2 {
+                    Operand::Imm(i) => (Some(i), None),
+                    Operand::Reg(r) => (None, Some(r)),
+                };
+                let mut u = Self::uop_common(
+                    Kind::Alu { kind: AluKind::Add, imm },
+                    Fu::Fp,
+                    self.cfg.fp_latency,
+                    pc,
+                );
+                u.srcs = [Some(src), src2];
+                u.dst = Some(dst);
+                Some(u)
+            }
+            Op::Load { dst, base, offset } => {
+                let mut u = Self::uop_common(Kind::Load { offset }, Fu::Load, 0, pc);
+                u.srcs = [Some(base), None];
+                u.dst = Some(dst);
+                Some(u)
+            }
+            Op::Store { src, base, offset } => {
+                let mut u =
+                    Self::uop_common(Kind::Store { offset, data_imm: None }, Fu::Store, 1, pc);
+                u.srcs = [Some(base), Some(src)];
+                Some(u)
+            }
+            Op::Beqz { src, target } | Op::Bnez { src, target } => {
+                let on_zero = matches!(inst.op, Op::Beqz { .. });
+                let predicted = self.predictor.predict(pc);
+                next = if predicted { target } else { pc + 1 };
+                let mut u = Self::uop_common(
+                    Kind::Branch {
+                        on_zero,
+                        target,
+                        fall: pc + 1,
+                        predicted,
+                    },
+                    Fu::Int,
+                    1,
+                    pc,
+                );
+                u.srcs = [Some(src), None];
+                Some(u)
+            }
+            Op::Jmp { target } => {
+                next = target;
+                Some(Self::uop_common(Kind::Int, Fu::Int, 1, pc))
+            }
+            Op::SendUipi { index } => {
+                // Call into the MSROM routine; 57 µops follow.
+                self.msrom_return = pc + 1;
+                self.msrom_arg = index;
+                next = MSROM_BASE + self.msrom.senduipi.start;
+                Some(Self::uop_common(Kind::SendUipiMarker, Fu::Int, 1, pc))
+            }
+            Op::Uiret => {
+                next = self.frame_stack_spec.pop().unwrap_or(pc + 1);
+                Some(Self::uop_common(Kind::UiretU, Fu::Int, self.cfg.uiret_latency, pc))
+            }
+            Op::Clui => {
+                // clui/stui manipulate the UIF MSR: modeled as
+                // pipeline-owning µops so their measured costs (Table 2:
+                // 2 and 32 cycles) appear even in high-slack code.
+                let mut u = Self::uop_common(Kind::CluiU, Fu::Int, self.cfg.clui_latency, pc);
+                u.micro = true;
+                Some(u)
+            }
+            Op::Stui => {
+                let mut u = Self::uop_common(Kind::StuiU, Fu::Int, self.cfg.stui_latency, pc);
+                u.micro = true;
+                Some(u)
+            }
+            Op::Testui { dst } => {
+                let mut u = Self::uop_common(Kind::Testui, Fu::Int, 1, pc);
+                u.dst = Some(dst);
+                Some(u)
+            }
+            Op::SetTimer { cycles, mode } => Some(Self::uop_common(
+                Kind::SetTimerU {
+                    cycles,
+                    periodic: matches!(mode, SetTimerMode::Periodic),
+                },
+                Fu::Int,
+                4,
+                pc,
+            )),
+            Op::ClearTimer => Some(Self::uop_common(Kind::ClearTimerU, Fu::Int, 4, pc)),
+            Op::Halt => {
+                self.fetch_enabled = false;
+                Some(Self::uop_common(Kind::HaltU, Fu::Int, 1, pc))
+            }
+        };
+        self.fetch_pc = next;
+        uop.map(|mut u| {
+            u.is_program = true;
+            u
+        })
+    }
+
+    /// Decodes one MSROM µop; returns `None` for pure sequencer
+    /// redirects.
+    fn decode_msrom(&mut self, mop: MicroOp, pc: Pc, from_interrupt: bool) -> Option<Uop> {
+        let mut next = pc + 1;
+        let uop = match mop {
+            MicroOp::Seq { latency } => {
+                Some(Self::uop_common(Kind::Int, Fu::Int, u64::from(latency), pc))
+            }
+            MicroOp::MsrAccess { latency } => {
+                Some(Self::uop_common(Kind::Int, Fu::Int, u64::from(latency), pc))
+            }
+            MicroOp::UittLoad => Some(Self::uop_common(
+                Kind::UittLoadU { index: self.msrom_arg },
+                Fu::Load,
+                0,
+                pc,
+            )),
+            MicroOp::UpidPost => {
+                let mut u = Self::uop_common(
+                    Kind::UpidPostU { index: self.msrom_arg },
+                    Fu::Load,
+                    0,
+                    pc,
+                );
+                u.serializing = true;
+                Some(u)
+            }
+            MicroOp::IcrWrite => {
+                let mut u = Self::uop_common(
+                    Kind::IcrWriteU,
+                    Fu::Int,
+                    self.cfg.msr_write_latency,
+                    pc,
+                );
+                u.serializing = true;
+                Some(u)
+            }
+            MicroOp::UpidDrain => {
+                let mut u = Self::uop_common(Kind::UpidDrainU, Fu::Load, 0, pc);
+                u.dst = Some(Reg::UT0);
+                Some(u)
+            }
+            MicroOp::DeliverTake => {
+                let mut u = Self::uop_common(Kind::DeliverTakeU, Fu::Int, 1, pc);
+                u.srcs = [Some(Reg::UT0), None];
+                u.dst = Some(Reg::UT1);
+                Some(u)
+            }
+            MicroOp::PushSp => {
+                let mut u =
+                    Self::uop_common(Kind::Store { offset: -8, data_imm: None }, Fu::Store, 1, pc);
+                u.srcs = [Some(Reg::SP), Some(Reg::SP)];
+                Some(u)
+            }
+            MicroOp::PushPc => {
+                let mut u = Self::uop_common(
+                    Kind::Store {
+                        offset: -16,
+                        data_imm: Some(self.irq_return_pc as u64),
+                    },
+                    Fu::Store,
+                    1,
+                    pc,
+                );
+                u.srcs = [Some(Reg::SP), None];
+                Some(u)
+            }
+            MicroOp::PushVec => {
+                let mut u =
+                    Self::uop_common(Kind::Store { offset: -24, data_imm: None }, Fu::Store, 1, pc);
+                u.srcs = [Some(Reg::SP), Some(Reg::UT1)];
+                Some(u)
+            }
+            MicroOp::DeliverClui => Some(Self::uop_common(Kind::DeliverCluiU, Fu::Int, 1, pc)),
+            MicroOp::JumpHandler => {
+                next = self.handler_pc;
+                self.msrom_wait = true;
+                Some(Self::uop_common(
+                    Kind::JumpHandlerU {
+                        return_pc: self.irq_return_pc,
+                    },
+                    Fu::Int,
+                    1,
+                    pc,
+                ))
+            }
+            MicroOp::MsromRet => {
+                next = self.msrom_return;
+                self.msrom_wait = true;
+                None
+            }
+        };
+        self.fetch_pc = next;
+        uop.map(|mut u| {
+            u.from_interrupt = from_interrupt;
+            u.micro = true;
+            u
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupt acceptance & injection
+    // ------------------------------------------------------------------
+
+    fn irq_pending_kind(&self) -> Option<IrqKind> {
+        if self.pending_notif {
+            Some(IrqKind::Notif)
+        } else if self.uirr != 0 {
+            Some(IrqKind::DeliverOnly)
+        } else {
+            None
+        }
+    }
+
+    fn accept_interrupts(&mut self, now: u64, mem: &MemorySystem) {
+        if self.irq != IrqState::Idle || !self.uif || self.recovery.is_some() || self.halted {
+            return;
+        }
+        let Some(kind) = self.irq_pending_kind() else {
+            return;
+        };
+        if matches!(kind, IrqKind::Notif) {
+            self.pending_notif = false;
+            // Spurious notification: an earlier drain already collected
+            // this IPI's posted vector (it raced with the post). The
+            // recognition microcode finds nothing pending and delivers
+            // nothing.
+            if mem.peek(self.upid_addr + 8) == 0 && self.uirr == 0 {
+                return;
+            }
+        }
+        self.current_irq = IrqTiming {
+            accepted_at: now,
+            ..IrqTiming::default()
+        };
+        self.trace_event(now, TraceKind::IrqAccepted);
+        match self.strategy {
+            DeliveryStrategy::Tracked => {
+                if self.safepoint_mode {
+                    self.irq = IrqState::WaitSafepoint { kind };
+                } else {
+                    self.inject(kind, self.fetch_pc, now);
+                }
+            }
+            DeliveryStrategy::Flush => {
+                self.stats.irq_flushes += 1;
+                self.fetch_buffer.clear();
+                self.irq = IrqState::FlushSquashing { kind };
+            }
+            DeliveryStrategy::Drain => {
+                self.irq = IrqState::Draining { kind };
+            }
+        }
+    }
+
+    fn routine_for(&self, kind: IrqKind) -> Routine {
+        match kind {
+            IrqKind::Notif => self.msrom.notif_deliver,
+            IrqKind::DeliverOnly => self.msrom.deliver_only,
+        }
+    }
+
+    fn inject(&mut self, kind: IrqKind, return_pc: Pc, now: u64) {
+        self.irq_return_pc = return_pc;
+        self.frame_stack_spec.push(return_pc);
+        let routine = self.routine_for(kind);
+        self.fetch_pc = MSROM_BASE + routine.start;
+        // A wrong-path Halt may have stopped fetch; injection always
+        // restarts it (the microcode + handler must run).
+        self.fetch_enabled = true;
+        self.fetch_stall_until = self
+            .fetch_stall_until
+            .max(now + self.cfg.msrom_entry_latency);
+        self.irq = IrqState::Injected { committed: false };
+        self.irq_kind_pending = Some(kind);
+        self.current_irq.injected_at = now;
+        self.trace_event(now, TraceKind::IrqInjected);
+    }
+
+    // ------------------------------------------------------------------
+    // Squash machinery
+    // ------------------------------------------------------------------
+
+    fn squash_tail_one(&mut self) {
+        if let Some(entry) = self.rob.pop_back() {
+            match entry.state {
+                EntryState::Waiting | EntryState::Ready => self.iq_count -= 1,
+                _ => {}
+            }
+            match entry.uop.fu {
+                Fu::Load => self.lq_count -= 1,
+                Fu::Store => self.sq_count -= 1,
+                _ => {}
+            }
+            self.stats.squashed_uops += 1;
+            self.next_seq = entry.seq;
+        }
+    }
+
+    fn rebuild_rename(&mut self) {
+        self.rename = [None; REG_COUNT];
+        self.last_micro_seq = None;
+        for i in 0..self.rob.len() {
+            if let Some(dst) = self.rob[i].uop.dst {
+                self.rename[dst.index()] = Some(self.rob[i].seq);
+            }
+            if self.rob[i].uop.micro {
+                self.last_micro_seq = Some(self.rob[i].seq);
+            }
+        }
+    }
+
+    /// Advances misprediction recovery; returns true if fetch must stay
+    /// stalled.
+    fn step_recovery(&mut self, now: u64) -> bool {
+        let Some(rec) = self.recovery else {
+            return false;
+        };
+        let mut budget = self.cfg.squash_width;
+        while budget > 0 {
+            match self.rob.back() {
+                Some(e) if e.seq > rec.branch_seq => {
+                    self.squash_tail_one();
+                    budget -= 1;
+                }
+                _ => break,
+            }
+        }
+        let done = self
+            .rob
+            .back()
+            .is_none_or(|e| e.seq <= rec.branch_seq);
+        if !done {
+            return true;
+        }
+        // Squash complete: rebuild and redirect.
+        self.rebuild_rename();
+        self.recovery = None;
+        self.msrom_wait = false;
+        self.stats.mispredict_recoveries += 1;
+        self.trace_event(now, TraceKind::MispredictRecovered);
+
+        let irq_uops_survive = self.rob.iter().any(|e| e.uop.from_interrupt);
+        let reinject = matches!(self.irq, IrqState::Injected { committed: false })
+            && !irq_uops_survive;
+        // Restore the speculative frame stack from committed state.
+        self.frame_stack_spec = self.frames.clone();
+        if reinject {
+            let kind = self.irq_kind_pending.unwrap_or(IrqKind::DeliverOnly);
+            if self.safepoint_mode {
+                // §4.4: the safepoint was on the misspeculated path; wait
+                // for the next one on the correct path.
+                self.irq = IrqState::WaitSafepoint { kind };
+                self.fetch_pc = rec.redirect_pc;
+            } else {
+                self.stats.irq_reinjections += 1;
+                self.inject(kind, rec.redirect_pc, now);
+            }
+        } else {
+            self.fetch_pc = rec.redirect_pc;
+        }
+        self.fetch_stall_until = self.fetch_stall_until.max(now + 1);
+        self.fetch_enabled = true;
+        false
+    }
+
+    /// Advances an interrupt-triggered full flush; returns true if fetch
+    /// must stay stalled.
+    fn step_irq_flush(&mut self, now: u64) -> bool {
+        let IrqState::FlushSquashing { kind } = self.irq else {
+            return false;
+        };
+        let mut budget = self.cfg.squash_width;
+        while budget > 0 && !self.rob.is_empty() {
+            self.squash_tail_one();
+            budget -= 1;
+        }
+        if self.rob.is_empty() {
+            self.rebuild_rename();
+            self.frame_stack_spec = self.frames.clone();
+            self.inject(kind, self.next_commit_pc, now);
+            // Flush-path delivery pays the full microcode-assist startup
+            // (Fig 2's 424-cycle flush+refill anatomy).
+            self.fetch_stall_until = self
+                .fetch_stall_until
+                .max(now + self.cfg.flush_assist_latency);
+            return false;
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // The per-cycle tick
+    // ------------------------------------------------------------------
+
+    /// Advances the core by one cycle against the shared memory system.
+    /// Outgoing IPIs are retrieved afterwards with
+    /// [`Core::take_pending_ipi`].
+    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        if self.halted {
+            return;
+        }
+
+        self.poll_kb_timer(now);
+        self.complete(now);
+        self.commit(now, mem);
+
+        let recovery_stall = self.step_recovery(now);
+        let flush_stall = self.step_irq_flush(now);
+
+        self.accept_interrupts(now, mem);
+
+        self.issue(now, mem);
+
+        // Drain strategy: inject once the pipeline is empty.
+        if let IrqState::Draining { kind } = self.irq {
+            if self.rob.is_empty() && self.fetch_buffer.is_empty() {
+                self.inject(kind, self.next_commit_pc, now);
+                // Stock gem5's artificial post-drain stall (§5.2).
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(now + self.cfg.drain_extra_penalty);
+            }
+        }
+
+        if self.msrom_wait {
+            let chain_busy = self
+                .last_micro_seq
+                .and_then(|seq| self.entry_index(seq))
+                .is_some_and(|idx| !matches!(self.rob[idx].state, EntryState::Done))
+                || self
+                    .fetch_buffer
+                    .iter()
+                    .any(|f| f.uop.micro);
+            if !chain_busy {
+                self.msrom_wait = false;
+            }
+        }
+
+        let flush_active = matches!(self.irq, IrqState::FlushSquashing { .. });
+        if !flush_active && self.recovery.is_none() {
+            self.dispatch(now);
+        }
+
+        let draining = matches!(self.irq, IrqState::Draining { .. });
+        if !recovery_stall && !flush_stall && !flush_active && !draining && self.recovery.is_none()
+        {
+            self.fetch(now);
+        }
+
+        // Halt once the last µop has committed — but never while an
+        // interrupt is mid-delivery (its microcode still has to run).
+        // An interrupt still *waiting for a safepoint* does not block
+        // halting: the program ended without reaching another safepoint,
+        // so the pending preemption is moot (the thread is leaving user
+        // execution anyway).
+        if !self.fetch_enabled
+            && self.rob.is_empty()
+            && self.fetch_buffer.is_empty()
+            && matches!(self.irq, IrqState::Idle | IrqState::WaitSafepoint { .. })
+            && !self.halted
+        {
+            self.halted = true;
+            self.stats.halted_at = Some(now);
+        }
+    }
+
+    fn poll_kb_timer(&mut self, now: u64) {
+        if !self.kbt_enabled {
+            return;
+        }
+        if let Some(deadline) = self.kbt_deadline {
+            if now >= deadline {
+                self.uirr |= 1u64 << self.kbt_vector;
+                self.trace_event(now, TraceKind::KbTimerFired);
+                match self.kbt_period {
+                    Some(p) => {
+                        let p = p.max(1);
+                        let missed = (now - deadline) / p + 1;
+                        self.kbt_deadline = Some(deadline + missed * p);
+                    }
+                    None => self.kbt_deadline = None,
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, now: u64) {
+        let mut completions: Vec<u64> = Vec::new();
+        for e in &mut self.rob {
+            if let EntryState::Executing { done_at } = e.state {
+                if done_at <= now {
+                    e.state = EntryState::Done;
+                    completions.push(e.seq);
+                }
+            }
+        }
+        for seq in completions {
+            let (result, dependents) = {
+                let idx = self.entry_index(seq).expect("completed entry in ROB");
+                let e = &self.rob[idx];
+                (e.result, e.dependents.clone())
+            };
+            // Branch resolution happens at completion.
+            self.resolve_branch_if_any(seq, now);
+            for dep_seq in dependents {
+                if let Some(di) = self.entry_index(dep_seq) {
+                    let d = &mut self.rob[di];
+                    for s in 0..3 {
+                        if d.deps[s] == Some(seq) {
+                            d.deps[s] = None;
+                            if s < 2 {
+                                d.src_vals[s] = result;
+                            }
+                            d.deps_remaining -= 1;
+                        }
+                    }
+                    if d.deps_remaining == 0 && matches!(d.state, EntryState::Waiting) {
+                        d.state = EntryState::Ready;
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve_branch_if_any(&mut self, seq: u64, now: u64) {
+        let Some(idx) = self.entry_index(seq) else {
+            return;
+        };
+        let e = &self.rob[idx];
+        let Kind::Branch {
+            on_zero,
+            target,
+            fall,
+            predicted,
+        } = e.uop.kind
+        else {
+            return;
+        };
+        let cond_val = e.src_vals[0];
+        let taken = if on_zero { cond_val == 0 } else { cond_val != 0 };
+        let pc = e.uop.pc;
+        self.predictor.resolve(pc, taken, predicted);
+        if taken != predicted {
+            let redirect = if taken { target } else { fall };
+            let replace = match self.recovery {
+                None => true,
+                Some(r) => seq < r.branch_seq,
+            };
+            // Ignore mispredicts while an interrupt flush is squashing
+            // everything anyway.
+            if replace && !matches!(self.irq, IrqState::FlushSquashing { .. }) {
+                self.recovery = Some(Recovery {
+                    branch_seq: seq,
+                    redirect_pc: redirect,
+                });
+                self.fetch_buffer.clear();
+                self.trace_event(now, TraceKind::MispredictDetected);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn issue(&mut self, now: u64, mem: &mut MemorySystem) {
+        let mut budget = self.cfg.issue_width;
+        let mut int_used = 0;
+        let mut mult_used = 0;
+        let mut fp_used = 0;
+        let mut load_used = 0;
+        let mut store_used = 0;
+        // Microcode owns the pipeline while it runs: the routine's MSR
+        // accesses are serializing, so no ordinary µop enters execution
+        // until the micro chain completes (§3.4/§3.5 — this is where the
+        // measured receiver costs come from).
+        //
+        // Program-initiated microcode (senduipi/clui/stui) must not
+        // execute speculatively: it stalls until every older branch has
+        // resolved, and while stalled it does NOT yet own the pipeline —
+        // otherwise the branch it waits for could never issue.
+        let oldest_unresolved_branch = self
+            .rob
+            .iter()
+            .find(|e| {
+                matches!(e.uop.kind, Kind::Branch { .. })
+                    && !matches!(e.state, EntryState::Done)
+            })
+            .map(|e| e.seq);
+        let nonspeculative = |seq: u64| oldest_unresolved_branch.is_none_or(|b| seq < b);
+        let micro_engaged = self.rob.iter().any(|e| {
+            e.uop.micro
+                && !matches!(e.state, EntryState::Done)
+                && (e.uop.from_interrupt || nonspeculative(e.seq))
+        });
+        let rob_len = self.rob.len();
+        let mut issued_any = false;
+        // Progress guarantee: when microcode owns the pipeline but cannot
+        // itself proceed (e.g. delivery's PushSp waits on a stack pointer
+        // produced by a blocked program chain — the §6.1 pathology) and
+        // nothing is executing, let the oldest ready program µop through.
+        let any_executing = self
+            .rob
+            .iter()
+            .any(|e| matches!(e.state, EntryState::Executing { .. }));
+        let mut breaker_budget = if micro_engaged && !any_executing { 1usize } else { 0 };
+        for idx in 0..rob_len {
+            if budget == 0 {
+                break;
+            }
+            if micro_engaged && !self.rob[idx].uop.micro {
+                if issued_any || breaker_budget == 0 {
+                    continue;
+                }
+                let ready_now = matches!(self.rob[idx].state, EntryState::Ready)
+                    || (matches!(self.rob[idx].state, EntryState::Waiting)
+                        && self.rob[idx].deps_remaining == 0);
+                if !ready_now {
+                    continue;
+                }
+                breaker_budget -= 1;
+            }
+            if self.rob[idx].uop.micro
+                && !self.rob[idx].uop.from_interrupt
+                && !nonspeculative(self.rob[idx].seq)
+            {
+                continue;
+            }
+            let ready = matches!(self.rob[idx].state, EntryState::Ready)
+                || (matches!(self.rob[idx].state, EntryState::Waiting)
+                    && self.rob[idx].deps_remaining == 0);
+            if !ready {
+                continue;
+            }
+            let fu = self.rob[idx].uop.fu;
+            let fu_ok = match fu {
+                Fu::Int => int_used < self.cfg.int_alu_units,
+                Fu::Mult => mult_used < self.cfg.int_mult_units,
+                Fu::Fp => fp_used < self.cfg.fp_units,
+                Fu::Load => load_used < self.cfg.load_ports,
+                Fu::Store => store_used < self.cfg.store_ports,
+            };
+            if !fu_ok {
+                continue;
+            }
+            // Memory disambiguation: a load may not issue past an older
+            // store whose address is unknown, or one to the same word
+            // whose data is not yet ready (it will forward once Done).
+            if let Kind::Load { offset } = self.rob[idx].uop.kind {
+                if self.rob[idx].deps[0].is_some() {
+                    continue; // base not ready (shouldn't happen: deps==0)
+                }
+                let word = self.rob[idx].src_vals[0].wrapping_add_signed(offset) & !7;
+                let blocked = self.rob.iter().take(idx).any(|e| {
+                    if !matches!(e.uop.fu, Fu::Store)
+                        || matches!(e.state, EntryState::Done)
+                    {
+                        return false;
+                    }
+                    let Kind::Store { offset: soff, .. } = e.uop.kind else {
+                        return false;
+                    };
+                    if e.deps[0].is_some() {
+                        return true; // address unknown: conservative
+                    }
+                    e.src_vals[0].wrapping_add_signed(soff) & !7 == word
+                });
+                if blocked {
+                    continue;
+                }
+            }
+            // Issue it.
+            let (latency, result) = self.execute_uop(idx, now, mem);
+            let e = &mut self.rob[idx];
+            e.result = result;
+            e.state = EntryState::Executing {
+                done_at: now + latency.max(1),
+            };
+            self.iq_count -= 1;
+            budget -= 1;
+            issued_any = true;
+            match fu {
+                Fu::Int => int_used += 1,
+                Fu::Mult => mult_used += 1,
+                Fu::Fp => fp_used += 1,
+                Fu::Load => load_used += 1,
+                Fu::Store => store_used += 1,
+            }
+        }
+    }
+
+    /// Computes a µop's latency and result, applying execute-time side
+    /// effects (memory reads, UPID RMWs, ICR writes).
+    fn execute_uop(&mut self, idx: usize, now: u64, mem: &mut MemorySystem) -> (u64, u64) {
+        let uop = self.rob[idx].uop;
+        let sv = self.rob[idx].src_vals;
+        match uop.kind {
+            Kind::Int | Kind::SendUipiMarker | Kind::HaltU | Kind::CluiU | Kind::StuiU
+            | Kind::DeliverCluiU | Kind::SetTimerU { .. } | Kind::ClearTimerU
+            | Kind::UiretU => (uop.latency, 0),
+            Kind::JumpHandlerU { .. } => {
+                // The handler starts *executing* here (speculatively, like
+                // an rdtsc in a real handler); commit finalizes the
+                // record. Re-execution after a squash overwrites the
+                // stamp, keeping the last pre-commit execution.
+                self.current_irq.handler_at = now;
+                (uop.latency, 0)
+            }
+            Kind::Alu { kind, imm } => {
+                let b = imm.map_or(sv[1], |i| i as u64);
+                (uop.latency, kind.eval(sv[0], b))
+            }
+            Kind::Li { imm } => (uop.latency, imm),
+            Kind::Load { offset } => {
+                let addr = sv[0].wrapping_add_signed(offset);
+                // Store-to-load forwarding: the youngest older store to
+                // the same word supplies the data at L1 speed.
+                let word = addr & !7;
+                let mut forwarded = None;
+                for e in self.rob.iter().take(idx) {
+                    if let Kind::Store { offset: soff, data_imm } = e.uop.kind {
+                        if matches!(e.state, EntryState::Done) {
+                            let saddr = e.src_vals[0].wrapping_add_signed(soff);
+                            if saddr & !7 == word {
+                                forwarded = Some(data_imm.unwrap_or(e.src_vals[1]));
+                            }
+                        }
+                    }
+                }
+                match forwarded {
+                    Some(val) => (4, val),
+                    None => {
+                        let (lat, val) = mem.read(self.id, addr);
+                        (lat, val)
+                    }
+                }
+            }
+            Kind::Store { .. } => (uop.latency, 0),
+            Kind::Branch { .. } => (uop.latency, 0),
+            Kind::Testui => (uop.latency, u64::from(self.uif)),
+            Kind::UittLoadU { index } => {
+                // The UITT entry line: model as a load from a per-core
+                // table address (hot in L1 after first use).
+                let addr = 0x3000_0000 + (self.id as u64) * 4096 + (index as u64) * 16;
+                let (lat, _) = mem.read(self.id, addr);
+                (lat, 0)
+            }
+            Kind::UpidPostU { index } => {
+                let Some(entry) = self.uitt.get(index).copied() else {
+                    return (1, 0);
+                };
+                let (lat1, low) = mem.read(self.id, entry.upid_addr);
+                let (_, pir) = mem.read(self.id, entry.upid_addr + 8);
+                let new_pir = pir | (1u64 << (entry.user_vector & 63));
+                mem.write(self.id, entry.upid_addr + 8, new_pir);
+                let sn = low & upid_words::SN != 0;
+                let on = low & upid_words::ON != 0;
+                if !sn && !on {
+                    mem.write(self.id, entry.upid_addr, low | upid_words::ON);
+                    let dest = (low >> upid_words::NDST_SHIFT) as usize;
+                    self.ipi_flag = Some(dest);
+                }
+                self.trace_event(now, TraceKind::UpidPosted);
+                (lat1 + 4, 0)
+            }
+            Kind::IcrWriteU => {
+                if let Some(dest) = self.ipi_flag.take() {
+                    self.trace_event(now, TraceKind::IcrWrite);
+                    // The system adds bus latency; record intent in the
+                    // pending outbox (flushed by tick's caller).
+                    self.pending_ipi = Some(dest);
+                }
+                (uop.latency, 0)
+            }
+            Kind::UpidDrainU => {
+                let (lat, low) = mem.read(self.id, self.upid_addr);
+                let (_, pir) = mem.read(self.id, self.upid_addr + 8);
+                mem.write(self.id, self.upid_addr, low & !upid_words::ON);
+                mem.write(self.id, self.upid_addr + 8, 0);
+                self.uirr |= pir;
+                self.trace_event(now, TraceKind::UpidDrained);
+                (lat + 4, pir)
+            }
+            Kind::DeliverTakeU => {
+                let v = if self.uirr == 0 {
+                    self.last_taken_vector
+                } else {
+                    let v = 63 - self.uirr.leading_zeros() as u64;
+                    self.uirr &= !(1u64 << v);
+                    self.last_taken_vector = v;
+                    v
+                };
+                (uop.latency, v)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: u64) {
+        let mut budget = self.cfg.decode_width;
+        while budget > 0 {
+            let Some(front) = self.fetch_buffer.front() else {
+                break;
+            };
+            if front.ready_at > now || self.rob.len() >= self.cfg.rob_size {
+                break;
+            }
+            if self.iq_count >= self.cfg.iq_size {
+                break;
+            }
+            let uop = front.uop;
+            match uop.fu {
+                Fu::Load if self.lq_count >= self.cfg.lq_size => break,
+                Fu::Store if self.sq_count >= self.cfg.sq_size => break,
+                _ => {}
+            }
+            self.fetch_buffer.pop_front();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut deps = [None, None, None];
+            let mut src_vals = [0u64, 0];
+            let mut deps_remaining = 0u8;
+            for s in 0..2 {
+                if let Some(reg) = uop.srcs[s] {
+                    match self.rename[reg.index()] {
+                        Some(prod_seq) => {
+                            let pidx = self.entry_index(prod_seq).unwrap_or_else(|| {
+                                panic!(
+                                    "rename points outside ROB: core={} now={} reg={} prod_seq={} head_seq={} rob_len={} next_seq={} uop={:?} irq={:?} recovery={:?}",
+                                    self.id, now, reg.0, prod_seq, self.head_seq,
+                                    self.rob.len(), self.next_seq, uop.kind, self.irq, self.recovery
+                                )
+                            });
+                            if matches!(self.rob[pidx].state, EntryState::Done) {
+                                src_vals[s] = self.rob[pidx].result;
+                            } else {
+                                deps[s] = Some(prod_seq);
+                                deps_remaining += 1;
+                                self.rob[pidx].dependents.push(seq);
+                            }
+                        }
+                        None => src_vals[s] = self.regs[reg.index()],
+                    }
+                }
+            }
+            // Microcode sequencing: MSROM µops issue in order, each
+            // waiting for its predecessor — the serial micro-sequencer
+            // that makes delivery cost what it costs (§3.4).
+            if uop.micro {
+                if let Some(prev) = self.last_micro_seq {
+                    if let Some(pidx) = self.entry_index(prev) {
+                        if !matches!(self.rob[pidx].state, EntryState::Done) {
+                            deps[2] = Some(prev);
+                            deps_remaining += 1;
+                            self.rob[pidx].dependents.push(seq);
+                        }
+                    }
+                }
+                self.last_micro_seq = Some(seq);
+            }
+            if let Some(dst) = uop.dst {
+                self.rename[dst.index()] = Some(seq);
+            }
+            let state = if deps_remaining == 0 {
+                EntryState::Ready
+            } else {
+                EntryState::Waiting
+            };
+            self.iq_count += 1;
+            match uop.fu {
+                Fu::Load => self.lq_count += 1,
+                Fu::Store => self.sq_count += 1,
+                _ => {}
+            }
+            self.rob.push_back(RobEntry {
+                seq,
+                uop,
+                deps,
+                src_vals,
+                deps_remaining,
+                state,
+                result: 0,
+                dependents: Vec::new(),
+            });
+            budget -= 1;
+        }
+    }
+
+    fn fetch(&mut self, now: u64) {
+        if !self.fetch_enabled || now < self.fetch_stall_until {
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        while budget > 0 {
+            if self.msrom_wait || self.fetch_buffer.len() >= self.cfg.fetch_queue_size {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let from_interrupt = matches!(self.irq, IrqState::Injected { committed: false })
+                && pc >= MSROM_BASE;
+            let decoded = if pc >= MSROM_BASE {
+                let Some(mop) = self.msrom.get(pc - MSROM_BASE) else {
+                    break;
+                };
+                self.decode_msrom(mop, pc, from_interrupt)
+            } else {
+                let Some(inst) = self.program.get(pc).copied() else {
+                    self.fetch_enabled = false;
+                    break;
+                };
+                // Safepoint gating: inject *before* the marked
+                // instruction (§4.4).
+                if let IrqState::WaitSafepoint { kind } = self.irq {
+                    if inst.safepoint {
+                        self.trace_event(now, TraceKind::SafepointHit);
+                        self.inject(kind, pc, now);
+                        break;
+                    }
+                }
+                self.decode_program(inst, pc)
+            };
+            if let Some(uop) = decoded {
+                self.fetch_buffer.push_back(Fetched {
+                    uop,
+                    ready_at: now + self.cfg.frontend_depth,
+                });
+                budget -= 1;
+            }
+            if !self.fetch_enabled || now < self.fetch_stall_until {
+                break;
+            }
+            // A redirect into/out of MSROM still consumes the cycle's
+            // remaining fetch slots naturally via the loop.
+        }
+    }
+
+    fn commit(&mut self, now: u64, mem: &mut MemorySystem) {
+        // An interrupt flush stops retirement (everything uncommitted is
+        // being squashed).
+        if matches!(self.irq, IrqState::FlushSquashing { .. }) {
+            return;
+        }
+        let mut budget = self.cfg.retire_width;
+        while budget > 0 {
+            let Some(head) = self.rob.front() else {
+                break;
+            };
+            if !matches!(head.state, EntryState::Done) {
+                break;
+            }
+            // Never retire past a mispredicted branch awaiting recovery:
+            // everything younger is wrong-path.
+            if let Some(rec) = self.recovery {
+                if head.seq > rec.branch_seq {
+                    break;
+                }
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            self.head_seq = entry.seq + 1;
+            match entry.uop.fu {
+                Fu::Load => self.lq_count -= 1,
+                Fu::Store => self.sq_count -= 1,
+                _ => {}
+            }
+            self.apply_commit(&entry, now, mem);
+            budget -= 1;
+        }
+    }
+
+    fn apply_commit(&mut self, entry: &RobEntry, now: u64, mem: &mut MemorySystem) {
+        let uop = entry.uop;
+        self.stats.committed_uops += 1;
+        if uop.is_program {
+            self.stats.committed_insts += 1;
+            self.next_commit_pc = match uop.kind {
+                Kind::Branch {
+                    on_zero,
+                    target,
+                    fall,
+                    ..
+                } => {
+                    let taken = if on_zero {
+                        entry.src_vals[0] == 0
+                    } else {
+                        entry.src_vals[0] != 0
+                    };
+                    if taken {
+                        target
+                    } else {
+                        fall
+                    }
+                }
+                _ => match self.program.get(uop.pc).map(|i| i.op) {
+                    Some(Op::Jmp { target }) => target,
+                    _ => uop.pc + 1,
+                },
+            };
+        }
+        if uop.from_interrupt {
+            if let IrqState::Injected { committed: false } = self.irq {
+                self.irq = IrqState::Injected { committed: true };
+            }
+        }
+        if let Some(dst) = uop.dst {
+            self.regs[dst.index()] = entry.result;
+            if self.rename[dst.index()] == Some(entry.seq) {
+                self.rename[dst.index()] = None;
+            }
+        }
+        match uop.kind {
+            Kind::Store { offset, data_imm } => {
+                let addr = entry.src_vals[0].wrapping_add_signed(offset);
+                let data = data_imm.unwrap_or(entry.src_vals[1]);
+                mem.write(self.id, addr, data);
+            }
+            Kind::CluiU | Kind::DeliverCluiU => self.uif = false,
+            Kind::StuiU => self.uif = true,
+            Kind::UiretU => {
+                // Architectural control transfer: execution resumes at
+                // the frame's return PC — a later interrupt flush must
+                // use it, not the handler-side next_commit_pc.
+                if let Some(return_pc) = self.frames.pop() {
+                    self.next_commit_pc = return_pc;
+                }
+                self.uif = true;
+                self.stats.uirets += 1;
+                self.current_irq.uiret_at = now;
+                if let Some(last) = self.irq_timings.last_mut() {
+                    if last.uiret_at == 0 {
+                        last.uiret_at = now;
+                    }
+                }
+                self.trace_event(now, TraceKind::UiretCommitted);
+            }
+            Kind::JumpHandlerU { return_pc } => {
+                self.frames.push(return_pc);
+                self.next_commit_pc = self.handler_pc;
+                self.stats.interrupts_delivered += 1;
+                if self.current_irq.handler_at == 0 {
+                    self.current_irq.handler_at = now;
+                }
+                self.irq_timings.push(self.current_irq);
+                self.irq = IrqState::Idle;
+                self.irq_kind_pending = None;
+                self.trace_event(now, TraceKind::HandlerEntered);
+            }
+            Kind::SetTimerU { cycles, periodic }
+                if self.kbt_enabled => {
+                    if periodic {
+                        self.kbt_deadline = Some(now + cycles.max(1));
+                        self.kbt_period = Some(cycles.max(1));
+                    } else {
+                        self.kbt_deadline = Some(now + cycles);
+                        self.kbt_period = None;
+                    }
+                }
+            Kind::ClearTimerU => {
+                self.kbt_deadline = None;
+                self.kbt_period = None;
+            }
+            Kind::SendUipiMarker => {
+                self.trace_event(now, TraceKind::SendUipiStart);
+            }
+            _ => {}
+        }
+    }
+
+    /// Takes the IPI produced this cycle, if any (the system puts it on
+    /// the bus).
+    pub fn take_pending_ipi(&mut self) -> Option<usize> {
+        self.pending_ipi.take()
+    }
+}
+
+// The pending-IPI slot is declared here (after the impl that references
+// it) to keep the struct definition readable.
+impl Core {
+    /// Current reorder-buffer occupancy (diagnostics).
+    #[must_use]
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+}

@@ -1,0 +1,178 @@
+//! A functional (golden-model) interpreter for the simulator ISA.
+//!
+//! Executes programs instruction-at-a-time with no timing, producing the
+//! architectural register/memory state the out-of-order pipeline must
+//! match. Used by the differential fuzz tests (`tests/differential.rs`)
+//! to validate the pipeline's renaming, forwarding, speculation recovery
+//! and interrupt machinery against a trivially-correct reference.
+
+use std::collections::HashMap;
+
+use crate::isa::{Op, Operand, Pc, Program, Reg, REG_COUNT};
+
+/// The interpreter's architectural state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterpState {
+    /// Register file.
+    pub regs: [u64; REG_COUNT],
+    /// Sparse memory (word-addressed).
+    pub mem: HashMap<u64, u64>,
+    /// Committed instructions.
+    pub insts: u64,
+}
+
+impl InterpState {
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Reads memory (8-byte aligned word).
+    #[must_use]
+    pub fn load(&self, addr: u64) -> u64 {
+        self.mem.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+}
+
+/// Why interpretation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// A `Halt` instruction was reached.
+    Halted,
+    /// The PC left the program.
+    OutOfRange,
+    /// The step budget ran out (likely an infinite loop).
+    Budget,
+}
+
+/// Runs `program` functionally for at most `max_steps` instructions.
+///
+/// Instructions with asynchronous semantics (`senduipi`, `uiret`, UIF and
+/// timer manipulation) execute as no-ops — the golden model covers the
+/// *program-visible* dataflow; interrupt semantics are validated
+/// separately against the protocol model.
+#[must_use]
+pub fn interpret(program: &Program, init: InterpState, max_steps: u64) -> (InterpState, Stop) {
+    let mut st = init;
+    let mut pc: Pc = 0;
+    for _ in 0..max_steps {
+        let Some(inst) = program.get(pc) else {
+            return (st, Stop::OutOfRange);
+        };
+        st.insts += 1;
+        let value = |st: &InterpState, op2: Operand| match op2 {
+            Operand::Reg(r) => st.reg(r),
+            Operand::Imm(i) => i as u64,
+        };
+        match inst.op {
+            Op::Nop | Op::Clui | Op::Stui | Op::SendUipi { .. } | Op::Uiret
+            | Op::SetTimer { .. } | Op::ClearTimer => pc += 1,
+            Op::Alu { kind, dst, src, op2 } => {
+                st.regs[dst.index()] = kind.eval(st.reg(src), value(&st, op2));
+                pc += 1;
+            }
+            Op::Li { dst, imm } => {
+                st.regs[dst.index()] = imm;
+                pc += 1;
+            }
+            Op::Mul { dst, src, op2 } => {
+                st.regs[dst.index()] = st.reg(src).wrapping_add(value(&st, op2));
+                pc += 1;
+            }
+            Op::Fp { dst, src, op2 } => {
+                st.regs[dst.index()] = st.reg(src).wrapping_add(value(&st, op2));
+                pc += 1;
+            }
+            Op::Load { dst, base, offset } => {
+                let addr = st.reg(base).wrapping_add_signed(offset);
+                st.regs[dst.index()] = st.load(addr);
+                pc += 1;
+            }
+            Op::Store { src, base, offset } => {
+                let addr = st.reg(base).wrapping_add_signed(offset);
+                st.mem.insert(addr & !7, st.reg(src));
+                pc += 1;
+            }
+            Op::Beqz { src, target } => {
+                pc = if st.reg(src) == 0 { target } else { pc + 1 };
+            }
+            Op::Bnez { src, target } => {
+                pc = if st.reg(src) != 0 { target } else { pc + 1 };
+            }
+            Op::Jmp { target } => pc = target,
+            Op::Testui { dst } => {
+                st.regs[dst.index()] = 1;
+                pc += 1;
+            }
+            Op::Halt => return (st, Stop::Halted),
+        }
+    }
+    (st, Stop::Budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluKind, Inst};
+
+    #[test]
+    fn interprets_a_counting_loop() {
+        let p = Program::new(
+            "loop",
+            vec![
+                Inst::new(Op::Li { dst: Reg(1), imm: 10 }),
+                Inst::new(Op::Alu {
+                    kind: AluKind::Add,
+                    dst: Reg(2),
+                    src: Reg(2),
+                    op2: Operand::Imm(3),
+                }),
+                Inst::new(Op::Alu {
+                    kind: AluKind::Sub,
+                    dst: Reg(1),
+                    src: Reg(1),
+                    op2: Operand::Imm(1),
+                }),
+                Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+                Inst::new(Op::Halt),
+            ],
+        );
+        let (st, stop) = interpret(&p, InterpState::default(), 10_000);
+        assert_eq!(stop, Stop::Halted);
+        assert_eq!(st.reg(Reg(2)), 30);
+        assert_eq!(st.insts, 1 + 3 * 10 + 1);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let p = Program::new(
+            "mem",
+            vec![
+                Inst::new(Op::Li { dst: Reg(1), imm: 0x1000 }),
+                Inst::new(Op::Li { dst: Reg(2), imm: 99 }),
+                Inst::new(Op::Store { src: Reg(2), base: Reg(1), offset: 8 }),
+                Inst::new(Op::Load { dst: Reg(3), base: Reg(1), offset: 8 }),
+                Inst::new(Op::Halt),
+            ],
+        );
+        let (st, stop) = interpret(&p, InterpState::default(), 100);
+        assert_eq!(stop, Stop::Halted);
+        assert_eq!(st.reg(Reg(3)), 99);
+        assert_eq!(st.load(0x1008), 99);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let p = Program::new("spin", vec![Inst::new(Op::Jmp { target: 0 })]);
+        let (_, stop) = interpret(&p, InterpState::default(), 50);
+        assert_eq!(stop, Stop::Budget);
+    }
+
+    #[test]
+    fn falling_off_the_end_is_reported() {
+        let p = Program::new("fall", vec![Inst::new(Op::Nop)]);
+        let (_, stop) = interpret(&p, InterpState::default(), 50);
+        assert_eq!(stop, Stop::OutOfRange);
+    }
+}

@@ -1,0 +1,345 @@
+//! The simulator's µop-level ISA.
+//!
+//! Programs are sequences of [`Inst`]ructions over a small RISC-like
+//! register machine, extended with the paper's new instructions:
+//! `senduipi`, `uiret`, `clui`/`stui`, `set_timer`/`clear_timer`, plus a
+//! per-instruction *safepoint* marker bit (the paper encodes it as an x86
+//! instruction prefix, §4.4).
+//!
+//! PCs are indices into a program; PCs at or above [`MSROM_BASE`] address
+//! the microcode ROM instead (see [`crate::microcode`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A program counter: an instruction index. Values ≥ [`MSROM_BASE`] index
+/// the MSROM.
+pub type Pc = usize;
+
+/// PCs at or above this value live in the microcode ROM.
+pub const MSROM_BASE: Pc = 1 << 20;
+
+/// Number of architectural registers: `r0`–`r27` general purpose, plus
+/// [`Reg::SP`] and microcode temporaries.
+pub const REG_COUNT: usize = 32;
+
+/// An architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The stack pointer — delivery microcode stores through it, which is
+    /// what makes the §6.1 pathological case possible.
+    pub const SP: Reg = Reg(28);
+    /// Microcode scratch register 0.
+    pub const UT0: Reg = Reg(29);
+    /// Microcode scratch register 1.
+    pub const UT1: Reg = Reg(30);
+    /// Microcode scratch register 2.
+    pub const UT2: Reg = Reg(31);
+
+    /// Register index for table lookups.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Second ALU operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(i64),
+}
+
+/// Integer ALU operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluKind {
+    /// `dst = src + op2`
+    Add,
+    /// `dst = src - op2`
+    Sub,
+    /// `dst = src & op2`
+    And,
+    /// `dst = src | op2`
+    Or,
+    /// `dst = src ^ op2`
+    Xor,
+    /// `dst = src << (op2 & 63)`
+    Shl,
+    /// `dst = src >> (op2 & 63)`
+    Shr,
+}
+
+impl AluKind {
+    /// Evaluates the operation on concrete values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluKind::Add => a.wrapping_add(b),
+            AluKind::Sub => a.wrapping_sub(b),
+            AluKind::And => a & b,
+            AluKind::Or => a | b,
+            AluKind::Xor => a ^ b,
+            AluKind::Shl => a.wrapping_shl((b & 63) as u32),
+            AluKind::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// KB_Timer programming mode carried by [`Op::SetTimer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetTimerMode {
+    /// Periodic with the given period in cycles.
+    Periodic,
+    /// One-shot firing when the core clock reaches the given deadline
+    /// offset from now.
+    OneShotIn,
+}
+
+/// Instruction operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// No operation (1-cycle int ALU slot).
+    Nop,
+    /// Integer ALU: `dst = kind(src, op2)`.
+    Alu {
+        /// Operation.
+        kind: AluKind,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        src: Reg,
+        /// Second operand.
+        op2: Operand,
+    },
+    /// Load immediate: `dst = imm`.
+    Li {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// Integer multiply: `dst = src * op2` (multi-cycle, mult unit).
+    Mul {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        src: Reg,
+        /// Second operand.
+        op2: Operand,
+    },
+    /// Floating-point op (value-opaque; FP unit, multi-cycle):
+    /// `dst = src ⊕ op2` computed as integer add so dataflow is preserved.
+    Fp {
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        src: Reg,
+        /// Second operand.
+        op2: Operand,
+    },
+    /// Load: `dst = mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Store: `mem[base + offset] = src`.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Branch if `src == 0` to `target`.
+    Beqz {
+        /// Condition register.
+        src: Reg,
+        /// Branch target.
+        target: Pc,
+    },
+    /// Branch if `src != 0` to `target`.
+    Bnez {
+        /// Condition register.
+        src: Reg,
+        /// Branch target.
+        target: Pc,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Jump target.
+        target: Pc,
+    },
+    /// `senduipi uitt[index]` — microcoded; the front-end calls into the
+    /// MSROM routine (§3.5 found 57 MSROM µops per `senduipi`).
+    SendUipi {
+        /// UITT index operand.
+        index: usize,
+    },
+    /// `uiret` — return from a user-interrupt handler.
+    Uiret,
+    /// `clui` — block user-interrupt delivery.
+    Clui,
+    /// `stui` — enable user-interrupt delivery.
+    Stui,
+    /// `testui` — read UIF into `dst` (0 or 1).
+    Testui {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `set_timer(cycles, mode)` (§4.3), immediate-operand form.
+    SetTimer {
+        /// Period or relative deadline in cycles.
+        cycles: u64,
+        /// Periodic vs one-shot.
+        mode: SetTimerMode,
+    },
+    /// `clear_timer()` (§4.3).
+    ClearTimer,
+    /// Stop the core (end of workload).
+    Halt,
+}
+
+/// One instruction: an operation plus the xUI safepoint marker (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// True if this instruction carries the safepoint prefix.
+    pub safepoint: bool,
+}
+
+impl Inst {
+    /// An unmarked instruction.
+    #[must_use]
+    pub const fn new(op: Op) -> Self {
+        Self {
+            op,
+            safepoint: false,
+        }
+    }
+
+    /// A safepoint-marked instruction.
+    #[must_use]
+    pub const fn safepoint(op: Op) -> Self {
+        Self {
+            op,
+            safepoint: true,
+        }
+    }
+
+    /// True if the instruction ends an in-order fetch run (control flow or
+    /// halt).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Beqz { .. }
+                | Op::Bnez { .. }
+                | Op::Jmp { .. }
+                | Op::Uiret
+                | Op::SendUipi { .. }
+                | Op::Halt
+        )
+    }
+}
+
+/// An executable program: named instruction memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Diagnostic name.
+    pub name: String,
+    /// Instruction memory; PC 0 is the entry point.
+    pub code: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates a program from instructions.
+    #[must_use]
+    pub fn new(name: impl Into<String>, code: Vec<Inst>) -> Self {
+        Self {
+            name: name.into(),
+            code,
+        }
+    }
+
+    /// Instruction at `pc`, if in range.
+    #[must_use]
+    pub fn get(&self, pc: Pc) -> Option<&Inst> {
+        self.code.get(pc)
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// A program that halts immediately (an idle core).
+    #[must_use]
+    pub fn idle() -> Self {
+        Self::new("idle", vec![Inst::new(Op::Halt)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_semantics() {
+        assert_eq!(AluKind::Add.eval(2, 3), 5);
+        assert_eq!(AluKind::Sub.eval(2, 3), u64::MAX);
+        assert_eq!(AluKind::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluKind::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluKind::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluKind::Shl.eval(1, 65), 2, "shift counts are mod 64");
+        assert_eq!(AluKind::Shr.eval(8, 2), 2);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Inst::new(Op::Jmp { target: 0 }).is_control());
+        assert!(Inst::new(Op::Halt).is_control());
+        assert!(Inst::new(Op::Uiret).is_control());
+        assert!(!Inst::new(Op::Nop).is_control());
+        assert!(!Inst::new(Op::Clui).is_control());
+    }
+
+    #[test]
+    fn safepoint_marker() {
+        let plain = Inst::new(Op::Nop);
+        let marked = Inst::safepoint(Op::Nop);
+        assert!(!plain.safepoint);
+        assert!(marked.safepoint);
+        assert_eq!(plain.op, marked.op);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program::new("t", vec![Inst::new(Op::Nop), Inst::new(Op::Halt)]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(1).unwrap().op, Op::Halt);
+        assert!(p.get(2).is_none());
+        assert_eq!(Program::idle().get(0).unwrap().op, Op::Halt);
+    }
+
+    #[test]
+    fn msrom_base_clears_program_space() {
+        const { assert!(MSROM_BASE > 1 << 16, "program space must fit below MSROM") }
+    }
+}

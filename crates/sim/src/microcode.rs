@@ -1,0 +1,229 @@
+//! The micro-sequencer ROM (MSROM) and its routines.
+//!
+//! §3.5 established that `senduipi` is implemented as 57 MSROM µops with
+//! two serializing MSR writes, and that receiving a UIPI runs two microcode
+//! procedures: *notification processing* (drain the UPID) and *user
+//! interrupt delivery* (push the frame, clear UIF, jump to the handler).
+//! xUI's KB_Timer and forwarded device interrupts skip notification
+//! processing entirely and start at delivery (§4.3), which is the
+//! difference between the 231- and 105-cycle receiver costs.
+
+use serde::{Deserialize, Serialize};
+
+/// A microcode operation. These are decoded by the front-end exactly like
+/// program instructions but live in the MSROM address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// Plain micro-sequencing work: an int-ALU-class µop with the given
+    /// latency and no architectural effect.
+    Seq {
+        /// Execution latency in cycles.
+        latency: u16,
+    },
+    /// Non-serializing MSR read/write (UINT handler pointer, UIRR
+    /// updates, …).
+    MsrAccess {
+        /// Execution latency in cycles.
+        latency: u16,
+    },
+    /// `senduipi` step: load the UITT entry named by the current MSROM
+    /// call argument (a normal cached load).
+    UittLoad,
+    /// `senduipi` step: locked RMW on the destination UPID — set the PIR
+    /// bit, and if `!SN && !ON` set `ON` and flag that an IPI is needed.
+    /// Issues only at the ROB head (locked semantics).
+    UpidPost,
+    /// `senduipi` step: serializing write to the ICR; puts the IPI on the
+    /// bus if `UpidPost` flagged one.
+    IcrWrite,
+    /// Notification processing: locked RMW on *this thread's* UPID —
+    /// clear `ON`, drain `PIR` into `UIRR`. The load typically misses
+    /// because a sender just wrote the line.
+    UpidDrain,
+    /// Delivery: take the highest pending vector from `UIRR` into a
+    /// scratch register.
+    DeliverTake,
+    /// Delivery: push the interrupted stack pointer (a store whose data
+    /// *and* address depend on `SP` — the §6.1 pathology).
+    PushSp,
+    /// Delivery: push the return PC (known at injection time).
+    PushPc,
+    /// Delivery: push the delivered vector (depends on `DeliverTake`).
+    PushVec,
+    /// Delivery: clear UIF so the handler runs with user interrupts
+    /// masked.
+    DeliverClui,
+    /// Delivery: jump to the registered handler. Its commit marks
+    /// "interrupt delivered" in the statistics.
+    JumpHandler,
+    /// Return from an MSROM call (used by the `senduipi` routine) to the
+    /// saved program PC.
+    MsromRet,
+}
+
+/// A routine's location in the MSROM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Routine {
+    /// Index of the first µop.
+    pub start: usize,
+    /// Number of µops.
+    pub len: usize,
+}
+
+/// The MSROM contents and routine directory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Msrom {
+    code: Vec<MicroOp>,
+    /// `senduipi`: UITT lookup, UPID post, ICR writes (§3.3 steps 1–2).
+    pub senduipi: Routine,
+    /// UIPI reception: notification processing then delivery (steps 4–5).
+    pub notif_deliver: Routine,
+    /// xUI KB_Timer / forwarded-device reception: delivery only (§4.3).
+    pub deliver_only: Routine,
+}
+
+impl Msrom {
+    /// Builds the MSROM with the calibrated routine bodies.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut code = Vec::new();
+
+        // --- senduipi: 57 µops per §3.5, two serializing MSR writes. ---
+        let senduipi_start = code.len();
+        code.push(MicroOp::UittLoad);
+        code.push(MicroOp::UpidPost);
+        // Descriptor checks, vector formatting, fault checks: the bulk of
+        // the 57 µops observed through the MSROM delivery counter.
+        for _ in 0..51 {
+            code.push(MicroOp::Seq { latency: 1 });
+        }
+        code.push(MicroOp::MsrAccess { latency: 24 });
+        code.push(MicroOp::IcrWrite); // serializing MSR write #1
+        code.push(MicroOp::MsrAccess { latency: 24 });
+        code.push(MicroOp::IcrWrite); // serializing MSR write #2
+        code.push(MicroOp::MsromRet);
+        let senduipi = Routine {
+            start: senduipi_start,
+            len: code.len() - senduipi_start,
+        };
+
+        // --- delivery (shared tail of both reception routines) ---
+        let build_delivery = |code: &mut Vec<MicroOp>| {
+            code.push(MicroOp::MsrAccess { latency: 32 }); // read UINT_Handler
+            code.push(MicroOp::DeliverTake);
+            code.push(MicroOp::Seq { latency: 8 }); // vector checks
+            code.push(MicroOp::Seq { latency: 8 }); // frame formatting
+            code.push(MicroOp::PushSp);
+            code.push(MicroOp::PushPc);
+            code.push(MicroOp::PushVec);
+            code.push(MicroOp::DeliverClui);
+            code.push(MicroOp::MsrAccess { latency: 32 }); // update UIRR MSR
+            code.push(MicroOp::Seq { latency: 8 }); // UIF/state bookkeeping
+            code.push(MicroOp::JumpHandler);
+        };
+
+        // --- notification processing + delivery (UIPI reception) ---
+        let notif_start = code.len();
+        code.push(MicroOp::Seq { latency: 1 }); // recognize UINV
+        code.push(MicroOp::MsrAccess { latency: 10 }); // read UPID address MSR
+        code.push(MicroOp::UpidDrain);
+        code.push(MicroOp::Seq { latency: 1 });
+        build_delivery(&mut code);
+        let notif_deliver = Routine {
+            start: notif_start,
+            len: code.len() - notif_start,
+        };
+
+        // --- delivery only (KB_Timer / forwarded device fast path) ---
+        let deliver_start = code.len();
+        build_delivery(&mut code);
+        let deliver_only = Routine {
+            start: deliver_start,
+            len: code.len() - deliver_start,
+        };
+
+        Self {
+            code,
+            senduipi,
+            notif_deliver,
+            deliver_only,
+        }
+    }
+
+    /// µop at MSROM-relative index.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<MicroOp> {
+        self.code.get(index).copied()
+    }
+
+    /// Total MSROM size in µops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if the ROM is empty (never, in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+impl Default for Msrom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn senduipi_is_57_uops_per_paper() {
+        let rom = Msrom::new();
+        // 57 MSROM µops per successful senduipi (§3.5) plus the routine
+        // return.
+        assert_eq!(rom.senduipi.len, 57 + 1);
+        let ops: Vec<_> = (0..rom.senduipi.len)
+            .map(|i| rom.get(rom.senduipi.start + i).unwrap())
+            .collect();
+        let icr_writes = ops.iter().filter(|o| **o == MicroOp::IcrWrite).count();
+        assert_eq!(icr_writes, 2, "two serializing MSR writes per §3.5");
+        assert_eq!(*ops.last().unwrap(), MicroOp::MsromRet);
+        assert_eq!(ops[0], MicroOp::UittLoad);
+        assert_eq!(ops[1], MicroOp::UpidPost);
+    }
+
+    #[test]
+    fn reception_routines_share_delivery_shape() {
+        let rom = Msrom::new();
+        let notif: Vec<_> = (0..rom.notif_deliver.len)
+            .map(|i| rom.get(rom.notif_deliver.start + i).unwrap())
+            .collect();
+        let deliver: Vec<_> = (0..rom.deliver_only.len)
+            .map(|i| rom.get(rom.deliver_only.start + i).unwrap())
+            .collect();
+        assert!(notif.contains(&MicroOp::UpidDrain));
+        assert!(
+            !deliver.contains(&MicroOp::UpidDrain),
+            "deliver-only path never touches the UPID (§4.3)"
+        );
+        // The delivery tail is identical.
+        let tail = &notif[notif.len() - deliver.len()..];
+        assert_eq!(tail, deliver.as_slice());
+        assert_eq!(*deliver.last().unwrap(), MicroOp::JumpHandler);
+    }
+
+    #[test]
+    fn routines_are_disjoint_and_in_bounds() {
+        let rom = Msrom::new();
+        for r in [rom.senduipi, rom.notif_deliver, rom.deliver_only] {
+            assert!(r.start + r.len <= rom.len());
+        }
+        assert!(rom.senduipi.start + rom.senduipi.len <= rom.notif_deliver.start);
+        assert!(
+            rom.notif_deliver.start + rom.notif_deliver.len <= rom.deliver_only.start
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-event tracing, used to reconstruct the Figure 2 latency timeline.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// `senduipi` retired on the sender (time 0 of Fig 2).
+    SendUipiStart,
+    /// The serializing ICR write executed (the IPI leaves the sender).
+    IcrWrite,
+    /// A UPID was posted into by sender microcode.
+    UpidPosted,
+    /// The notification IPI arrived at the receiver's APIC.
+    IpiArrive,
+    /// The receiver accepted the interrupt (program flow interrupted).
+    IrqAccepted,
+    /// Interrupt microcode was injected into the µop stream.
+    IrqInjected,
+    /// Notification processing drained the UPID (ON cleared).
+    UpidDrained,
+    /// The handler was entered (delivery complete).
+    HandlerEntered,
+    /// `uiret` committed (handler done).
+    UiretCommitted,
+    /// The KB_Timer fired.
+    KbTimerFired,
+    /// A branch misprediction was detected at execute.
+    MispredictDetected,
+    /// Misprediction recovery completed (squash + redirect).
+    MispredictRecovered,
+    /// A safepoint instruction gated a pending interrupt (§4.4).
+    SafepointHit,
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycle of occurrence.
+    pub cycle: u64,
+    /// Core that produced the event.
+    pub core: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Finds the first event of `kind` at or after `from`, returning its
+/// cycle.
+#[must_use]
+pub fn first_at_or_after(events: &[TraceEvent], kind: TraceKind, from: u64) -> Option<u64> {
+    events
+        .iter()
+        .find(|e| e.kind == kind && e.cycle >= from)
+        .map(|e| e.cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_at_or_after_filters() {
+        let events = vec![
+            TraceEvent { cycle: 5, core: 0, kind: TraceKind::SendUipiStart },
+            TraceEvent { cycle: 9, core: 0, kind: TraceKind::IpiArrive },
+            TraceEvent { cycle: 12, core: 0, kind: TraceKind::SendUipiStart },
+        ];
+        assert_eq!(
+            first_at_or_after(&events, TraceKind::SendUipiStart, 0),
+            Some(5)
+        );
+        assert_eq!(
+            first_at_or_after(&events, TraceKind::SendUipiStart, 6),
+            Some(12)
+        );
+        assert_eq!(first_at_or_after(&events, TraceKind::UpidDrained, 0), None);
+    }
+}

@@ -1,0 +1,443 @@
+//! End-to-end interrupt delivery through the cycle-level pipeline:
+//! UIPI send→receive, tracked interrupts, KB_Timer, forwarded device
+//! interrupts, and hardware safepoints.
+
+use xui_sim::config::{DeliveryStrategy, SystemConfig};
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg, SetTimerMode};
+use xui_sim::system::Device;
+use xui_sim::{Program, System};
+
+/// Receiver: a counting loop with a handler at PC 4 that bumps r20.
+///
+/// ```text
+/// 0: li   r1, iters
+/// 1: sub  r1, r1, 1
+/// 2: bnez r1 -> 1
+/// 3: halt
+/// 4: add  r20, r20, 1   ; handler
+/// 5: uiret
+/// ```
+fn receiver_program(iters: u64) -> Program {
+    Program::new(
+        "receiver",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: iters }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(20),
+                src: Reg(20),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Uiret),
+        ],
+    )
+}
+
+const HANDLER_PC: usize = 4;
+
+/// Sender: sends `count` UIPIs with a spacing loop between them.
+///
+/// ```text
+/// 0: li   r1, count
+/// 1: li   r2, spacing
+/// 2: sub  r2, r2, 1
+/// 3: bnez r2 -> 2
+/// 4: senduipi 0
+/// 5: sub  r1, r1, 1
+/// 6: bnez r1 -> 1
+/// 7: halt
+/// ```
+fn sender_program(count: u64, spacing: u64) -> Program {
+    Program::new(
+        "sender",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: count }),
+            Inst::new(Op::Li { dst: Reg(2), imm: spacing }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(2),
+                src: Reg(2),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(2), target: 2 }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+        ],
+    )
+}
+
+fn uipi_pair(cfg: SystemConfig, sends: u64, spacing: u64, recv_iters: u64) -> System {
+    let mut sys = System::new(cfg, vec![sender_program(sends, spacing), receiver_program(recv_iters)]);
+    sys.register_receiver(1, HANDLER_PC);
+    sys.connect_sender(0, 1, 5);
+    sys
+}
+
+#[test]
+fn uipi_send_receive_flush_strategy() {
+    let mut sys = uipi_pair(SystemConfig::uipi(), 5, 2000, 400_000);
+    sys.run_until_halted(5_000_000);
+    let rx = &sys.cores[1];
+    assert_eq!(rx.stats.interrupts_delivered, 5, "all five UIPIs delivered");
+    assert_eq!(rx.stats.uirets, 5);
+    assert_eq!(rx.reg(Reg(20)), 5, "handler ran architecturally");
+    assert_eq!(rx.reg(Reg(1)), 0, "interrupted loop still completed");
+    assert!(rx.stats.irq_flushes >= 5, "flush strategy flushes per IRQ");
+}
+
+#[test]
+fn uipi_send_receive_tracked_strategy() {
+    let mut sys = uipi_pair(SystemConfig::xui(), 5, 2000, 400_000);
+    sys.run_until_halted(5_000_000);
+    let rx = &sys.cores[1];
+    assert_eq!(rx.stats.interrupts_delivered, 5);
+    assert_eq!(rx.reg(Reg(20)), 5);
+    assert_eq!(rx.reg(Reg(1)), 0);
+    assert_eq!(rx.stats.irq_flushes, 0, "tracking never flushes for IRQs");
+}
+
+#[test]
+fn uipi_send_receive_drain_strategy() {
+    let mut sys = uipi_pair(SystemConfig::drain(), 5, 2000, 400_000);
+    sys.run_until_halted(5_000_000);
+    let rx = &sys.cores[1];
+    assert_eq!(rx.stats.interrupts_delivered, 5);
+    assert_eq!(rx.reg(Reg(20)), 5);
+    assert_eq!(rx.reg(Reg(1)), 0);
+}
+
+#[test]
+fn tracked_wastes_less_work_than_flush() {
+    let mut flush = uipi_pair(SystemConfig::uipi(), 20, 3000, 600_000);
+    flush.run_until_halted(10_000_000);
+    let mut tracked = uipi_pair(SystemConfig::xui(), 20, 3000, 600_000);
+    tracked.run_until_halted(10_000_000);
+    assert_eq!(flush.cores[1].stats.interrupts_delivered, 20);
+    assert_eq!(tracked.cores[1].stats.interrupts_delivered, 20);
+    assert!(
+        tracked.cores[1].stats.squashed_uops < flush.cores[1].stats.squashed_uops,
+        "tracking squashes less: {} vs {}",
+        tracked.cores[1].stats.squashed_uops,
+        flush.cores[1].stats.squashed_uops
+    );
+}
+
+#[test]
+fn kb_timer_fires_periodically_and_delivers() {
+    // Receiver arms its own KB_Timer; no sender, no UPID.
+    let mut prog = receiver_program(500_000).code;
+    prog.insert(
+        0,
+        Inst::new(Op::SetTimer {
+            cycles: 5_000,
+            mode: SetTimerMode::Periodic,
+        }),
+    );
+    // Adjust branch targets / handler for the shifted layout.
+    let prog = Program::new(
+        "kb-receiver",
+        vec![
+            prog[0], // set_timer
+            Inst::new(Op::Li { dst: Reg(1), imm: 300_000 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 2 }),
+            Inst::new(Op::Halt),
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(20),
+                src: Reg(20),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Uiret),
+        ],
+    );
+    let mut sys = System::new(SystemConfig::xui(), vec![prog]);
+    sys.cores[0].enable_kb_timer(3);
+    sys.cores[0].set_handler(5);
+    let end = sys.run_until_core_halted(0, 5_000_000).expect("halts");
+    let delivered = sys.cores[0].stats.interrupts_delivered;
+    // Roughly one delivery per 5000 cycles of runtime.
+    let expected = end / 5_000;
+    assert!(delivered > 0, "timer interrupts were delivered");
+    assert!(
+        delivered.abs_diff(expected) <= expected / 3 + 2,
+        "delivered={delivered} expected≈{expected}"
+    );
+    assert_eq!(sys.cores[0].reg(Reg(20)), delivered);
+}
+
+#[test]
+fn forwarded_device_interrupts_reach_the_thread() {
+    let mut sys = System::new(SystemConfig::xui(), vec![receiver_program(300_000)]);
+    sys.cores[0].set_handler(HANDLER_PC);
+    sys.add_device(Device::DirectIrq {
+        period: 10_000,
+        next_fire: 10_000,
+        core: 0,
+        user_vector: 9,
+    });
+    sys.run_until_core_halted(0, 5_000_000).expect("halts");
+    assert!(sys.cores[0].stats.interrupts_delivered > 5);
+    assert_eq!(
+        sys.cores[0].reg(Reg(20)),
+        sys.cores[0].stats.interrupts_delivered
+    );
+}
+
+#[test]
+fn safepoint_mode_delivers_only_at_safepoints() {
+    // Loop body: the *loop-back branch's successor* (pc 1) is the only
+    // safepoint. The handler records r21 = r20 at entry; since delivery
+    // happens only at the safepoint, the interrupted next-PC is always
+    // pc 1 — we verify via exact delivery counting.
+    let code = vec![
+        Inst::new(Op::Li { dst: Reg(1), imm: 300_000 }),
+        Inst::safepoint(Op::Alu {
+            kind: AluKind::Sub,
+            dst: Reg(1),
+            src: Reg(1),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(2),
+            src: Reg(2),
+            op2: Operand::Imm(3),
+        }),
+        Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+        Inst::new(Op::Halt),
+        // handler:
+        Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(20),
+            src: Reg(20),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Uiret),
+    ];
+    let mut sys = System::new(SystemConfig::xui(), vec![Program::new("sp", code)]);
+    sys.cores[0].safepoint_mode = true;
+    sys.cores[0].set_handler(5);
+    sys.add_device(Device::DirectIrq {
+        period: 20_000,
+        next_fire: 5_000,
+        core: 0,
+        user_vector: 2,
+    });
+    sys.run_until_core_halted(0, 10_000_000).expect("halts");
+    let delivered = sys.cores[0].stats.interrupts_delivered;
+    assert!(delivered > 3, "delivered={delivered}");
+    assert_eq!(sys.cores[0].reg(Reg(20)), delivered);
+    // The loop still computed the right result.
+    assert_eq!(sys.cores[0].reg(Reg(2)), 3 * 300_000);
+}
+
+#[test]
+fn interrupts_preserve_program_semantics_under_stress() {
+    // High-frequency tracked interrupts into a mispredicting workload:
+    // the alternating-branch loop from the system tests.
+    let code = vec![
+        Inst::new(Op::Li { dst: Reg(1), imm: 20_000 }),
+        Inst::new(Op::Li { dst: Reg(2), imm: 0 }),
+        Inst::new(Op::Alu {
+            kind: AluKind::And,
+            dst: Reg(3),
+            src: Reg(1),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Beqz { src: Reg(3), target: 5 }),
+        Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(2),
+            src: Reg(2),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Alu {
+            kind: AluKind::Sub,
+            dst: Reg(1),
+            src: Reg(1),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Bnez { src: Reg(1), target: 2 }),
+        Inst::new(Op::Halt),
+        // handler:
+        Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(20),
+            src: Reg(20),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Uiret),
+    ];
+    for strategy in [
+        DeliveryStrategy::Flush,
+        DeliveryStrategy::Drain,
+        DeliveryStrategy::Tracked,
+    ] {
+        let mut cfg = SystemConfig::uipi();
+        cfg.strategy.0 = strategy;
+        let mut sys = System::new(cfg, vec![Program::new("stress", code.clone())]);
+        sys.cores[0].set_handler(8);
+        sys.add_device(Device::DirectIrq {
+            period: 700,
+            next_fire: 400,
+            core: 0,
+            user_vector: 1,
+        });
+        sys.run_until_core_halted(0, 20_000_000).expect("halts");
+        assert_eq!(
+            sys.cores[0].reg(Reg(2)),
+            10_000,
+            "architectural result corrupted under {strategy:?}"
+        );
+        assert!(sys.cores[0].stats.interrupts_delivered > 10);
+        assert_eq!(
+            sys.cores[0].reg(Reg(20)),
+            sys.cores[0].stats.interrupts_delivered,
+            "handler count mismatch under {strategy:?}"
+        );
+    }
+}
+
+#[test]
+fn tracked_reinjection_happens_under_mispredict_pressure() {
+    // Frequent interrupts + frequent mispredicts: re-injections occur and
+    // nothing is lost.
+    let code = vec![
+        Inst::new(Op::Li { dst: Reg(1), imm: 50_000 }),
+        Inst::new(Op::Alu {
+            kind: AluKind::And,
+            dst: Reg(3),
+            src: Reg(1),
+            op2: Operand::Imm(3),
+        }),
+        Inst::new(Op::Beqz { src: Reg(3), target: 4 }),
+        Inst::new(Op::Nop),
+        Inst::new(Op::Alu {
+            kind: AluKind::Sub,
+            dst: Reg(1),
+            src: Reg(1),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+        Inst::new(Op::Halt),
+        // handler:
+        Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(20),
+            src: Reg(20),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Uiret),
+    ];
+    let mut sys = System::new(SystemConfig::xui(), vec![Program::new("reinject", code)]);
+    sys.cores[0].set_handler(7);
+    sys.add_device(Device::DirectIrq {
+        period: 300,
+        next_fire: 100,
+        core: 0,
+        user_vector: 1,
+    });
+    sys.run_until_core_halted(0, 50_000_000).expect("halts");
+    let st = sys.cores[0].stats;
+    assert!(st.mispredict_recoveries > 100, "workload mispredicts");
+    assert!(st.interrupts_delivered > 100);
+    assert_eq!(sys.cores[0].reg(Reg(20)), st.interrupts_delivered);
+}
+
+#[test]
+fn stock_gem5_drain_quirk_adds_fixed_penalty() {
+    // §5.2: stock gem5 drains and "a fixed 13 cycles was artificially
+    // added after each drain". The corrected drain model omits it.
+    let run = |cfg: SystemConfig| {
+        let mut sys = uipi_pair(cfg, 20, 3_000, 400_000);
+        sys.run_until_halted(10_000_000);
+        let rx = &sys.cores[1];
+        assert_eq!(rx.stats.interrupts_delivered, 20);
+        rx.stats.halted_at.expect("receiver halts")
+    };
+    let corrected = run(SystemConfig::drain());
+    let stock = run(SystemConfig::gem5_stock());
+    let extra_per_irq = (stock as f64 - corrected as f64) / 20.0;
+    assert!(
+        (0.0..=26.0).contains(&extra_per_irq),
+        "stock gem5 adds a small fixed cost per drain: {extra_per_irq:.1}"
+    );
+    assert!(stock >= corrected, "the quirk never helps");
+}
+
+#[test]
+fn two_senders_one_receiver_distinct_vectors() {
+    // Two sender cores target the same receiver with different vectors;
+    // every send is eventually delivered and handled.
+    let receiver = Program::new(
+        "rx",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: 600_000 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+            // handler: count per-vector via the frame's vector slot
+            Inst::new(Op::Load { dst: Reg(22), base: Reg::SP, offset: -24 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(20),
+                src: Reg(20),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(21),
+                src: Reg(21),
+                op2: Operand::Reg(Reg(22)),
+            }),
+            Inst::new(Op::Uiret),
+        ],
+    );
+    let mut sys = System::new(
+        SystemConfig::xui(),
+        vec![
+            sender_program(4, 5_000),
+            sender_program(4, 7_000),
+            receiver,
+        ],
+    );
+    sys.register_receiver(2, 4);
+    sys.connect_sender(0, 2, 5); // vector 5
+    sys.connect_sender(1, 2, 9); // vector 9
+    sys.run_until_halted(20_000_000);
+    let rx = &sys.cores[2];
+    assert_eq!(rx.reg(Reg(20)), rx.stats.interrupts_delivered);
+    // Vectors coalesce per sender but both senders' vectors must appear:
+    // the vector-sum register mixes 5s and 9s.
+    let sum = rx.reg(Reg(21));
+    assert!(sum >= 5 + 9, "both vectors delivered at least once: {sum}");
+    assert!(rx.stats.interrupts_delivered >= 2);
+    assert!(rx.stats.interrupts_delivered <= 8);
+    assert_eq!(rx.reg(Reg(1)), 0, "receiver loop completed");
+}

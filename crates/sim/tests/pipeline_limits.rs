@@ -1,0 +1,182 @@
+//! Structural-limit tests for the out-of-order pipeline: each Table 3
+//! resource (functional units, ports, queues) must actually constrain
+//! execution the way the configuration says.
+
+use xui_sim::config::SystemConfig;
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Program, Reg};
+use xui_sim::System;
+
+/// Builds a loop of `iters` iterations whose body is `body` repeated —
+/// all instructions independent across iterations.
+fn loop_of(body: Vec<Op>, iters: u64) -> Program {
+    let mut code = vec![Inst::new(Op::Li { dst: Reg(1), imm: iters })];
+    let top = code.len();
+    code.extend(body.into_iter().map(Inst::new));
+    code.push(Inst::new(Op::Alu {
+        kind: AluKind::Sub,
+        dst: Reg(1),
+        src: Reg(1),
+        op2: Operand::Imm(1),
+    }));
+    code.push(Inst::new(Op::Bnez { src: Reg(1), target: top }));
+    code.push(Inst::new(Op::Halt));
+    Program::new("limit", code)
+}
+
+fn run_cycles(p: Program) -> u64 {
+    let mut sys = System::new(SystemConfig::uipi(), vec![p]);
+    sys.run_until_core_halted(0, 500_000_000).expect("halts")
+}
+
+#[test]
+fn multiplier_count_limits_mul_throughput() {
+    // 8 independent multiplies per iteration; 2 mult units with a
+    // 3-cycle latency (unpipelined per-issue modeling: ≥2 issues/cycle).
+    let muls: Vec<Op> = (2u8..10)
+        .map(|r| Op::Mul {
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(3),
+        })
+        .collect();
+    let iters = 20_000;
+    let mul_cycles = run_cycles(loop_of(muls, iters));
+    // The same count of independent single-cycle ALU ops uses 6 units.
+    let adds: Vec<Op> = (2u8..10)
+        .map(|r| Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(3),
+        })
+        .collect();
+    let add_cycles = run_cycles(loop_of(adds, iters));
+    assert!(
+        mul_cycles as f64 > add_cycles as f64 * 1.8,
+        "2 mult units must throttle: mul {mul_cycles} vs add {add_cycles}"
+    );
+}
+
+#[test]
+fn load_ports_limit_parallel_loads() {
+    // 6 independent cache-hot loads per iteration vs 6 ALU ops: with 3
+    // load ports the load loop needs ≥2 cycles per iteration of load
+    // issue, the ALU loop only 1.
+    let loads: Vec<Op> = (2u8..8)
+        .map(|r| Op::Load {
+            dst: Reg(r),
+            base: Reg(20), // r20 = 0 → all hit one hot line
+            offset: 0x8000,
+        })
+        .collect();
+    let loads_cycles = run_cycles(loop_of(loads, 20_000));
+    let adds: Vec<Op> = (2u8..8)
+        .map(|r| Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(1),
+        })
+        .collect();
+    let adds_cycles = run_cycles(loop_of(adds, 20_000));
+    assert!(
+        loads_cycles > adds_cycles,
+        "3 load ports throttle 6 loads/iter: {loads_cycles} vs {adds_cycles}"
+    );
+}
+
+#[test]
+fn fetch_width_bounds_ipc() {
+    // However parallel the work, committed IPC can never beat the 6-wide
+    // front end.
+    let adds: Vec<Op> = (2u8..12)
+        .map(|r| Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(1),
+        })
+        .collect();
+    let p = loop_of(adds, 30_000);
+    let mut sys = System::new(SystemConfig::uipi(), vec![p]);
+    let cycles = sys.run_until_core_halted(0, 500_000_000).expect("halts");
+    let ipc = sys.cores[0].stats.committed_insts as f64 / cycles as f64;
+    assert!(ipc <= 6.0 + 1e-9, "IPC {ipc} exceeds fetch width");
+    assert!(ipc > 3.0, "independent work should still run wide: {ipc}");
+}
+
+#[test]
+fn serial_chain_bounds_ipc_near_one_per_dependence() {
+    // One long dependence chain: IPC limited by the chain regardless of
+    // the 10-wide issue.
+    let chain: Vec<Op> = (0..8)
+        .map(|_| Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(2),
+            src: Reg(2),
+            op2: Operand::Imm(1),
+        })
+        .collect();
+    let p = loop_of(chain, 20_000);
+    let mut sys = System::new(SystemConfig::uipi(), vec![p]);
+    let cycles = sys.run_until_core_halted(0, 500_000_000).expect("halts");
+    // 8 chained adds + loop overhead ≈ 8 cycles/iteration minimum.
+    let per_iter = cycles as f64 / 20_000.0;
+    assert!(per_iter >= 7.5, "chain must serialize: {per_iter} cy/iter");
+}
+
+#[test]
+fn rob_capacity_limits_memory_level_parallelism() {
+    // Independent DRAM misses: a bigger ROB exposes more of them at once.
+    // (This is the mechanism behind the ablation_window result.)
+    let strided_loads: Vec<Op> = (2u8..6)
+        .map(|r| Op::Load {
+            dst: Reg(r + 10), // do not clobber the base register
+            base: Reg(r),
+            offset: 0,
+        })
+        .collect();
+    // Point each base register at a distinct, never-cached region and
+    // advance it every iteration so every load misses.
+    let mut code = vec![Inst::new(Op::Li { dst: Reg(1), imm: 3_000 })];
+    for (i, r) in (2u8..6).enumerate() {
+        code.push(Inst::new(Op::Li {
+            dst: Reg(r),
+            imm: 0x4000_0000 + (i as u64) * 0x100_0000,
+        }));
+    }
+    let top = code.len();
+    code.extend(strided_loads.into_iter().map(Inst::new));
+    for r in 2u8..6 {
+        code.push(Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(4096),
+        }));
+    }
+    code.push(Inst::new(Op::Alu {
+        kind: AluKind::Sub,
+        dst: Reg(1),
+        src: Reg(1),
+        op2: Operand::Imm(1),
+    }));
+    code.push(Inst::new(Op::Bnez { src: Reg(1), target: top }));
+    code.push(Inst::new(Op::Halt));
+    let program = Program::new("mlp", code);
+
+    let run_with_rob = |scale: f64| {
+        let mut cfg = SystemConfig::uipi();
+        cfg.core.rob_size = (384.0 * scale) as usize;
+        cfg.core.lq_size = (128.0 * scale) as usize;
+        cfg.core.iq_size = (168.0 * scale) as usize;
+        let mut sys = System::new(cfg, vec![program.clone()]);
+        sys.run_until_core_halted(0, 2_000_000_000).expect("halts")
+    };
+    let small = run_with_rob(0.25);
+    let big = run_with_rob(1.0);
+    assert!(
+        big < small,
+        "a 4× window must expose more MLP: small {small} vs big {big}"
+    );
+}

@@ -1,0 +1,55 @@
+//! Calibration probe: prints the simulated counterparts of Table 2 and
+//! Figure 4 per-event costs, for tuning config constants.
+
+use xui_sim::config::SystemConfig;
+use xui_workloads::harness::{run_workload, IrqSource};
+use xui_workloads::programs::{fib, linpack, memops, Instrument};
+
+fn main() {
+    let period = 10_000; // 5 µs @ 2 GHz
+    let max = 2_000_000_000;
+    for (name, w) in [
+        ("fib", fib(150_000, Instrument::None)),
+        ("linpack", linpack(80_000, Instrument::None)),
+        ("memops", memops(80_000, Instrument::None)),
+    ] {
+        let base = run_workload(SystemConfig::uipi(), &w, IrqSource::None, max);
+        let flush = run_workload(
+            SystemConfig::uipi(),
+            &w,
+            IrqSource::UipiSwTimer { period, send_latency: 380 },
+            max,
+        );
+        let tracked = run_workload(
+            SystemConfig::xui(),
+            &w,
+            IrqSource::UipiSwTimer { period, send_latency: 380 },
+            max,
+        );
+        let kb = run_workload(
+            SystemConfig::xui(),
+            &w,
+            IrqSource::KbTimer { period },
+            max,
+        );
+        println!(
+            "{name}: base={} flush/ev={:.0} tracked/ev={:.0} kb/ev={:.0} (n={},{},{}) ovh flush={:.2}% tracked={:.2}% kb={:.2}%",
+            base.cycles,
+            flush.per_event_cost(&base),
+            tracked.per_event_cost(&base),
+            kb.per_event_cost(&base),
+            flush.handled,
+            tracked.handled,
+            kb.handled,
+            flush.overhead_pct(&base),
+            tracked.overhead_pct(&base),
+            kb.overhead_pct(&base),
+        );
+        println!(
+            "  delivery latency: flush mean={:.0} tracked mean={:.0} kb mean={:.0}",
+            flush.mean_delivery_latency(),
+            tracked.mean_delivery_latency(),
+            kb.mean_delivery_latency()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Calibration probe for sender-side costs and the Fig 2 timeline.
+
+use xui_sim::config::SystemConfig;
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
+use xui_sim::trace::{first_at_or_after, TraceKind};
+use xui_sim::{Program, System};
+
+fn main() {
+    // --- senduipi steady-state cost: back-to-back sends to a suppressed
+    // receiver (SN set), like the paper's 300M-run measurement. ---
+    let sends = 2_000u64;
+    let sender = Program::new(
+        "send-loop",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: sends }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Alu { kind: AluKind::Sub, dst: Reg(1), src: Reg(1), op2: Operand::Imm(1) }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    let empty_loop = Program::new(
+        "empty-loop",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: sends }),
+            Inst::new(Op::Alu { kind: AluKind::Sub, dst: Reg(1), src: Reg(1), op2: Operand::Imm(1) }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    let mut sys = System::new(SystemConfig::uipi(), vec![sender, Program::idle()]);
+    sys.register_receiver(1, 0);
+    // Suppress notifications (receiver "context switched out").
+    let upid = sys.cores[1].upid_addr;
+    let low = sys.mem.peek(upid);
+    sys.mem.poke(upid, low | 2); // SN
+    sys.connect_sender(0, 1, 5);
+    let c_send = sys.run_until_core_halted(0, 100_000_000).unwrap();
+
+    let mut base = System::new(SystemConfig::uipi(), vec![empty_loop]);
+    let c_base = base.run_until_core_halted(0, 100_000_000).unwrap();
+    println!(
+        "senduipi: {:.0} cycles/send (total {c_send}, base {c_base})",
+        (c_send - c_base) as f64 / sends as f64
+    );
+
+    // --- clui/stui cost ---
+    for (name, op) in [("clui", Op::Clui), ("stui", Op::Stui)] {
+        let n = 10_000u64;
+        let prog = Program::new(
+            name,
+            vec![
+                Inst::new(Op::Li { dst: Reg(1), imm: n }),
+                Inst::new(op),
+                Inst::new(Op::Alu { kind: AluKind::Sub, dst: Reg(1), src: Reg(1), op2: Operand::Imm(1) }),
+                Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+                Inst::new(Op::Halt),
+            ],
+        );
+        let mut s1 = System::new(SystemConfig::uipi(), vec![prog]);
+        let c1 = s1.run_until_core_halted(0, 100_000_000).unwrap();
+        let mut s0 = System::new(
+            SystemConfig::uipi(),
+            vec![Program::new(
+                "b",
+                vec![
+                    Inst::new(Op::Li { dst: Reg(1), imm: n }),
+                    Inst::new(Op::Nop),
+                    Inst::new(Op::Alu { kind: AluKind::Sub, dst: Reg(1), src: Reg(1), op2: Operand::Imm(1) }),
+                    Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+                    Inst::new(Op::Halt),
+                ],
+            )],
+        );
+        let c0 = s0.run_until_core_halted(0, 100_000_000).unwrap();
+        println!("{name}: {:.1} cycles", (c1 as f64 - c0 as f64) / n as f64);
+    }
+
+    // --- Fig 2 timeline: one send, traced ---
+    let sender = Program::new(
+        "one-send",
+        vec![
+            Inst::new(Op::Li { dst: Reg(2), imm: 3000 }),
+            Inst::new(Op::Alu { kind: AluKind::Sub, dst: Reg(2), src: Reg(2), op2: Operand::Imm(1) }),
+            Inst::new(Op::Bnez { src: Reg(2), target: 1 }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    let receiver = Program::new(
+        "spin",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: 500_000 }),
+            Inst::new(Op::Alu { kind: AluKind::Sub, dst: Reg(1), src: Reg(1), op2: Operand::Imm(1) }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+            Inst::new(Op::Alu { kind: AluKind::Add, dst: Reg(20), src: Reg(20), op2: Operand::Imm(1) }),
+            Inst::new(Op::Uiret),
+        ],
+    );
+    let mut sys = System::new(SystemConfig::uipi(), vec![sender, receiver]);
+    sys.register_receiver(1, 4);
+    sys.connect_sender(0, 1, 5);
+    sys.cores[0].trace_enabled = true;
+    sys.cores[1].trace_enabled = true;
+    sys.run_until_halted(10_000_000);
+    let s = &sys.cores[0].trace;
+    let r = &sys.cores[1].trace;
+    let t0 = first_at_or_after(s, TraceKind::UpidPosted, 0).unwrap();
+    let icr = first_at_or_after(s, TraceKind::IcrWrite, 0).unwrap();
+    let arrive = first_at_or_after(r, TraceKind::IpiArrive, 0).unwrap();
+    let accepted = first_at_or_after(r, TraceKind::IrqAccepted, 0).unwrap();
+    let drained = first_at_or_after(r, TraceKind::UpidDrained, 0).unwrap();
+    let handler = first_at_or_after(r, TraceKind::HandlerEntered, 0).unwrap();
+    let uiret = first_at_or_after(r, TraceKind::UiretCommitted, 0).unwrap();
+    println!("fig2 (relative to UPID post): icr=+{} arrive=+{} accepted=+{} drained=+{} handler=+{} uiret=+{}",
+        icr-t0, arrive-t0, accepted-t0, drained-t0, handler-t0, uiret-t0);
+    println!("end-to-end (post→handler): {}", handler - t0);
+}

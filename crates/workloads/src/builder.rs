@@ -1,0 +1,254 @@
+//! A small assembler for simulator programs: labels, loops, and the
+//! standard handler epilogue.
+
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Pc, Program, Reg};
+
+/// Register conventions used by the generated workloads.
+pub mod regs {
+    use xui_sim::isa::Reg;
+
+    /// Outer-loop counter.
+    pub const COUNTER: Reg = Reg(1);
+    /// Inner-loop counter.
+    pub const INNER: Reg = Reg(2);
+    /// Scratch / accumulator registers.
+    pub const ACC0: Reg = Reg(3);
+    /// Second accumulator.
+    pub const ACC1: Reg = Reg(4);
+    /// Third accumulator.
+    pub const ACC2: Reg = Reg(5);
+    /// Address register.
+    pub const ADDR: Reg = Reg(6);
+    /// Second address register.
+    pub const ADDR2: Reg = Reg(7);
+    /// Poll-flag scratch.
+    pub const POLL: Reg = Reg(8);
+    /// Handler invocation counter (incremented by the standard handler).
+    pub const HANDLED: Reg = Reg(20);
+}
+
+/// Incremental program builder.
+///
+/// # Examples
+///
+/// ```
+/// use xui_workloads::builder::{regs, ProgramBuilder};
+/// use xui_sim::isa::Operand;
+///
+/// let mut b = ProgramBuilder::new("demo");
+/// b.li(regs::COUNTER, 10);
+/// let top = b.here();
+/// b.addi(regs::ACC0, regs::ACC0, 1);
+/// b.subi(regs::COUNTER, regs::COUNTER, 1);
+/// b.bnez(regs::COUNTER, top);
+/// b.halt();
+/// let program = b.finish();
+/// assert_eq!(program.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    code: Vec<Inst>,
+    safepoint_next: bool,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            code: Vec::new(),
+            safepoint_next: false,
+        }
+    }
+
+    /// The PC of the *next* instruction to be emitted (use as a label).
+    #[must_use]
+    pub fn here(&self) -> Pc {
+        self.code.len()
+    }
+
+    /// Marks the next emitted instruction as a hardware safepoint (§4.4).
+    pub fn safepoint(&mut self) -> &mut Self {
+        self.safepoint_next = true;
+        self
+    }
+
+    /// Emits a raw operation.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        let inst = if self.safepoint_next {
+            self.safepoint_next = false;
+            Inst::safepoint(op)
+        } else {
+            Inst::new(op)
+        };
+        self.code.push(inst);
+        self
+    }
+
+    /// `dst = imm`.
+    pub fn li(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.op(Op::Li { dst, imm })
+    }
+
+    /// `dst = src + imm`.
+    pub fn addi(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::Add, dst, src, op2: Operand::Imm(imm) })
+    }
+
+    /// `dst = src - imm`.
+    pub fn subi(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::Sub, dst, src, op2: Operand::Imm(imm) })
+    }
+
+    /// `dst = src + reg`.
+    pub fn add(&mut self, dst: Reg, src: Reg, rhs: Reg) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::Add, dst, src, op2: Operand::Reg(rhs) })
+    }
+
+    /// `dst = src & imm`.
+    pub fn andi(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::And, dst, src, op2: Operand::Imm(imm) })
+    }
+
+    /// `dst = src << imm`.
+    pub fn shli(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::Shl, dst, src, op2: Operand::Imm(imm) })
+    }
+
+    /// `dst = src >> imm`.
+    pub fn shri(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::Shr, dst, src, op2: Operand::Imm(imm) })
+    }
+
+    /// `dst = src ^ reg`.
+    pub fn xor(&mut self, dst: Reg, src: Reg, rhs: Reg) -> &mut Self {
+        self.op(Op::Alu { kind: AluKind::Xor, dst, src, op2: Operand::Reg(rhs) })
+    }
+
+    /// Floating-point op (dataflow-preserving; FP unit latency).
+    pub fn fp(&mut self, dst: Reg, src: Reg, rhs: Reg) -> &mut Self {
+        self.op(Op::Fp { dst, src, op2: Operand::Reg(rhs) })
+    }
+
+    /// Integer multiply by immediate.
+    pub fn muli(&mut self, dst: Reg, src: Reg, imm: i64) -> &mut Self {
+        self.op(Op::Mul { dst, src, op2: Operand::Imm(imm) })
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.op(Op::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.op(Op::Store { src, base, offset })
+    }
+
+    /// Branch to `target` if `src != 0`.
+    pub fn bnez(&mut self, src: Reg, target: Pc) -> &mut Self {
+        self.op(Op::Bnez { src, target })
+    }
+
+    /// Branch to `target` if `src == 0`.
+    pub fn beqz(&mut self, src: Reg, target: Pc) -> &mut Self {
+        self.op(Op::Beqz { src, target })
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Pc) -> &mut Self {
+        self.op(Op::Jmp { target })
+    }
+
+    /// Stop the core.
+    pub fn halt(&mut self) -> &mut Self {
+        self.op(Op::Halt)
+    }
+
+    /// Appends the standard interrupt handler — `r20 += 1; uiret` — and
+    /// returns its entry PC.
+    pub fn standard_handler(&mut self) -> Pc {
+        let entry = self.here();
+        self.addi(regs::HANDLED, regs::HANDLED, 1);
+        self.op(Op::Uiret);
+        entry
+    }
+
+    /// Appends a handler of `extra_work` dependent ALU µops (modelling a
+    /// scheduler/context-switch body) and returns its entry PC.
+    pub fn handler_with_work(&mut self, extra_work: usize) -> Pc {
+        let entry = self.here();
+        self.addi(regs::HANDLED, regs::HANDLED, 1);
+        for _ in 0..extra_work {
+            self.addi(Reg(21), Reg(21), 1);
+        }
+        self.op(Op::Uiret);
+        entry
+    }
+
+    /// Rewrites the target of the branch/jump emitted at `at` (forward
+    /// branch patching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction at `at` is not a branch or jump.
+    pub fn patch_branch(&mut self, at: Pc, target: Pc) {
+        let inst = &mut self.code[at];
+        inst.op = match inst.op {
+            Op::Bnez { src, .. } => Op::Bnez { src, target },
+            Op::Beqz { src, .. } => Op::Beqz { src, target },
+            Op::Jmp { .. } => Op::Jmp { target },
+            other => panic!("patch_branch on non-branch {other:?}"),
+        };
+    }
+
+    /// Finishes the program.
+    #[must_use]
+    pub fn finish(self) -> Program {
+        Program::new(self.name, self.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xui_sim::config::SystemConfig;
+    use xui_sim::System;
+
+    #[test]
+    fn built_loop_runs_correctly() {
+        let mut b = ProgramBuilder::new("loop");
+        b.li(regs::COUNTER, 100);
+        let top = b.here();
+        b.addi(regs::ACC0, regs::ACC0, 2);
+        b.subi(regs::COUNTER, regs::COUNTER, 1);
+        b.bnez(regs::COUNTER, top);
+        b.halt();
+        let mut sys = System::new(SystemConfig::uipi(), vec![b.finish()]);
+        sys.run_until_core_halted(0, 100_000).expect("halts");
+        assert_eq!(sys.cores[0].reg(regs::ACC0), 200);
+    }
+
+    #[test]
+    fn safepoint_marks_exactly_one_instruction() {
+        let mut b = ProgramBuilder::new("sp");
+        b.safepoint();
+        b.addi(regs::ACC0, regs::ACC0, 1);
+        b.addi(regs::ACC0, regs::ACC0, 1);
+        let p = b.finish();
+        assert!(p.get(0).unwrap().safepoint);
+        assert!(!p.get(1).unwrap().safepoint);
+    }
+
+    #[test]
+    fn standard_handler_shape() {
+        let mut b = ProgramBuilder::new("h");
+        b.halt();
+        let h = b.standard_handler();
+        let p = b.finish();
+        assert_eq!(h, 1);
+        assert_eq!(p.len(), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! A measurement harness for receiver-overhead experiments on the
+//! cycle-level simulator (Figures 2, 4, 5 and the §6.1 worst case).
+
+use serde::{Deserialize, Serialize};
+
+use xui_sim::config::SystemConfig;
+use xui_sim::core::IrqTiming;
+use xui_sim::system::Device;
+use xui_sim::System;
+
+use crate::builder::regs;
+use crate::programs::Workload;
+
+/// Where periodic interrupts/notifications come from during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IrqSource {
+    /// No interrupts: the baseline run.
+    None,
+    /// A dedicated software-timer core sending UIPIs every `period`
+    /// cycles (notification processing + delivery on the receiver).
+    UipiSwTimer {
+        /// Interrupt period in cycles.
+        period: u64,
+        /// Sender-side latency before the IPI lands (µcode + bus).
+        send_latency: u64,
+    },
+    /// The receiver's own KB_Timer fires every `period` cycles
+    /// (delivery-only microcode; no UPID access) (§4.3).
+    KbTimer {
+        /// Timer period in cycles.
+        period: u64,
+    },
+    /// A forwarded device interrupt every `period` cycles (fast-path
+    /// delivery-only) (§4.5).
+    ForwardedDevice {
+        /// Interrupt period in cycles.
+        period: u64,
+    },
+    /// A remote agent sets the workload's poll flag every `period`
+    /// cycles (for `Instrument::Poll` workloads).
+    PollFlag {
+        /// Flag-write period in cycles.
+        period: u64,
+        /// Flag address (must match the workload's instrumentation).
+        addr: u64,
+    },
+}
+
+/// The outcome of one measured run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total cycles until the workload halted.
+    pub cycles: u64,
+    /// Committed program instructions.
+    pub insts: u64,
+    /// User interrupts delivered.
+    pub delivered: u64,
+    /// Events handled (handler invocations or poll services).
+    pub handled: u64,
+    /// µops squashed.
+    pub squashed: u64,
+    /// Per-interrupt timings.
+    pub irq_timings: Vec<IrqTiming>,
+}
+
+impl RunResult {
+    /// Percentage slowdown of this run versus a baseline.
+    #[must_use]
+    pub fn overhead_pct(&self, baseline: &RunResult) -> f64 {
+        (self.cycles as f64 - baseline.cycles as f64) / baseline.cycles as f64 * 100.0
+    }
+
+    /// Average extra cycles per handled event versus a baseline.
+    #[must_use]
+    pub fn per_event_cost(&self, baseline: &RunResult) -> f64 {
+        if self.handled == 0 {
+            return 0.0;
+        }
+        (self.cycles as f64 - baseline.cycles as f64) / self.handled as f64
+    }
+
+    /// Mean accepted→handler-entry delivery latency in cycles.
+    #[must_use]
+    pub fn mean_delivery_latency(&self) -> f64 {
+        if self.irq_timings.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .irq_timings
+            .iter()
+            .map(|t| t.handler_at.saturating_sub(t.accepted_at))
+            .sum();
+        sum as f64 / self.irq_timings.len() as f64
+    }
+
+    /// Maximum accepted→handler-entry delivery latency in cycles.
+    #[must_use]
+    pub fn max_delivery_latency(&self) -> u64 {
+        self.irq_timings
+            .iter()
+            .map(|t| t.handler_at.saturating_sub(t.accepted_at))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Runs `workload` on a single core of a system configured by `cfg`, with
+/// the given interrupt source, until it halts (or `max_cycles`).
+///
+/// # Panics
+///
+/// Panics if the workload fails to halt within `max_cycles`.
+#[must_use]
+pub fn run_workload(
+    cfg: SystemConfig,
+    workload: &Workload,
+    source: IrqSource,
+    max_cycles: u64,
+) -> RunResult {
+    run_workload_with(cfg, workload, source, max_cycles, false)
+}
+
+/// Like [`run_workload`], with hardware safepoint mode (§4.4) optionally
+/// enabled on the core.
+///
+/// # Panics
+///
+/// Panics if the workload fails to halt within `max_cycles`.
+#[must_use]
+pub fn run_workload_with(
+    cfg: SystemConfig,
+    workload: &Workload,
+    source: IrqSource,
+    max_cycles: u64,
+    safepoint_mode: bool,
+) -> RunResult {
+    let mut sys = System::new(cfg, vec![workload.program.clone()]);
+    sys.cores[0].safepoint_mode = safepoint_mode;
+    workload.install(&mut sys, 0);
+    sys.register_receiver(0, workload.handler_pc);
+    match source {
+        IrqSource::None => {}
+        IrqSource::UipiSwTimer { period, send_latency } => {
+            let upid_addr = sys.cores[0].upid_addr;
+            sys.add_device(Device::UipiTimer {
+                period,
+                next_fire: period,
+                upid_addr,
+                user_vector: 1,
+                send_latency,
+            });
+        }
+        IrqSource::KbTimer { period } => {
+            sys.cores[0].enable_kb_timer(1);
+            sys.add_device(Device::DirectIrq {
+                period,
+                next_fire: period,
+                core: 0,
+                user_vector: 1,
+            });
+        }
+        IrqSource::ForwardedDevice { period } => {
+            sys.add_device(Device::DirectIrq {
+                period,
+                next_fire: period,
+                core: 0,
+                user_vector: 2,
+            });
+        }
+        IrqSource::PollFlag { period, addr } => {
+            sys.add_device(Device::FlagWriter {
+                period,
+                next_fire: period,
+                addr,
+                value: 1,
+            });
+        }
+    }
+    let cycles = sys
+        .run_until_core_halted(0, max_cycles)
+        .unwrap_or_else(|| panic!("workload {} did not halt in {max_cycles} cycles", workload.program.name));
+    let core = &sys.cores[0];
+    RunResult {
+        cycles,
+        insts: core.stats.committed_insts,
+        delivered: core.stats.interrupts_delivered,
+        handled: core.reg(regs::HANDLED),
+        squashed: core.stats.squashed_uops,
+        irq_timings: core.irq_timings.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use xui_sim::config::SystemConfig;
+
+    use super::*;
+    use crate::programs::{fib, Instrument};
+
+    #[test]
+    fn baseline_run_has_no_events() {
+        let w = fib(20_000, Instrument::None);
+        let r = run_workload(SystemConfig::xui(), &w, IrqSource::None, 100_000_000);
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.handled, 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn kb_timer_overhead_is_positive_and_small() {
+        let w = fib(100_000, Instrument::None);
+        let base = run_workload(SystemConfig::xui(), &w, IrqSource::None, 400_000_000);
+        let with = run_workload(
+            SystemConfig::xui(),
+            &w,
+            IrqSource::KbTimer { period: 10_000 },
+            400_000_000,
+        );
+        assert!(with.handled > 10);
+        let per_event = with.per_event_cost(&base);
+        assert!(per_event > 0.0, "events cost something: {per_event}");
+        assert!(per_event < 2_000.0, "but not absurdly much: {per_event}");
+    }
+
+    #[test]
+    fn overhead_pct_is_zero_against_self() {
+        let w = fib(10_000, Instrument::None);
+        let r = run_workload(SystemConfig::xui(), &w, IrqSource::None, 100_000_000);
+        assert_eq!(r.overhead_pct(&r), 0.0);
+    }
+}

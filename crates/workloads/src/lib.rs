@@ -1,0 +1,25 @@
+//! # xui-workloads
+//!
+//! The workloads of the xUI paper's evaluation, in two flavours:
+//!
+//! - **µop programs** for the cycle-level simulator (`xui-sim`):
+//!   [`programs`] provides *fib*, *linpack*, *memops* (Figure 4),
+//!   *matmul*, *base64* (Figure 5), pointer chasing (§3.5) and the
+//!   stack-pointer-dependent chain of §6.1, each parameterized by an
+//!   instrumentation mode ([`programs::Instrument`]): none, Concord-style
+//!   polling at loop back-edges, or hardware safepoints.
+//! - **service-time models** for the discrete-event experiments:
+//!   [`rocksdb`] provides the bimodal 99.5% GET / 0.5% SCAN mix of §5.3.
+//!
+//! [`harness`] runs a program against a configurable interrupt source and
+//! reports overheads — the measurement loop behind Figures 4 and 5.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod harness;
+pub mod programs;
+pub mod rocksdb;
+
+pub use harness::{run_workload, run_workload_with, IrqSource, RunResult};
+pub use programs::{Instrument, Workload};

@@ -1,0 +1,411 @@
+//! The benchmark programs of the paper's evaluation: *fib*, *linpack*,
+//! *memops* (Figure 4), *matmul*, *base64* (Figure 5), pointer chasing
+//! (§3.5), and the stack-pointer-dependent load chain of the §6.1
+//! worst-case experiment — all parameterized by an instrumentation mode
+//! (none / Concord-style polling / hardware safepoints).
+
+use xui_sim::isa::{Pc, Program, Reg};
+use xui_sim::System;
+
+use crate::builder::{regs, ProgramBuilder};
+
+/// Base register holding a buffer address.
+const BASE: Reg = Reg(10);
+/// Offset register for strided access.
+const OFF: Reg = Reg(11);
+/// Stack-area base for the SP-dependent chain.
+const SPBASE: Reg = Reg(12);
+/// Register holding the poll-flag address.
+const FLAG: Reg = Reg(9);
+
+/// Default shared-memory poll-flag address (written by a remote timer).
+pub const POLL_FLAG_ADDR: u64 = 0x4000_0000;
+
+/// Preemption-check instrumentation inserted at loop back-edges — the
+/// moral equivalent of a Concord compiler pass (§6.1 "Hardware safepoints
+/// vs. polling-based preemption").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instrument {
+    /// No instrumentation (interrupts may arrive anywhere).
+    None,
+    /// Shared-memory polling: load a flag and branch at every back-edge.
+    Poll {
+        /// The flag address the remote timer writes.
+        flag_addr: u64,
+    },
+    /// A safepoint-marked instruction at every back-edge (near-zero cost
+    /// when no interrupt is pending).
+    Safepoint,
+}
+
+/// A ready-to-run workload: program, handler entry, and initial state.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The program.
+    pub program: Program,
+    /// Handler entry PC (standard `r20 += 1; uiret` handler unless noted).
+    pub handler_pc: Pc,
+    /// Initial memory image.
+    pub mem_init: Vec<(u64, u64)>,
+    /// Initial register values.
+    pub reg_init: Vec<(Reg, u64)>,
+}
+
+impl Workload {
+    /// Installs this workload's initial state onto `core` of `sys`
+    /// (memory image, registers, handler).
+    pub fn install(&self, sys: &mut System, core: usize) {
+        for &(addr, val) in &self.mem_init {
+            sys.mem.poke(addr, val);
+        }
+        for &(reg, val) in &self.reg_init {
+            sys.cores[core].set_reg(reg, val);
+        }
+        sys.cores[core].set_handler(self.handler_pc);
+    }
+}
+
+/// Builds a standard instrumented loop: `iters` iterations of `body`,
+/// with the chosen back-edge instrumentation, a halt, and the standard
+/// handler.
+fn build_loop(
+    name: &str,
+    iters: u64,
+    instrument: Instrument,
+    handler_work: usize,
+    body: impl FnOnce(&mut ProgramBuilder),
+) -> (ProgramBuilder, Pc) {
+    let mut b = ProgramBuilder::new(name);
+    b.li(regs::COUNTER, iters);
+    if let Instrument::Poll { flag_addr } = instrument {
+        b.li(FLAG, flag_addr);
+    }
+    let top = b.here();
+    if matches!(instrument, Instrument::Safepoint) {
+        b.safepoint();
+    }
+    body(&mut b);
+    // Poll check at the back-edge; target patched after layout.
+    let check_at = if matches!(instrument, Instrument::Poll { .. }) {
+        b.load(regs::POLL, FLAG, 0);
+        let at = b.here();
+        b.bnez(regs::POLL, 0); // patched below
+        Some(at)
+    } else {
+        None
+    };
+    let dec = b.here();
+    b.subi(regs::COUNTER, regs::COUNTER, 1);
+    b.bnez(regs::COUNTER, top);
+    b.halt();
+    let handler_pc = if handler_work == 0 {
+        b.standard_handler()
+    } else {
+        b.handler_with_work(handler_work)
+    };
+    if let Some(at) = check_at {
+        // Poll service block: clear the flag, count, resume at `dec`.
+        let svc = b.here();
+        b.li(regs::POLL, 0);
+        b.store(regs::POLL, FLAG, 0);
+        b.addi(regs::HANDLED, regs::HANDLED, 1);
+        for _ in 0..handler_work {
+            b.addi(Reg(21), Reg(21), 1);
+        }
+        b.jmp(dec);
+        b.patch_branch(at, svc);
+    }
+    (b, handler_pc)
+}
+
+/// *fib*: a tight dependent-add loop — high sensitivity to any pipeline
+/// disturbance (Figure 4).
+#[must_use]
+pub fn fib(iters: u64, instrument: Instrument) -> Workload {
+    let (b, handler_pc) = build_loop("fib", iters, instrument, 0, |b| {
+        for _ in 0..4 {
+            b.add(regs::ACC1, regs::ACC1, regs::ACC0);
+            b.add(regs::ACC0, regs::ACC0, regs::ACC1);
+        }
+    });
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init: vec![],
+        reg_init: vec![(regs::ACC0, 1), (regs::ACC1, 1)],
+    }
+}
+
+/// *linpack*: daxpy-style FP with unit-stride loads/stores over a 64 KB
+/// working set (Figure 4).
+#[must_use]
+pub fn linpack(iters: u64, instrument: Instrument) -> Workload {
+    const BUF: u64 = 0x1000_0000;
+    const MASK: i64 = 0xFFF8; // 64 KB wrap
+    let (b, handler_pc) = build_loop("linpack", iters, instrument, 0, |b| {
+        b.load(regs::ACC0, BASE, 0); // x[i]
+        b.load(regs::ACC1, BASE, 0x1_0000); // y[i]
+        b.fp(regs::ACC0, regs::ACC0, regs::ACC2); // a * x[i]
+        b.fp(regs::ACC1, regs::ACC1, regs::ACC0); // y[i] + a*x[i]
+        b.store(regs::ACC1, BASE, 0x1_0000);
+        b.addi(OFF, OFF, 8);
+        b.andi(OFF, OFF, MASK);
+        b.li(BASE, BUF);
+        b.add(BASE, BASE, OFF);
+    });
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init: vec![],
+        reg_init: vec![(BASE, BUF), (OFF, 0), (regs::ACC2, 3)],
+    }
+}
+
+/// *memops*: strided 64 B loads/stores over a 512 KB working set — misses
+/// L1, hits L2 (Figure 4).
+#[must_use]
+pub fn memops(iters: u64, instrument: Instrument) -> Workload {
+    const BUF: u64 = 0x1100_0000;
+    const MASK: i64 = 0x7_FFC0; // 512 KB wrap at line granularity
+    let (b, handler_pc) = build_loop("memops", iters, instrument, 0, |b| {
+        b.load(regs::ACC0, BASE, 0);
+        b.addi(regs::ACC0, regs::ACC0, 1);
+        b.store(regs::ACC0, BASE, 0x10_0000);
+        b.addi(OFF, OFF, 64);
+        b.andi(OFF, OFF, MASK);
+        b.li(BASE, BUF);
+        b.add(BASE, BASE, OFF);
+    });
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init: vec![],
+        reg_init: vec![(BASE, BUF), (OFF, 0)],
+    }
+}
+
+/// *matmul*: an FP-dense inner-product loop over an L1-resident tile
+/// (Figure 5).
+#[must_use]
+pub fn matmul(iters: u64, instrument: Instrument, handler_work: usize) -> Workload {
+    const A: u64 = 0x1200_0000;
+    const MASK: i64 = 0x3FF8; // 16 KB tile
+    let (b, handler_pc) = build_loop("matmul", iters, instrument, handler_work, |b| {
+        b.load(regs::ACC0, BASE, 0);
+        b.load(regs::ACC1, BASE, 0x4000);
+        b.fp(regs::ACC0, regs::ACC0, regs::ACC1); // a*b
+        b.fp(regs::ACC2, regs::ACC2, regs::ACC0); // acc += (dependent)
+        b.fp(regs::ACC1, regs::ACC1, regs::ACC0);
+        b.addi(OFF, OFF, 8);
+        b.andi(OFF, OFF, MASK);
+        b.li(BASE, A);
+        b.add(BASE, BASE, OFF);
+    });
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init: vec![],
+        reg_init: vec![(BASE, A), (OFF, 0)],
+    }
+}
+
+/// *base64*: table-lookup encoding — shifts, masks, and dependent loads
+/// from a 2 KB table (Figure 5).
+#[must_use]
+pub fn base64(iters: u64, instrument: Instrument, handler_work: usize) -> Workload {
+    const INPUT: u64 = 0x1300_0000;
+    const TABLE: u64 = 0x1300_8000;
+    const IN_MASK: i64 = 0x1FF8; // 8 KB of input
+    let mut mem_init = Vec::new();
+    for i in 0..256u64 {
+        mem_init.push((TABLE + i * 8, (i * 37 + 11) % 64));
+    }
+    let (b, handler_pc) = build_loop("base64", iters, instrument, handler_work, |b| {
+        b.load(regs::ACC0, BASE, 0); // input word
+        for shift in [0i64, 6, 12, 18] {
+            b.shri(regs::ACC1, regs::ACC0, shift);
+            b.andi(regs::ACC1, regs::ACC1, 0xFF);
+            b.shli(regs::ACC1, regs::ACC1, 3);
+            b.li(regs::ADDR, TABLE);
+            b.add(regs::ADDR, regs::ADDR, regs::ACC1);
+            b.load(regs::ACC1, regs::ADDR, 0);
+            b.xor(regs::ACC2, regs::ACC2, regs::ACC1);
+        }
+        b.store(regs::ACC2, BASE, 0x4000);
+        b.addi(OFF, OFF, 8);
+        b.andi(OFF, OFF, IN_MASK);
+        b.li(BASE, INPUT);
+        b.add(BASE, BASE, OFF);
+    });
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init,
+        reg_init: vec![(BASE, INPUT), (OFF, 0)],
+    }
+}
+
+/// Pointer chasing over a ring of `nodes` cache lines (§3.5's
+/// flush-detection experiment): the working-set size controls the miss
+/// rate and thus the depth/latency of the in-flight dependence chain.
+#[must_use]
+pub fn pointer_chase(nodes: usize, iters: u64, instrument: Instrument) -> Workload {
+    const RING: u64 = 0x1400_0000;
+    let mut mem_init = Vec::with_capacity(nodes);
+    // Stride the successor pointers so consecutive accesses touch
+    // far-apart lines (defeating spatial locality in the LRU sets).
+    let stride = (nodes / 2 + 1) | 1; // odd → visits every node
+    for i in 0..nodes {
+        let next = (i + stride) % nodes;
+        mem_init.push((RING + (i as u64) * 64, RING + (next as u64) * 64));
+    }
+    let (b, handler_pc) = build_loop("pointer_chase", iters, instrument, 0, |b| {
+        for _ in 0..4 {
+            b.load(regs::ADDR, regs::ADDR, 0);
+        }
+    });
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init,
+        reg_init: vec![(regs::ADDR, RING)],
+    }
+}
+
+/// The §6.1 pathological workload: a long chain of cache-missing loads
+/// whose final value feeds the **stack pointer**, so tracked delivery's
+/// `PushSp` store stalls on the whole chain.
+#[must_use]
+pub fn sp_dependent_chain(chain_len: usize, nodes: usize, iters: u64) -> Workload {
+    const RING: u64 = 0x1500_0000;
+    let mut mem_init = Vec::with_capacity(nodes);
+    let stride = (nodes / 2 + 1) | 1;
+    for i in 0..nodes {
+        let next = (i + stride) % nodes;
+        mem_init.push((RING + (i as u64) * 64, RING + (next as u64) * 64));
+    }
+    let mut b = ProgramBuilder::new("sp_chain");
+    b.li(regs::COUNTER, iters);
+    let top = b.here();
+    for _ in 0..chain_len {
+        b.load(regs::ADDR, regs::ADDR, 0);
+    }
+    // SP = SPBASE + (chain & 0x3f8): a stack address that depends on the
+    // entire load chain.
+    b.andi(regs::ACC0, regs::ADDR, 0x3F8);
+    b.add(Reg::SP, SPBASE, regs::ACC0);
+    b.subi(regs::COUNTER, regs::COUNTER, 1);
+    b.bnez(regs::COUNTER, top);
+    b.halt();
+    let handler_pc = b.standard_handler();
+    Workload {
+        program: b.finish(),
+        handler_pc,
+        mem_init,
+        reg_init: vec![(regs::ADDR, RING), (SPBASE, 0x0180_0000)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use xui_sim::config::SystemConfig;
+    use xui_sim::System;
+
+    use super::*;
+
+    fn run(w: &Workload, max: u64) -> System {
+        let mut sys = System::new(SystemConfig::xui(), vec![w.program.clone()]);
+        w.install(&mut sys, 0);
+        sys.run_until_core_halted(0, max).expect("workload halts");
+        sys
+    }
+
+    #[test]
+    fn all_workloads_halt_uninstrumented() {
+        for w in [
+            fib(2_000, Instrument::None),
+            linpack(2_000, Instrument::None),
+            memops(2_000, Instrument::None),
+            matmul(2_000, Instrument::None, 0),
+            base64(1_000, Instrument::None, 0),
+            pointer_chase(256, 1_000, Instrument::None),
+            sp_dependent_chain(8, 4096, 200),
+        ] {
+            let sys = run(&w, 50_000_000);
+            assert!(sys.cores[0].stats.committed_insts > 0, "{}", w.program.name);
+        }
+    }
+
+    #[test]
+    fn instruction_mixes_have_distinct_character() {
+        // fib is a serial ALU chain: no data-memory traffic.
+        let f = run(&fib(20_000, Instrument::None), 10_000_000);
+        assert!(f.mem.stats(0).l2_hits + f.mem.stats(0).mem_accesses < 50);
+        // memops misses L1 every iteration but pipelines the misses.
+        let m = run(&memops(20_000, Instrument::None), 50_000_000);
+        assert!(m.mem.stats(0).l2_hits > 1_000, "memops misses L1 into L2");
+        // A big pointer chase is serial *and* missing: lowest IPC of all.
+        let p = run(&pointer_chase(16_384, 20_000, Instrument::None), 800_000_000);
+        let ipc = |s: &System| {
+            s.cores[0].stats.committed_insts as f64
+                / s.cores[0].stats.halted_at.unwrap() as f64
+        };
+        assert!(ipc(&p) < ipc(&f), "chase {:.2} < fib {:.2}", ipc(&p), ipc(&f));
+        assert!(ipc(&p) < ipc(&m), "chase {:.2} < memops {:.2}", ipc(&p), ipc(&m));
+    }
+
+    #[test]
+    fn pointer_chase_miss_rate_grows_with_working_set() {
+        let small = run(&pointer_chase(32, 20_000, Instrument::None), 100_000_000);
+        let large = run(&pointer_chase(16_384, 20_000, Instrument::None), 400_000_000);
+        let cyc_small = small.cores[0].stats.halted_at.unwrap();
+        let cyc_large = large.cores[0].stats.halted_at.unwrap();
+        assert!(
+            cyc_large > cyc_small * 3,
+            "large working set should be much slower: {cyc_small} vs {cyc_large}"
+        );
+    }
+
+    #[test]
+    fn polling_instrumentation_adds_overhead() {
+        let plain = run(&fib(50_000, Instrument::None), 100_000_000);
+        let polled = run(
+            &fib(50_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
+            100_000_000,
+        );
+        let c0 = plain.cores[0].stats.halted_at.unwrap();
+        let c1 = polled.cores[0].stats.halted_at.unwrap();
+        assert!(c1 > c0, "poll checks cost cycles: {c0} vs {c1}");
+        // And with no flag writer, the service path never runs.
+        assert_eq!(polled.cores[0].reg(regs::HANDLED), 0);
+    }
+
+    #[test]
+    fn safepoint_instrumentation_is_near_free_without_interrupts() {
+        let plain = run(&matmul(50_000, Instrument::None, 0), 100_000_000);
+        let sp = run(&matmul(50_000, Instrument::Safepoint, 0), 100_000_000);
+        let c0 = plain.cores[0].stats.halted_at.unwrap() as f64;
+        let c1 = sp.cores[0].stats.halted_at.unwrap() as f64;
+        assert!(
+            (c1 - c0).abs() / c0 < 0.01,
+            "safepoints are ~free with no pending interrupt: {c0} vs {c1}"
+        );
+    }
+
+    #[test]
+    fn poll_flag_service_path_works() {
+        use xui_sim::system::Device;
+        let w = fib(400_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR });
+        let mut sys = System::new(SystemConfig::uipi(), vec![w.program.clone()]);
+        w.install(&mut sys, 0);
+        sys.add_device(Device::FlagWriter {
+            period: 10_000,
+            next_fire: 10_000,
+            addr: POLL_FLAG_ADDR,
+            value: 1,
+        });
+        sys.run_until_core_halted(0, 100_000_000).expect("halts");
+        let handled = sys.cores[0].reg(regs::HANDLED);
+        assert!(handled > 10, "poll service ran: {handled}");
+    }
+}

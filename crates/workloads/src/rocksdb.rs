@@ -1,0 +1,120 @@
+//! The paper's RocksDB service-time model (§5.3): a bimodal request mix
+//! of 99.5% GET requests at 1.2 µs and 0.5% SCAN requests at 580 µs,
+//! served by a single worker in an Aspen runtime.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Request class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// A point lookup (1.2 µs service time).
+    Get,
+    /// A range scan (580 µs service time).
+    Scan,
+}
+
+/// The bimodal RocksDB workload model.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use xui_workloads::rocksdb::RocksDbModel;
+///
+/// let model = RocksDbModel::paper();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (class, cycles) = model.sample(&mut rng);
+/// assert!(cycles == model.get_cycles || cycles == model.scan_cycles);
+/// let _ = class;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocksDbModel {
+    /// GET service time in cycles.
+    pub get_cycles: u64,
+    /// SCAN service time in cycles.
+    pub scan_cycles: u64,
+    /// Probability a request is a SCAN.
+    pub p_scan: f64,
+}
+
+impl RocksDbModel {
+    /// The paper's parameters at 2 GHz: GET = 1.2 µs = 2400 cycles,
+    /// SCAN = 580 µs = 1 160 000 cycles, 0.5% SCANs.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            get_cycles: 2_400,
+            scan_cycles: 1_160_000,
+            p_scan: 0.005,
+        }
+    }
+
+    /// Mean service time in cycles.
+    #[must_use]
+    pub fn mean_service(&self) -> f64 {
+        self.p_scan * self.scan_cycles as f64 + (1.0 - self.p_scan) * self.get_cycles as f64
+    }
+
+    /// The offered load (fraction of one core) at a given request rate in
+    /// requests per second, assuming a 2 GHz clock.
+    #[must_use]
+    pub fn load_at_rps(&self, rps: f64) -> f64 {
+        rps * self.mean_service() / 2e9
+    }
+
+    /// Draws one request.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (RequestClass, u64) {
+        if rng.gen::<f64>() < self.p_scan {
+            (RequestClass::Scan, self.scan_cycles)
+        } else {
+            (RequestClass::Get, self.get_cycles)
+        }
+    }
+}
+
+impl Default for RocksDbModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn paper_parameters_match_section_5_3() {
+        let m = RocksDbModel::paper();
+        assert_eq!(m.get_cycles, 2_400); // 1.2 µs @ 2 GHz
+        assert_eq!(m.scan_cycles, 1_160_000); // 580 µs @ 2 GHz
+        assert!((m.p_scan - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_fraction_converges() {
+        let m = RocksDbModel::paper();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 200_000;
+        let scans = (0..n)
+            .filter(|_| matches!(m.sample(&mut rng).0, RequestClass::Scan))
+            .count();
+        let frac = scans as f64 / f64::from(n);
+        assert!((frac - 0.005).abs() < 0.001, "frac={frac}");
+    }
+
+    #[test]
+    fn mean_service_dominated_by_scans() {
+        let m = RocksDbModel::paper();
+        // 0.5% × 580 µs = 2.9 µs of scan per request vs 1.194 µs of GET.
+        let mean = m.mean_service();
+        assert!((mean - (0.005 * 1_160_000.0 + 0.995 * 2_400.0)).abs() < 1e-6);
+        // Saturation throughput ≈ 2e9 / mean ≈ 245k rps.
+        let sat = 2e9 / mean;
+        assert!((200_000.0..300_000.0).contains(&sat), "sat={sat}");
+        assert!((m.load_at_rps(sat) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! Offloading to a DSA-like streaming accelerator (the Figure 9
+//! scenario): submit 20 µs copies in a closed loop and compare the three
+//! ways of learning they finished — busy spinning, periodic OS-timer
+//! polling, and xUI device interrupts — as response times get noisier.
+//!
+//! Run with: `cargo run --release --example dsa_offload`
+
+use xui::accel::{run_offload, CompletionMode, OffloadConfig, RequestKind};
+
+fn main() {
+    let kind = RequestKind::Long; // 20 µs mean (one 1 MB DSA copy)
+    println!(
+        "closed-loop offload: {} requests of ~20 µs each\n",
+        OffloadConfig::paper(kind, 0, CompletionMode::BusySpin).requests
+    );
+    println!(
+        "{:<16} {:>8} {:>18} {:>12} {:>9}",
+        "mode", "noise", "delivery latency", "free cycles", "kIOPS"
+    );
+    for noise_pct in [0u64, 50] {
+        let noise = kind.mean_cycles() * noise_pct / 100;
+        for (mode, name) in [
+            (CompletionMode::BusySpin, "busy-spin"),
+            (OffloadConfig::matched_poll_period(kind), "periodic-poll"),
+            (CompletionMode::XuiInterrupt, "xUI interrupt"),
+        ] {
+            let r = run_offload(&OffloadConfig::paper(kind, noise, mode));
+            println!(
+                "{name:<16} {noise_pct:>7}% {:>16.2}µs {:>11.1}% {:>9.1}",
+                r.mean_delay_us,
+                r.free_fraction * 100.0,
+                r.iops / 1_000.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "Busy spinning is instant but burns the core; the interval timer frees \
+         the core but\nmisses noisy completions by a whole period; xUI delivers \
+         in ~105 cycles with the\ncore idle the rest of the time — \"the \
+         performance of polling with the efficiency\nof asynchronous \
+         notification\"."
+    );
+}

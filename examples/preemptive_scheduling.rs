@@ -1,0 +1,41 @@
+//! Preemptive user-level scheduling (the Figure 7 scenario, condensed):
+//! serve the paper's bimodal RocksDB mix (99.5% GET @ 1.2 µs, 0.5% SCAN
+//! @ 580 µs) with no preemption, UIPI software-timer preemption, and xUI
+//! KB_Timer preemption — and watch head-of-line blocking disappear.
+//!
+//! Run with: `cargo run --release --example preemptive_scheduling`
+
+use xui::kernel::PreemptMechanism;
+use xui::runtime::{run_server, ServerConfig};
+
+fn main() {
+    let load_rps = 100_000.0;
+    println!("offered load: {load_rps} requests/s, 5 µs quantum, one worker core\n");
+    for (name, mechanism) in [
+        ("no preemption", PreemptMechanism::None),
+        ("UIPI SW timer", PreemptMechanism::UipiSwTimer),
+        ("xUI KB_Timer ", PreemptMechanism::XuiKbTimer),
+    ] {
+        let mut cfg = ServerConfig::paper(mechanism, load_rps);
+        cfg.duration = 200_000_000; // 100 ms
+        let r = run_server(&cfg);
+        println!(
+            "{name}: GET p99.9 = {:>7.0} µs | SCAN p99 = {:>7.0} µs | \
+             preemptions = {:>5} | worker busy = {:>5.1}%{}",
+            r.get_p999_us(),
+            r.scan_p99_us(),
+            r.preemptions,
+            r.busy_fraction * 100.0,
+            if mechanism.needs_timer_core() {
+                "  (+1 core burned as time source)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!(
+        "\nA single queued 580 µs SCAN blocks dozens of 1.2 µs GETs without \
+         preemption;\nwith a 5 µs quantum the GETs overtake it — and xUI charges \
+         6× less per timer fire than UIPI."
+    );
+}

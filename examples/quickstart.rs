@@ -1,0 +1,106 @@
+//! Quickstart: send a user interrupt two ways.
+//!
+//! 1. Through the *protocol model* (`xui_core`): the architectural state
+//!    machine — UPID posting, notification, delivery — with no timing.
+//! 2. Through the *cycle-level simulator* (`xui_sim`): the same protocol
+//!    executed by out-of-order pipelines, where `senduipi` is 57 µops of
+//!    microcode and delivery costs real cycles.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xui::core::model::{CoreId, ProtocolModel};
+use xui::core::vectors::UserVector;
+use xui::sim::config::SystemConfig;
+use xui::sim::isa::{AluKind, Inst, Op, Operand, Reg};
+use xui::sim::{Program, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Protocol level -------------------------------------------
+    let mut sys = ProtocolModel::new(2);
+    let sender = sys.create_thread();
+    let receiver = sys.create_thread();
+    sys.register_handler(receiver, 0x4000)?;
+    let route = sys.register_sender(sender, receiver, UserVector::new(5)?)?;
+    sys.schedule(sender, CoreId(0))?;
+    sys.schedule(receiver, CoreId(1))?;
+
+    sys.senduipi(sender, route)?;
+    let delivered = sys.run_pending(receiver)?;
+    println!("protocol model: delivered {delivered:?}");
+
+    // While the receiver is descheduled, the SN bit suppresses IPIs and
+    // the kernel reposts on resume — no interrupt is ever lost.
+    sys.deschedule(CoreId(1))?;
+    sys.senduipi(sender, route)?;
+    sys.schedule(receiver, CoreId(1))?;
+    println!(
+        "slow path after resume: delivered {:?}",
+        sys.run_pending(receiver)?
+    );
+
+    // --- 2. Cycle level ----------------------------------------------
+    // Sender: wait ~2000 cycles, senduipi, halt.
+    let sender_prog = Program::new(
+        "sender",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: 2_000 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    // Receiver: a counting loop; handler at PC 4 bumps r20 and returns.
+    let receiver_prog = Program::new(
+        "receiver",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: 50_000 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(20),
+                src: Reg(20),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Uiret),
+        ],
+    );
+
+    // Tracked (xUI) delivery: no pipeline flush.
+    let mut machine = System::new(SystemConfig::xui(), vec![sender_prog, receiver_prog]);
+    machine.register_receiver(1, 4);
+    machine.connect_sender(0, 1, 5);
+    machine.run_until_halted(10_000_000);
+
+    let rx = &machine.cores[1];
+    println!(
+        "cycle sim (tracked): {} interrupt(s) delivered, handler ran {} time(s), \
+         {} µops squashed by interrupt handling",
+        rx.stats.interrupts_delivered,
+        rx.reg(Reg(20)),
+        rx.stats.irq_flushes,
+    );
+    let t = rx.irq_timings[0];
+    println!(
+        "delivery anatomy: accepted@{} → injected@{} → handler@{} → uiret@{} \
+         ({} cycles accept→handler)",
+        t.accepted_at,
+        t.injected_at,
+        t.handler_at,
+        t.uiret_at,
+        t.handler_at - t.accepted_at
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Determinism contract: every simulation level is bit-reproducible under
+//! a fixed seed — a requirement for the experiment harness (DESIGN.md §3).
+
+use xui::accel::{run_offload, CompletionMode, OffloadConfig, RequestKind};
+use xui::kernel::PreemptMechanism;
+use xui::net::{run_l3fwd, IoMode, L3fwdConfig};
+use xui::runtime::{run_server, ServerConfig};
+use xui::sim::config::SystemConfig;
+use xui::workloads::harness::{run_workload, IrqSource};
+use xui::workloads::programs::{base64, Instrument};
+
+#[test]
+fn cycle_sim_is_deterministic() {
+    let run = || {
+        let w = base64(5_000, Instrument::None, 0);
+        run_workload(
+            SystemConfig::xui(),
+            &w,
+            IrqSource::KbTimer { period: 7_000 },
+            1_000_000_000,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.squashed, b.squashed);
+    assert_eq!(a.irq_timings, b.irq_timings);
+}
+
+#[test]
+fn runtime_sim_is_deterministic() {
+    let run = || {
+        let mut cfg = ServerConfig::paper(PreemptMechanism::XuiKbTimer, 90_000.0);
+        cfg.duration = 60_000_000;
+        run_server(&cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.completed_gets, b.completed_gets);
+    assert_eq!(a.completed_scans, b.completed_scans);
+    assert_eq!(a.preemptions, b.preemptions);
+    assert_eq!(a.get_latency.p999, b.get_latency.p999);
+}
+
+#[test]
+fn net_sim_is_deterministic() {
+    let run = || {
+        let mut cfg = L3fwdConfig::paper(4, 0.5, IoMode::XuiInterrupt);
+        cfg.duration = 6_000_000;
+        run_l3fwd(&cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.forwarded, b.forwarded);
+    assert_eq!(a.latency.p95, b.latency.p95);
+    assert_eq!(a.account, b.account);
+}
+
+#[test]
+fn accel_sim_is_deterministic() {
+    let run = || {
+        let mut cfg = OffloadConfig::paper(
+            RequestKind::Long,
+            10_000,
+            CompletionMode::PeriodicPoll { period: 40_000 },
+        );
+        cfg.requests = 2_000;
+        run_offload(&cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.span, b.span);
+    assert_eq!(a.detection_delay.p99, b.detection_delay.p99);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut cfg = ServerConfig::paper(PreemptMechanism::XuiKbTimer, 90_000.0);
+    cfg.duration = 60_000_000;
+    let a = run_server(&cfg);
+    cfg.seed = 43;
+    let b = run_server(&cfg);
+    assert_ne!(
+        (a.completed_gets, a.get_latency.p50),
+        (b.completed_gets, b.get_latency.p50),
+        "different seeds should explore different arrival sequences"
+    );
+}

@@ -1,0 +1,96 @@
+//! Seed robustness: the paper's qualitative claims must not depend on a
+//! lucky RNG seed. Each headline effect is re-checked across several
+//! seeds with smaller-than-benchmark configurations.
+
+use xui::accel::{run_offload, CompletionMode, OffloadConfig, RequestKind};
+use xui::kernel::PreemptMechanism;
+use xui::net::{run_l3fwd, IoMode, L3fwdConfig};
+use xui::runtime::{run_server, ServerConfig};
+
+const SEEDS: [u64; 4] = [1, 7, 1234, 0xdead_beef];
+
+#[test]
+fn preemption_beats_no_preemption_for_every_seed() {
+    for seed in SEEDS {
+        let mut none = ServerConfig::paper(PreemptMechanism::None, 80_000.0);
+        none.duration = 80_000_000;
+        none.seed = seed;
+        let mut xui = none.clone();
+        xui.mechanism = PreemptMechanism::XuiKbTimer;
+        let rn = run_server(&none);
+        let rx = run_server(&xui);
+        assert!(
+            rx.get_latency.p999 * 3 < rn.get_latency.p999,
+            "seed {seed}: xUI p999 {} vs none {}",
+            rx.get_latency.p999,
+            rn.get_latency.p999
+        );
+    }
+}
+
+#[test]
+fn xui_beats_uipi_on_worker_busy_for_every_seed() {
+    for seed in SEEDS {
+        let mut uipi = ServerConfig::paper(PreemptMechanism::UipiSwTimer, 120_000.0);
+        uipi.duration = 80_000_000;
+        uipi.seed = seed;
+        let mut xui = uipi.clone();
+        xui.mechanism = PreemptMechanism::XuiKbTimer;
+        let ru = run_server(&uipi);
+        let rx = run_server(&xui);
+        assert!(
+            rx.busy_fraction < ru.busy_fraction,
+            "seed {seed}: xUI busy {} vs UIPI {}",
+            rx.busy_fraction,
+            ru.busy_fraction
+        );
+    }
+}
+
+#[test]
+fn l3fwd_parity_and_free_cycles_for_every_seed() {
+    for seed in SEEDS {
+        let mut poll = L3fwdConfig::paper(2, 0.4, IoMode::Polling);
+        poll.duration = 8_000_000;
+        poll.seed = seed;
+        let mut xui = poll.clone();
+        xui.mode = IoMode::XuiInterrupt;
+        let rp = run_l3fwd(&poll);
+        let rx = run_l3fwd(&xui);
+        let parity = (rp.forwarded as f64 - rx.forwarded as f64).abs()
+            / rp.forwarded.max(1) as f64;
+        assert!(parity < 0.02, "seed {seed}: parity {parity:.4}");
+        assert!(rp.free_fraction < 1e-9, "seed {seed}");
+        assert!(
+            (0.2..0.7).contains(&rx.free_fraction),
+            "seed {seed}: free {}",
+            rx.free_fraction
+        );
+        assert_eq!(rx.drops, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn dsa_noise_blowup_for_every_seed() {
+    for seed in SEEDS {
+        let mode = OffloadConfig::matched_poll_period(RequestKind::Long);
+        let mut calm = OffloadConfig::paper(RequestKind::Long, 0, mode);
+        calm.requests = 4_000;
+        calm.seed = seed;
+        let mut noisy = calm.clone();
+        noisy.noise = 30_000;
+        let rc = run_offload(&calm);
+        let rn = run_offload(&noisy);
+        assert!(
+            rn.mean_delay_us > rc.mean_delay_us * 2.0,
+            "seed {seed}: calm {} noisy {}",
+            rc.mean_delay_us,
+            rn.mean_delay_us
+        );
+        // And xUI stays flat under the same noise.
+        let mut x = noisy.clone();
+        x.mode = CompletionMode::XuiInterrupt;
+        let rx = run_offload(&x);
+        assert!(rx.mean_delay_us < 0.1, "seed {seed}: xUI {}", rx.mean_delay_us);
+    }
+}
