@@ -14,7 +14,7 @@ use xui_net::lpm::Lpm;
 use xui_net::traffic::paper_route_table;
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
-use xui_sim::{Program, System};
+use xui_sim::{Device, Program, System};
 
 fn bench_lpm_lookup(c: &mut Criterion) {
     let routes = paper_route_table(1);
@@ -39,6 +39,35 @@ fn bench_event_engine(c: &mut Criterion) {
             let mut engine: Engine<u64> = Engine::new();
             for t in 0..10_000u64 {
                 engine.schedule_at((t * 7919) % 100_000, |s, _| *s += 1);
+            }
+            let mut count = 0u64;
+            engine.run(&mut count);
+            black_box(count)
+        })
+    });
+}
+
+fn bench_event_engine_churn(c: &mut Criterion) {
+    // Exercises the slab allocator under a cancel-heavy schedule. The
+    // previous engine boxed each closure into a fresh heap entry and kept
+    // cancelled ids in a HashSet<u64> consulted on every pop, so churn
+    // like this paid an allocation per event plus a hash probe per pop;
+    // the slab reuses freed slots (generation-tagged) and the index-keyed
+    // heap drops tombstones with a plain integer comparison.
+    c.bench_function("des_engine_cancel_churn_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u64> = Engine::new();
+            let mut ids = Vec::with_capacity(64);
+            for t in 0..10_000u64 {
+                let id = engine.schedule_at((t * 7919) % 100_000, |s, _| *s += 1);
+                ids.push(id);
+                // Cancel half the in-flight events, oldest first, keeping
+                // the live population (and thus the slab) small.
+                if ids.len() == 64 {
+                    for id in ids.drain(..32) {
+                        engine.cancel(id);
+                    }
+                }
             }
             let mut count = 0u64;
             engine.run(&mut count);
@@ -133,10 +162,35 @@ fn bench_cycle_sim_senduipi(c: &mut Criterion) {
     });
 }
 
+fn bench_halted_bulk_skip(c: &mut Criterion) {
+    // Halted-heavy run: the core halts after a handful of instructions,
+    // leaving millions of dead cycles before the horizon with only a
+    // periodic device firing. With the idle fast path the system jumps
+    // straight between device wake-ups instead of ticking every cycle.
+    let program = Program::new(
+        "halt-early",
+        vec![Inst::new(Op::Li { dst: Reg(1), imm: 1 }), Inst::new(Op::Halt)],
+    );
+    c.bench_function("run_cycles_5m_halted_bulk_skip", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::xui(), vec![program.clone()]);
+            sys.add_device(Device::FlagWriter {
+                period: 10_000,
+                next_fire: 10_000,
+                addr: 0xA000,
+                value: 1,
+            });
+            sys.run_cycles(5_000_000);
+            black_box(sys.now())
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_lpm_lookup, bench_event_engine, bench_histogram, bench_pipeline,
-              bench_protocol_send_deliver, bench_cycle_sim_senduipi
+    targets = bench_lpm_lookup, bench_event_engine, bench_event_engine_churn,
+              bench_histogram, bench_pipeline, bench_protocol_send_deliver,
+              bench_cycle_sim_senduipi, bench_halted_bulk_skip
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_kernel::PreemptMechanism;
 use xui_runtime::{run_server, ServerConfig};
 
@@ -27,8 +27,8 @@ fn main() {
     );
 
     let per_worker_krps = 200.0;
-    let mut rows = Vec::new();
-    for workers in 1..=4usize {
+    let points: Vec<usize> = (1..=4).collect();
+    let rows = run_sweep("ablation_multiworker", Sweep::new(points), |&workers, _ctx| {
         let mut cfg = ServerConfig::paper(
             PreemptMechanism::XuiKbTimer,
             per_worker_krps * 1_000.0 * workers as f64,
@@ -36,15 +36,15 @@ fn main() {
         cfg.workers = workers;
         cfg.duration = 200_000_000; // 100 ms
         let r = run_server(&cfg);
-        rows.push(Row {
+        Row {
             workers,
             offered_krps: per_worker_krps * workers as f64,
             get_p999_us: r.get_p999_us(),
             busy_fraction: r.busy_fraction,
             steals: r.steals,
             stable: r.stable,
-        });
-    }
+        }
+    });
 
     let mut t = Table::new(vec![
         "workers",

@@ -10,7 +10,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_workloads::harness::{run_workload, IrqSource};
 use xui_workloads::programs::{base64, fib, matmul, Instrument, POLL_FLAG_ADDR};
@@ -34,25 +34,23 @@ fn main() {
     );
 
     let max = 6_000_000_000;
-    let mut rows = Vec::new();
-    for (name, plain, polled) in [
-        (
-            "fib",
-            fib(100_000, Instrument::None),
-            fib(100_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
-        ),
-        (
-            "matmul",
-            matmul(100_000, Instrument::None, 0),
-            matmul(100_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
-        ),
-        (
-            "base64",
-            base64(40_000, Instrument::None, 0),
-            base64(40_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
-        ),
-    ] {
-        for period in [10_000u64, 50_000] {
+    let benchmarks = ["fib", "matmul", "base64"];
+    let points: Vec<(&'static str, u64)> = benchmarks
+        .iter()
+        .flat_map(|&name| [10_000u64, 50_000].iter().map(move |&p| (name, p)))
+        .collect();
+    let rows = run_sweep(
+        "ablation_polling_vs_tracked",
+        Sweep::new(points),
+        |&(name, period), _ctx| {
+            let poll_instr = Instrument::Poll { flag_addr: POLL_FLAG_ADDR };
+            let (plain, polled) = match name {
+                "fib" => (fib(100_000, Instrument::None), fib(100_000, poll_instr)),
+                "matmul" => {
+                    (matmul(100_000, Instrument::None, 0), matmul(100_000, poll_instr, 0))
+                }
+                _ => (base64(40_000, Instrument::None, 0), base64(40_000, poll_instr, 0)),
+            };
             let base = run_workload(SystemConfig::xui(), &plain, IrqSource::None, max);
             let poll = run_workload(
                 SystemConfig::xui(),
@@ -66,16 +64,16 @@ fn main() {
                 IrqSource::ForwardedDevice { period },
                 max,
             );
-            rows.push(Row {
+            Row {
                 benchmark: name,
                 notification_period: period,
                 poll_total_overhead_pct: poll.overhead_pct(&base),
                 poll_per_event: poll.per_event_cost(&base),
                 tracked_total_overhead_pct: tracked.overhead_pct(&base),
                 tracked_per_event: tracked.per_event_cost(&base),
-            });
-        }
-    }
+            }
+        },
+    );
 
     let mut t = Table::new(vec![
         "benchmark",

@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::{DeliveryStrategy, SystemConfig};
 use xui_workloads::harness::{run_workload, IrqSource, RunResult};
 use xui_workloads::programs::{fib, linpack, memops, pointer_chase, Instrument, Workload};
@@ -30,12 +30,6 @@ fn main() {
 
     let period = 10_000;
     let max = 6_000_000_000;
-    let workloads: Vec<(String, Workload)> = vec![
-        ("fib".into(), fib(100_000, Instrument::None)),
-        ("linpack".into(), linpack(60_000, Instrument::None)),
-        ("memops".into(), memops(60_000, Instrument::None)),
-        ("chase-16k".into(), pointer_chase(16_384, 30_000, Instrument::None)),
-    ];
 
     let strategies = [
         (DeliveryStrategy::Flush, "flush"),
@@ -43,29 +37,43 @@ fn main() {
         (DeliveryStrategy::Tracked, "tracked"),
     ];
 
-    let mut rows = Vec::new();
-    for (name, w) in &workloads {
-        let base = run_workload(SystemConfig::uipi(), w, IrqSource::None, max);
-        for (strategy, sname) in strategies {
-            let mut cfg = SystemConfig::uipi();
-            cfg.strategy.0 = strategy;
-            let r: RunResult = run_workload(
-                cfg,
-                w,
-                IrqSource::UipiSwTimer { period, send_latency: 380 },
-                max,
-            );
-            rows.push(Row {
-                benchmark: name.clone(),
-                strategy: sname,
-                per_event: r.per_event_cost(&base),
-                mean_delivery_latency: r.mean_delivery_latency(),
-                max_delivery_latency: r.max_delivery_latency(),
-                squashed_per_irq: r.squashed.saturating_sub(base.squashed) as f64
-                    / r.delivered.max(1) as f64,
-            });
-        }
-    }
+    // One point per workload: the baseline run is shared across the three
+    // strategy runs, so a point yields all three rows.
+    let points = vec!["fib", "linpack", "memops", "chase-16k"];
+    let rows: Vec<Row> = run_sweep("ablation_strategies", Sweep::new(points), |&name, _ctx| {
+        let w: Workload = match name {
+            "fib" => fib(100_000, Instrument::None),
+            "linpack" => linpack(60_000, Instrument::None),
+            "memops" => memops(60_000, Instrument::None),
+            _ => pointer_chase(16_384, 30_000, Instrument::None),
+        };
+        let base = run_workload(SystemConfig::uipi(), &w, IrqSource::None, max);
+        strategies
+            .iter()
+            .map(|&(strategy, sname)| {
+                let mut cfg = SystemConfig::uipi();
+                cfg.strategy.0 = strategy;
+                let r: RunResult = run_workload(
+                    cfg,
+                    &w,
+                    IrqSource::UipiSwTimer { period, send_latency: 380 },
+                    max,
+                );
+                Row {
+                    benchmark: name.to_string(),
+                    strategy: sname,
+                    per_event: r.per_event_cost(&base),
+                    mean_delivery_latency: r.mean_delivery_latency(),
+                    max_delivery_latency: r.max_delivery_latency(),
+                    squashed_per_irq: r.squashed.saturating_sub(base.squashed) as f64
+                        / r.delivered.max(1) as f64,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let mut t = Table::new(vec![
         "benchmark",

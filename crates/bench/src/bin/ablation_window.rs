@@ -10,7 +10,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_workloads::harness::{run_workload, IrqSource};
 use xui_workloads::programs::{memops, Instrument};
@@ -44,10 +44,11 @@ fn main() {
     let period = 10_000;
     let max = 4_000_000_000;
     let w = memops(80_000, Instrument::None);
-    let mut rows = Vec::new();
 
-    for scale in [0.5f64, 1.0, 2.0, 4.0] {
-        let base_run = run_workload(scaled(SystemConfig::uipi(), scale), &w, IrqSource::None, max);
+    let points = vec![0.5f64, 1.0, 2.0, 4.0];
+    let rows = run_sweep("ablation_window", Sweep::new(points), |&scale, _ctx| {
+        let base_run =
+            run_workload(scaled(SystemConfig::uipi(), scale), &w, IrqSource::None, max);
         let flush = run_workload(
             scaled(SystemConfig::uipi(), scale),
             &w,
@@ -60,14 +61,14 @@ fn main() {
             IrqSource::UipiSwTimer { period, send_latency: 380 },
             max,
         );
-        rows.push(Row {
+        Row {
             rob_size: (384.0 * scale) as usize,
             flush_per_event: flush.per_event_cost(&base_run),
             tracked_per_event: tracked.per_event_cost(&base_run),
             flush_squashed_per_irq: flush.squashed.saturating_sub(base_run.squashed) as f64
                 / flush.delivered.max(1) as f64,
-        });
-    }
+        }
+    });
 
     let mut t = Table::new(vec![
         "ROB size",

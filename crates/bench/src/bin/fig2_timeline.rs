@@ -3,7 +3,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
 use xui_sim::trace::{first_at_or_after, TraceKind};
@@ -16,6 +16,13 @@ struct Segment {
     measured_cycle: i64,
 }
 
+#[derive(Serialize)]
+struct Timeline {
+    segments: Vec<Segment>,
+    flush_refill: i64,
+    notif_delivery: i64,
+}
+
 fn main() {
     banner(
         "Figure 2",
@@ -24,91 +31,109 @@ fn main() {
          flush+refill 424; notification+delivery 262; uiret 10",
     );
 
-    let sender = Program::new(
-        "one-send",
-        vec![
-            Inst::new(Op::Li { dst: Reg(2), imm: 3_000 }),
-            Inst::new(Op::Alu {
-                kind: AluKind::Sub,
-                dst: Reg(2),
-                src: Reg(2),
-                op2: Operand::Imm(1),
-            }),
-            Inst::new(Op::Bnez { src: Reg(2), target: 1 }),
-            Inst::new(Op::SendUipi { index: 0 }),
-            Inst::new(Op::Halt),
-        ],
-    );
-    let receiver = Program::new(
-        "spin",
-        vec![
-            Inst::new(Op::Li { dst: Reg(1), imm: 500_000 }),
-            Inst::new(Op::Alu {
-                kind: AluKind::Sub,
-                dst: Reg(1),
-                src: Reg(1),
-                op2: Operand::Imm(1),
-            }),
-            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
-            Inst::new(Op::Halt),
-            Inst::new(Op::Alu {
-                kind: AluKind::Add,
-                dst: Reg(20),
-                src: Reg(20),
-                op2: Operand::Imm(1),
-            }),
-            Inst::new(Op::Uiret),
-        ],
-    );
-    let mut sys = System::new(SystemConfig::uipi(), vec![sender, receiver]);
-    sys.register_receiver(1, 4);
-    sys.connect_sender(0, 1, 5);
-    sys.cores[0].trace_enabled = true;
-    sys.cores[1].trace_enabled = true;
-    sys.run_until_halted(10_000_000);
+    // A single traced scenario still goes through the sweep harness so the
+    // binary honours --bench-meta like every other figure.
+    let mut results = run_sweep("fig2_timeline", Sweep::new(vec![()]), |&(), _ctx| {
+        let sender = Program::new(
+            "one-send",
+            vec![
+                Inst::new(Op::Li { dst: Reg(2), imm: 3_000 }),
+                Inst::new(Op::Alu {
+                    kind: AluKind::Sub,
+                    dst: Reg(2),
+                    src: Reg(2),
+                    op2: Operand::Imm(1),
+                }),
+                Inst::new(Op::Bnez { src: Reg(2), target: 1 }),
+                Inst::new(Op::SendUipi { index: 0 }),
+                Inst::new(Op::Halt),
+            ],
+        );
+        let receiver = Program::new(
+            "spin",
+            vec![
+                Inst::new(Op::Li { dst: Reg(1), imm: 500_000 }),
+                Inst::new(Op::Alu {
+                    kind: AluKind::Sub,
+                    dst: Reg(1),
+                    src: Reg(1),
+                    op2: Operand::Imm(1),
+                }),
+                Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+                Inst::new(Op::Halt),
+                Inst::new(Op::Alu {
+                    kind: AluKind::Add,
+                    dst: Reg(20),
+                    src: Reg(20),
+                    op2: Operand::Imm(1),
+                }),
+                Inst::new(Op::Uiret),
+            ],
+        );
+        let mut sys = System::new(SystemConfig::uipi(), vec![sender, receiver]);
+        sys.register_receiver(1, 4);
+        sys.connect_sender(0, 1, 5);
+        sys.cores[0].trace_enabled = true;
+        sys.cores[1].trace_enabled = true;
+        sys.run_until_halted(10_000_000);
 
-    let s = &sys.cores[0].trace;
-    let r = &sys.cores[1].trace;
-    // Time 0 = senduipi enters the pipeline: the UPID post happens a few
-    // cycles into the microcode; subtract the routine preamble.
-    let post = first_at_or_after(s, TraceKind::UpidPosted, 0).expect("posted");
-    let t0 = post.saturating_sub(25);
-    let rel = |c: u64| (c - t0) as i64;
+        let s = &sys.cores[0].trace;
+        let r = &sys.cores[1].trace;
+        // Time 0 = senduipi enters the pipeline: the UPID post happens a few
+        // cycles into the microcode; subtract the routine preamble.
+        let post = first_at_or_after(s, TraceKind::UpidPosted, 0).expect("posted");
+        let t0 = post.saturating_sub(25);
+        let rel = |c: u64| (c - t0) as i64;
 
-    let icr = first_at_or_after(s, TraceKind::IcrWrite, 0).expect("icr");
-    let arrive = first_at_or_after(r, TraceKind::IpiArrive, 0).expect("arrive");
-    let drained = first_at_or_after(r, TraceKind::UpidDrained, 0).expect("drain");
-    let handler = first_at_or_after(r, TraceKind::HandlerEntered, 0).expect("handler");
-    let uiret = first_at_or_after(r, TraceKind::UiretCommitted, 0).expect("uiret");
+        let icr = first_at_or_after(s, TraceKind::IcrWrite, 0).expect("icr");
+        let arrive = first_at_or_after(r, TraceKind::IpiArrive, 0).expect("arrive");
+        let drained = first_at_or_after(r, TraceKind::UpidDrained, 0).expect("drain");
+        let handler = first_at_or_after(r, TraceKind::HandlerEntered, 0).expect("handler");
+        let uiret = first_at_or_after(r, TraceKind::UiretCommitted, 0).expect("uiret");
 
-    let segments = vec![
-        Segment { step: "senduipi issued", paper_cycle: 0, measured_cycle: 0 },
-        Segment { step: "UPID posted (PIR/ON set)", paper_cycle: 25, measured_cycle: rel(post) },
-        Segment { step: "ICR written (IPI leaves)", paper_cycle: 129, measured_cycle: rel(icr) },
-        Segment {
-            step: "receiver program flow interrupted",
-            paper_cycle: 380,
-            measured_cycle: rel(arrive),
-        },
-        Segment {
-            step: "notification processing (ON cleared)",
-            paper_cycle: 804, // 380 + 424 flush/refill
-            measured_cycle: rel(drained),
-        },
-        Segment {
-            step: "handler entered (delivery done)",
-            paper_cycle: 1_066, // + 262 notification+delivery
-            measured_cycle: rel(handler),
-        },
-        Segment {
-            step: "uiret (handler complete)",
-            paper_cycle: 1_360,
-            measured_cycle: rel(uiret),
-        },
-    ];
+        let segments = vec![
+            Segment { step: "senduipi issued", paper_cycle: 0, measured_cycle: 0 },
+            Segment {
+                step: "UPID posted (PIR/ON set)",
+                paper_cycle: 25,
+                measured_cycle: rel(post),
+            },
+            Segment {
+                step: "ICR written (IPI leaves)",
+                paper_cycle: 129,
+                measured_cycle: rel(icr),
+            },
+            Segment {
+                step: "receiver program flow interrupted",
+                paper_cycle: 380,
+                measured_cycle: rel(arrive),
+            },
+            Segment {
+                step: "notification processing (ON cleared)",
+                paper_cycle: 804, // 380 + 424 flush/refill
+                measured_cycle: rel(drained),
+            },
+            Segment {
+                step: "handler entered (delivery done)",
+                paper_cycle: 1_066, // + 262 notification+delivery
+                measured_cycle: rel(handler),
+            },
+            Segment {
+                step: "uiret (handler complete)",
+                paper_cycle: 1_360,
+                measured_cycle: rel(uiret),
+            },
+        ];
+        Timeline {
+            segments,
+            flush_refill: rel(drained) - rel(arrive),
+            notif_delivery: rel(handler) - rel(drained),
+        }
+    });
+    let timeline = results.pop().expect("one point");
 
     let mut table = Table::new(vec!["step", "paper (cycle)", "measured (cycle)"]);
-    for seg in &segments {
+    for seg in &timeline.segments {
         table.row(vec![
             seg.step.to_string(),
             seg.paper_cycle.to_string(),
@@ -116,14 +141,8 @@ fn main() {
         ]);
     }
     table.print();
-    println!(
-        "\n  flush+refill segment: paper 424, measured {}",
-        rel(drained) - rel(arrive)
-    );
-    println!(
-        "  notification+delivery: paper 262, measured {}",
-        rel(handler) - rel(drained)
-    );
+    println!("\n  flush+refill segment: paper 424, measured {}", timeline.flush_refill);
+    println!("  notification+delivery: paper 262, measured {}", timeline.notif_delivery);
 
-    save_json("fig2_timeline", &segments);
+    save_json("fig2_timeline", &timeline.segments);
 }

@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_workloads::harness::{run_workload, IrqSource};
 use xui_workloads::programs::{fib, linpack, memops, Instrument, Workload};
@@ -31,29 +31,28 @@ fn main() {
 
     let period = 10_000; // 5 µs
     let max = 4_000_000_000;
-    let workloads: Vec<(&'static str, Workload)> = vec![
-        ("fib", fib(150_000, Instrument::None)),
-        ("linpack", linpack(80_000, Instrument::None)),
-        ("memops", memops(80_000, Instrument::None)),
-    ];
-
-    let mut rows = Vec::new();
-    for (name, w) in &workloads {
-        let base = run_workload(SystemConfig::uipi(), w, IrqSource::None, max);
+    let points: Vec<&'static str> = vec!["fib", "linpack", "memops"];
+    let rows = run_sweep("fig4_receiver_overhead", Sweep::new(points), |&name, _ctx| {
+        let w: Workload = match name {
+            "fib" => fib(150_000, Instrument::None),
+            "linpack" => linpack(80_000, Instrument::None),
+            _ => memops(80_000, Instrument::None),
+        };
+        let base = run_workload(SystemConfig::uipi(), &w, IrqSource::None, max);
         let uipi = run_workload(
             SystemConfig::uipi(),
-            w,
+            &w,
             IrqSource::UipiSwTimer { period, send_latency: 380 },
             max,
         );
         let tracked = run_workload(
             SystemConfig::xui(),
-            w,
+            &w,
             IrqSource::UipiSwTimer { period, send_latency: 380 },
             max,
         );
-        let kb = run_workload(SystemConfig::xui(), w, IrqSource::KbTimer { period }, max);
-        rows.push(Row {
+        let kb = run_workload(SystemConfig::xui(), &w, IrqSource::KbTimer { period }, max);
+        Row {
             benchmark: name,
             uipi_per_event: uipi.per_event_cost(&base),
             tracked_per_event: tracked.per_event_cost(&base),
@@ -61,8 +60,8 @@ fn main() {
             uipi_overhead_pct: uipi.overhead_pct(&base),
             tracked_overhead_pct: tracked.overhead_pct(&base),
             kb_timer_overhead_pct: kb.overhead_pct(&base),
-        });
-    }
+        }
+    });
 
     let mut table = Table::new(vec![
         "benchmark",

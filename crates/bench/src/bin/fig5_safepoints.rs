@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, AsciiChart, Table};
+use xui_bench::{banner, run_sweep, save_json, AsciiChart, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_workloads::harness::{run_workload, run_workload_with, IrqSource};
 use xui_workloads::programs::{base64, matmul, Instrument, POLL_FLAG_ADDR};
@@ -33,9 +33,11 @@ fn main() {
 
     let max = 6_000_000_000;
     let quanta_us = [5.0f64, 10.0, 20.0, 50.0, 100.0];
-    let mut rows = Vec::new();
 
-    for (name, iters) in [("matmul", 150_000u64), ("base64", 60_000u64)] {
+    // One sweep point per benchmark: the baseline run is shared across the
+    // quantum sweep for that benchmark, so it lives inside the point.
+    let points = vec![("matmul", 150_000u64), ("base64", 60_000u64)];
+    let rows: Vec<Row> = run_sweep("fig5_safepoints", Sweep::new(points), |&(name, iters), _ctx| {
         let build = |instr: Instrument| match name {
             "matmul" => matmul(iters, instr, CTX_WORK),
             _ => base64(iters, instr, CTX_WORK),
@@ -46,6 +48,7 @@ fn main() {
 
         let base = run_workload(SystemConfig::xui(), &plain, IrqSource::None, max);
 
+        let mut out = Vec::new();
         for &q in &quanta_us {
             let period = (q * 2_000.0) as u64;
             // Hardware safepoints: KB_Timer + tracking + safepoint mode.
@@ -70,7 +73,7 @@ fn main() {
                 IrqSource::PollFlag { period, addr: POLL_FLAG_ADDR },
                 max,
             );
-            rows.push(Row {
+            out.push(Row {
                 benchmark: name,
                 quantum_us: q,
                 safepoint_pct: sp.overhead_pct(&base),
@@ -78,7 +81,11 @@ fn main() {
                 polling_pct: poll.overhead_pct(&base),
             });
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let mut table = Table::new(vec![
         "benchmark",

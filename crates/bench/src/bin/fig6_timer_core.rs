@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, pct, save_json, Table};
+use xui_bench::{banner, pct, run_sweep, save_json, Sweep, Table};
 use xui_kernel::{TimeSource, TimerCoreSim};
 
 #[derive(Serialize)]
@@ -30,24 +30,25 @@ fn main() {
     let receiver_counts = [0usize, 2, 4, 8, 12, 16, 20, 22, 24];
     let ticks = 40_000;
 
-    let mut rows = Vec::new();
-    for &us in &intervals_us {
+    let points: Vec<(f64, usize)> = intervals_us
+        .iter()
+        .flat_map(|&us| receiver_counts.iter().map(move |&n| (us, n)))
+        .collect();
+    let rows = run_sweep("fig6_timer_core", Sweep::new(points), |&(us, n), _ctx| {
         let interval = (us * 2_000.0) as u64;
-        for &n in &receiver_counts {
-            let set = TimerCoreSim::new(TimeSource::Setitimer, interval, n).run(ticks);
-            let nano = TimerCoreSim::new(TimeSource::Nanosleep, interval, n).run(ticks);
-            let spin = TimerCoreSim::new(TimeSource::RdtscSpin, interval, n).run(ticks);
-            let xui = TimerCoreSim::new(TimeSource::XuiKbTimer, interval, n).run(ticks);
-            rows.push(Row {
-                interval_us: us,
-                receivers: n,
-                setitimer_util: set.busy_fraction,
-                nanosleep_util: nano.busy_fraction,
-                rdtsc_spin_busy: spin.busy_fraction,
-                xui_util: xui.cpu_utilization,
-            });
+        let set = TimerCoreSim::new(TimeSource::Setitimer, interval, n).run(ticks);
+        let nano = TimerCoreSim::new(TimeSource::Nanosleep, interval, n).run(ticks);
+        let spin = TimerCoreSim::new(TimeSource::RdtscSpin, interval, n).run(ticks);
+        let xui = TimerCoreSim::new(TimeSource::XuiKbTimer, interval, n).run(ticks);
+        Row {
+            interval_us: us,
+            receivers: n,
+            setitimer_util: set.busy_fraction,
+            nanosleep_util: nano.busy_fraction,
+            rdtsc_spin_busy: spin.busy_fraction,
+            xui_util: xui.cpu_utilization,
         }
-    }
+    });
 
     let mut table = Table::new(vec![
         "interval",

@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_kernel::PreemptMechanism;
 use xui_runtime::{run_server, ServerConfig};
 
@@ -45,20 +45,21 @@ fn main() {
         PreemptMechanism::XuiKbTimer,
     ];
 
-    let mut rows = Vec::new();
-    for &m in &mechanisms {
-        for &krps in &loads_krps {
-            let cfg = ServerConfig::paper(m, krps * 1_000.0);
-            let r = run_server(&cfg);
-            rows.push(Row {
-                mechanism: mech_name(m),
-                offered_krps: krps,
-                get_p999_us: r.get_p999_us(),
-                scan_p99_us: r.scan_p99_us(),
-                stable: r.stable,
-            });
+    let points: Vec<(PreemptMechanism, f64)> = mechanisms
+        .iter()
+        .flat_map(|&m| loads_krps.iter().map(move |&krps| (m, krps)))
+        .collect();
+    let rows = run_sweep("fig7_rocksdb", Sweep::new(points), |&(m, krps), _ctx| {
+        let cfg = ServerConfig::paper(m, krps * 1_000.0);
+        let r = run_server(&cfg);
+        Row {
+            mechanism: mech_name(m),
+            offered_krps: krps,
+            get_p999_us: r.get_p999_us(),
+            scan_p99_us: r.scan_p99_us(),
+            stable: r.stable,
         }
-    }
+    });
 
     let mut table = Table::new(vec![
         "mechanism",

@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, pct, save_json, AsciiChart, Table};
+use xui_bench::{banner, pct, run_sweep, save_json, AsciiChart, Sweep, Table};
 use xui_net::{run_l3fwd, IoMode, L3fwdConfig};
 
 #[derive(Serialize)]
@@ -29,29 +29,37 @@ fn main() {
 
     let loads = [0.0f64, 0.1, 0.2, 0.4, 0.6, 0.8];
     let nic_counts = [1usize, 2, 4, 8];
-    let mut rows = Vec::new();
+    let modes = [(IoMode::Polling, "polling"), (IoMode::XuiInterrupt, "xUI")];
 
+    let mut points: Vec<(usize, f64, IoMode, &'static str)> = Vec::new();
     for &nics in &nic_counts {
         for &load in &loads {
-            for (mode, name) in [(IoMode::Polling, "polling"), (IoMode::XuiInterrupt, "xUI")] {
-                let cfg = L3fwdConfig::paper(nics, load, mode);
-                let r = run_l3fwd(&cfg);
-                let total = r.account.total().max(1) as f64;
-                rows.push(Row {
-                    nics,
-                    load_pct: load * 100.0,
-                    mode: name,
-                    networking_frac: r.account.get("networking") as f64 / total,
-                    polling_or_irq_frac: (r.account.get("polling")
-                        + r.account.get("interrupt")) as f64
-                        / total,
-                    free_frac: r.free_fraction,
-                    p95_latency_cycles: r.latency.p95,
-                    throughput_mpps: r.throughput_pps / 1e6,
-                });
+            for &(mode, name) in &modes {
+                points.push((nics, load, mode, name));
             }
         }
     }
+    let rows = run_sweep(
+        "fig8_l3fwd",
+        Sweep::new(points),
+        |&(nics, load, mode, name), _ctx| {
+            let cfg = L3fwdConfig::paper(nics, load, mode);
+            let r = run_l3fwd(&cfg);
+            let total = r.account.total().max(1) as f64;
+            Row {
+                nics,
+                load_pct: load * 100.0,
+                mode: name,
+                networking_frac: r.account.get("networking") as f64 / total,
+                polling_or_irq_frac: (r.account.get("polling") + r.account.get("interrupt"))
+                    as f64
+                    / total,
+                free_frac: r.free_fraction,
+                p95_latency_cycles: r.latency.p95,
+                throughput_mpps: r.throughput_pps / 1e6,
+            }
+        },
+    );
 
     let mut table = Table::new(vec![
         "NICs",

@@ -6,7 +6,7 @@
 use serde::Serialize;
 
 use xui_accel::{run_offload, CompletionMode, OffloadConfig, RequestKind};
-use xui_bench::{banner, pct, save_json, AsciiChart, Table};
+use xui_bench::{banner, pct, run_sweep, save_json, AsciiChart, Sweep, Table};
 
 #[derive(Serialize)]
 struct Row {
@@ -28,30 +28,37 @@ fn main() {
     );
 
     let noise_levels = [0u64, 25, 50, 75]; // % of the mean response time
-    let mut rows = Vec::new();
 
+    let mut points: Vec<(RequestKind, &'static str, u64, CompletionMode, &'static str)> =
+        Vec::new();
     for (kind, kname) in [(RequestKind::Short, "2µs"), (RequestKind::Long, "20µs")] {
         for &noise_pct in &noise_levels {
-            let noise = kind.mean_cycles() * noise_pct / 100;
-            let modes = [
+            for (mode, mname) in [
                 (CompletionMode::BusySpin, "busy-spin"),
                 (OffloadConfig::matched_poll_period(kind), "periodic-poll"),
                 (CompletionMode::XuiInterrupt, "xUI"),
-            ];
-            for (mode, mname) in modes {
-                let cfg = OffloadConfig::paper(kind, noise, mode);
-                let r = run_offload(&cfg);
-                rows.push(Row {
-                    request: kname,
-                    noise_pct,
-                    mode: mname,
-                    mean_delay_us: r.mean_delay_us,
-                    free_frac: r.free_fraction,
-                    kiops: r.iops / 1_000.0,
-                });
+            ] {
+                points.push((kind, kname, noise_pct, mode, mname));
             }
         }
     }
+    let rows = run_sweep(
+        "fig9_dsa",
+        Sweep::new(points),
+        |&(kind, kname, noise_pct, mode, mname), _ctx| {
+            let noise = kind.mean_cycles() * noise_pct / 100;
+            let cfg = OffloadConfig::paper(kind, noise, mode);
+            let r = run_offload(&cfg);
+            Row {
+                request: kname,
+                noise_pct,
+                mode: mname,
+                mean_delay_us: r.mean_delay_us,
+                free_frac: r.free_fraction,
+                kiops: r.iops / 1_000.0,
+            }
+        },
+    );
 
     let mut table = Table::new(vec![
         "request",

@@ -3,7 +3,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::{CoreConfig, SystemConfig};
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
 use xui_sim::{Program, System};
@@ -135,18 +135,29 @@ fn main() {
     );
 
     let n = 2_000;
-    let senduipi = per_iter_delta(send_loop(n, true), send_loop(n, false), n, true);
-    let clui = per_iter_delta(uif_loop(10_000, Some(Op::Clui)), uif_loop(10_000, None), 10_000, true);
-    let stui = per_iter_delta(uif_loop(10_000, Some(Op::Stui)), uif_loop(10_000, None), 10_000, true);
-    let (recv, _e2e) = receiver_cost();
+    let measured = run_sweep(
+        "table2_uipi_metrics",
+        Sweep::new(vec!["senduipi", "clui", "stui", "recv"]),
+        |&metric, _ctx| match metric {
+            "senduipi" => per_iter_delta(send_loop(n, true), send_loop(n, false), n, true),
+            "clui" => {
+                per_iter_delta(uif_loop(10_000, Some(Op::Clui)), uif_loop(10_000, None), 10_000, true)
+            }
+            "stui" => {
+                per_iter_delta(uif_loop(10_000, Some(Op::Stui)), uif_loop(10_000, None), 10_000, true)
+            }
+            _ => receiver_cost().0 as f64,
+        },
+    );
+    let (senduipi, clui, stui, recv) = (measured[0], measured[1], measured[2], measured[3]);
 
     // End-to-end: from the senduipi trace probe (see fig2_timeline for
     // the full anatomy); approximate here as transit + receiver cost.
-    let e2e_est = 394.0 + recv as f64;
+    let e2e_est = 394.0 + recv;
 
     let rows = vec![
         Row { metric: "End-to-End Latency", paper_cycles: 1_360, measured_cycles: e2e_est },
-        Row { metric: "Receiver Cost", paper_cycles: 720, measured_cycles: recv as f64 },
+        Row { metric: "Receiver Cost", paper_cycles: 720, measured_cycles: recv },
         Row { metric: "SENDUIPI", paper_cycles: 383, measured_cycles: senduipi },
         Row { metric: "CLUI", paper_cycles: 2, measured_cycles: clui },
         Row { metric: "STUI", paper_cycles: 32, measured_cycles: stui },

@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_workloads::harness::{run_workload, IrqSource};
 use xui_workloads::programs::{fib, sp_dependent_chain, Instrument};
@@ -27,8 +27,8 @@ fn main() {
     );
 
     let max = 8_000_000_000;
-    let mut rows = Vec::new();
-    for &chain in &[1usize, 10, 25, 50, 75] {
+    let points = vec![1usize, 10, 25, 50, 75];
+    let rows = run_sweep("x1_worst_case", Sweep::new(points), |&chain, _ctx| {
         let w = sp_dependent_chain(chain, 16_384, 4_000);
         let tracked = run_workload(
             SystemConfig::xui(),
@@ -42,12 +42,12 @@ fn main() {
             IrqSource::ForwardedDevice { period: 25_000 },
             max,
         );
-        rows.push(Row {
+        Row {
             chain_len: chain,
             tracked_max_latency: tracked.max_delivery_latency(),
             flush_max_latency: flush.max_delivery_latency(),
-        });
-    }
+        }
+    });
 
     let mut table = Table::new(vec!["chain length", "tracked max (cy)", "flush max (cy)"]);
     for r in &rows {

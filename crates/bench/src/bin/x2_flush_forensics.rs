@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_workloads::harness::{run_workload, IrqSource};
 use xui_workloads::programs::{pointer_chase, Instrument};
@@ -36,8 +36,8 @@ fn main() {
 
     // Part 1: UIPI delivery latency vs pointer-chase working set.
     println!("-- delivery latency vs working set (flush flat, drain grows) --");
-    let mut lat_rows = Vec::new();
-    for &nodes in &[64usize, 512, 4_096, 16_384] {
+    let points = vec![64usize, 512, 4_096, 16_384];
+    let lat_rows = run_sweep("x2_flush_forensics", Sweep::new(points), |&nodes, _ctx| {
         let w = pointer_chase(nodes, 30_000, Instrument::None);
         let flush = run_workload(
             SystemConfig::uipi(),
@@ -51,12 +51,12 @@ fn main() {
             IrqSource::UipiSwTimer { period: 50_000, send_latency: 380 },
             max,
         );
-        lat_rows.push(LatencyRow {
+        LatencyRow {
             nodes,
             flush_mean_latency: flush.mean_delivery_latency(),
             drain_mean_latency: drain.mean_delivery_latency(),
-        });
-    }
+        }
+    });
     let mut t = Table::new(vec!["chase nodes", "flush mean (cy)", "drain mean (cy)"]);
     for r in &lat_rows {
         t.row(vec![
@@ -89,10 +89,10 @@ fn main() {
 
     // Part 2: squashed µops scale linearly with interrupt count (flush).
     println!("\n-- flushed µops vs interrupts received --");
-    let mut squash_rows = Vec::new();
     let w = pointer_chase(4_096, 60_000, Instrument::None);
     let base = run_workload(SystemConfig::uipi(), &w, IrqSource::None, max);
-    for &period in &[200_000u64, 100_000, 50_000, 25_000] {
+    let periods = vec![200_000u64, 100_000, 50_000, 25_000];
+    let squash_rows = run_sweep("x2_flush_forensics", Sweep::new(periods), |&period, _ctx| {
         let r = run_workload(
             SystemConfig::uipi(),
             &w,
@@ -100,12 +100,12 @@ fn main() {
             max,
         );
         let extra = r.squashed.saturating_sub(base.squashed);
-        squash_rows.push(SquashRow {
+        SquashRow {
             interrupts: r.delivered,
             squashed_uops: extra,
             per_interrupt: extra as f64 / r.delivered.max(1) as f64,
-        });
-    }
+        }
+    });
     let mut t = Table::new(vec!["interrupts", "extra squashed µops", "per interrupt"]);
     for r in &squash_rows {
         t.row(vec![

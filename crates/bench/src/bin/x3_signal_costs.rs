@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_kernel::signals::SignalModel;
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
@@ -66,8 +66,10 @@ fn main() {
     // clui/stui tax on a hot critical section (cycle-level simulation).
     let iters = 20_000;
     let body = 480;
-    let plain = run(critical_section_loop(iters, false, body));
-    let protected = run(critical_section_loop(iters, true, body));
+    let cycles = run_sweep("x3_signal_costs", Sweep::new(vec![false, true]), |&prot, _ctx| {
+        run(critical_section_loop(iters, prot, body))
+    });
+    let (plain, protected) = (cycles[0], cycles[1]);
     let tax = (protected as f64 / plain as f64 - 1.0) * 100.0;
 
     let mut t = Table::new(vec!["metric", "paper", "measured"]);

@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, save_json, Table};
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Program, Reg};
 use xui_sim::System;
@@ -69,69 +69,64 @@ fn main() {
     );
 
     let max = 6_000_000_000;
-    let mut rows = Vec::new();
 
     // The suite: instrumented vs plain, with NO flag writer (the tax is
-    // pure instrumentation).
-    let suite: Vec<(&'static str, _, _)> = vec![
-        (
-            "fib",
-            fib(100_000, Instrument::None),
-            fib(100_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
-        ),
-        (
-            "linpack",
-            linpack(60_000, Instrument::None),
-            linpack(60_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
-        ),
-        (
-            "memops",
-            memops(60_000, Instrument::None),
-            memops(60_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }),
-        ),
-        (
-            "matmul",
-            matmul(60_000, Instrument::None, 0),
-            matmul(60_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
-        ),
-        (
-            "base64",
-            base64(40_000, Instrument::None, 0),
-            base64(40_000, Instrument::Poll { flag_addr: POLL_FLAG_ADDR }, 0),
-        ),
-    ];
-    for (name, plain, polled) in suite {
-        let safep = {
-            // Same workload with safepoint markers instead of checks.
-            match name {
-                "fib" => fib(100_000, Instrument::Safepoint),
-                "linpack" => linpack(60_000, Instrument::Safepoint),
-                "memops" => memops(60_000, Instrument::Safepoint),
-                "matmul" => matmul(60_000, Instrument::Safepoint, 0),
-                _ => base64(40_000, Instrument::Safepoint, 0),
-            }
+    // pure instrumentation) — plus the tight-loop worst case as a final
+    // sweep point.
+    let points = vec!["fib", "linpack", "memops", "matmul", "base64", "tight"];
+    let rows: Vec<Row> = run_sweep("x4_polling_tax", Sweep::new(points), |&name, _ctx| {
+        if name == "tight" {
+            // The tight-loop worst case, measured directly.
+            let run_tight = |polled| {
+                let mut sys =
+                    System::new(SystemConfig::xui(), vec![tight_loop(300_000, polled)]);
+                sys.run_until_core_halted(0, 2_000_000_000).expect("halts") as f64
+            };
+            let tight_tax = (run_tight(true) / run_tight(false) - 1.0) * 100.0;
+            return Row {
+                benchmark: "tight-loop (worst case)",
+                polling_tax_pct: tight_tax,
+                safepoint_tax_pct: 0.0,
+            };
+        }
+        let poll_instr = Instrument::Poll { flag_addr: POLL_FLAG_ADDR };
+        let (plain, polled, safep) = match name {
+            "fib" => (
+                fib(100_000, Instrument::None),
+                fib(100_000, poll_instr),
+                fib(100_000, Instrument::Safepoint),
+            ),
+            "linpack" => (
+                linpack(60_000, Instrument::None),
+                linpack(60_000, poll_instr),
+                linpack(60_000, Instrument::Safepoint),
+            ),
+            "memops" => (
+                memops(60_000, Instrument::None),
+                memops(60_000, poll_instr),
+                memops(60_000, Instrument::Safepoint),
+            ),
+            "matmul" => (
+                matmul(60_000, Instrument::None, 0),
+                matmul(60_000, poll_instr, 0),
+                matmul(60_000, Instrument::Safepoint, 0),
+            ),
+            _ => (
+                base64(40_000, Instrument::None, 0),
+                base64(40_000, poll_instr, 0),
+                base64(40_000, Instrument::Safepoint, 0),
+            ),
         };
         let base = run_workload(SystemConfig::xui(), &plain, IrqSource::None, max);
         let poll = run_workload(SystemConfig::xui(), &polled, IrqSource::None, max);
         let sp = run_workload(SystemConfig::xui(), &safep, IrqSource::None, max);
-        rows.push(Row {
+        Row {
             benchmark: name,
             polling_tax_pct: poll.overhead_pct(&base),
             safepoint_tax_pct: sp.overhead_pct(&base),
-        });
-    }
-
-    // The tight-loop worst case, measured directly.
-    let run_tight = |polled| {
-        let mut sys = System::new(SystemConfig::xui(), vec![tight_loop(300_000, polled)]);
-        sys.run_until_core_halted(0, 2_000_000_000).expect("halts") as f64
-    };
-    let tight_tax = (run_tight(true) / run_tight(false) - 1.0) * 100.0;
-    rows.push(Row {
-        benchmark: "tight-loop (worst case)",
-        polling_tax_pct: tight_tax,
-        safepoint_tax_pct: 0.0,
+        }
     });
+    let tight_tax = rows.last().expect("rows").polling_tax_pct;
 
     let mut t = Table::new(vec!["benchmark", "polling tax", "safepoint tax"]);
     for r in &rows {

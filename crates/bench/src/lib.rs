@@ -9,10 +9,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use serde::Serialize;
+
+pub use sweep::{Sweep, SweepCtx};
 
 /// A simple aligned table printer for experiment output.
 #[derive(Debug, Clone, Default)]
@@ -84,6 +89,89 @@ pub fn save_json<T: Serialize>(id: &str, value: &T) {
         let _ = fs::write(&path, json);
         println!("\n    [saved {}]", path.display());
     }
+}
+
+/// Wall-clock record written to `results/BENCH_sweep.json` when a figure
+/// binary runs with `--bench-meta`: the same sweep executed serially
+/// (1 worker) and with the parallel pool, plus a byte-identity check of
+/// the two result sets.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMeta {
+    /// Binary/experiment id (first `run_sweep` call in the process).
+    pub bin: String,
+    /// Total sweep points across all `run_sweep` calls so far.
+    pub points: usize,
+    /// Parallel worker count used.
+    pub threads: usize,
+    /// Host's available parallelism (what `XUI_BENCH_THREADS` defaults to).
+    pub host_parallelism: usize,
+    /// Cumulative serial wall-clock, milliseconds.
+    pub serial_ms: f64,
+    /// Cumulative parallel wall-clock, milliseconds.
+    pub parallel_ms: f64,
+    /// serial_ms / parallel_ms.
+    pub speedup: f64,
+    /// Whether serial and parallel results serialized byte-identically.
+    pub identical: bool,
+}
+
+/// Accumulates `--bench-meta` timings across every `run_sweep` call in the
+/// process, so binaries with several sweeps report whole-binary totals.
+static BENCH_META: Mutex<Option<BenchMeta>> = Mutex::new(None);
+
+/// Whether this process was invoked with `--bench-meta`.
+#[must_use]
+pub fn bench_meta_enabled() -> bool {
+    std::env::args().any(|a| a == "--bench-meta")
+}
+
+/// Runs a figure binary's sweep.
+///
+/// Normally this is just [`Sweep::run`]: evaluate every point on the
+/// worker pool, return results in point order. With `--bench-meta` on the
+/// command line, the sweep is executed twice — once with 1 worker, once
+/// with the parallel pool — the two result sets are checked for
+/// byte-identical serialization, and cumulative wall-clock numbers are
+/// written to `results/BENCH_sweep.json`.
+pub fn run_sweep<P, R, F>(bin: &str, s: Sweep<P>, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send + Serialize,
+    F: Fn(&P, SweepCtx) -> R + Sync,
+{
+    if !bench_meta_enabled() {
+        return s.run(f);
+    }
+
+    let (serial, serial_stats) = s.run_with(1, &f);
+    let threads = sweep::worker_threads(None);
+    let (parallel, parallel_stats) = s.run_with(threads, &f);
+    let identical = serde_json::to_string(&serial).ok() == serde_json::to_string(&parallel).ok();
+
+    let mut guard = BENCH_META.lock().expect("bench meta lock");
+    let meta = guard.get_or_insert_with(|| BenchMeta {
+        bin: bin.to_string(),
+        points: 0,
+        threads,
+        host_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        serial_ms: 0.0,
+        parallel_ms: 0.0,
+        speedup: 1.0,
+        identical: true,
+    });
+    meta.points += serial_stats.points;
+    meta.serial_ms += serial_stats.elapsed.as_secs_f64() * 1e3;
+    meta.parallel_ms += parallel_stats.elapsed.as_secs_f64() * 1e3;
+    meta.speedup = if meta.parallel_ms > 0.0 {
+        meta.serial_ms / meta.parallel_ms
+    } else {
+        1.0
+    };
+    meta.identical &= identical;
+    save_json("BENCH_sweep", &*meta);
+
+    parallel
 }
 
 /// Formats a cycle count as microseconds at the paper's 2 GHz clock.

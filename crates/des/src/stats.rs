@@ -77,13 +77,24 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in one bucket update — the batching
+    /// entry point for hot loops that observe the same value repeatedly
+    /// (e.g. a poller charging one tick cost per poll): one bucket-index
+    /// computation and one add instead of `n`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = bucket_index(v);
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += u128::from(v);
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -263,6 +274,20 @@ impl CycleAccount {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let mut batched = Histogram::new();
+        let mut looped = Histogram::new();
+        for (v, n) in [(3u64, 5u64), (1000, 17), (0, 2), (123_456, 1)] {
+            batched.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        batched.record_n(42, 0); // no-op
+        assert_eq!(batched, looped);
+    }
 
     #[test]
     fn small_values_are_exact() {

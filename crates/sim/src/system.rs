@@ -55,6 +55,17 @@ pub enum Device {
     },
 }
 
+impl Device {
+    /// Next cycle at which this device fires.
+    fn next_fire(&self) -> u64 {
+        match self {
+            Device::UipiTimer { next_fire, .. }
+            | Device::FlagWriter { next_fire, .. }
+            | Device::DirectIrq { next_fire, .. } => *next_fire,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct BusMsg {
     arrive_at: u64,
@@ -73,6 +84,15 @@ pub struct System {
     devices: Vec<Device>,
     bus: Vec<BusMsg>,
     cycle: u64,
+    /// Earliest `next_fire` across devices (`u64::MAX` when none): lets
+    /// `tick` skip the device scan on cycles where nothing can fire.
+    next_device_fire: u64,
+    /// Earliest `arrive_at` across in-flight bus messages (`u64::MAX`
+    /// when the bus is empty): lets `tick` skip the bus scan.
+    next_bus_arrive: u64,
+    /// Scratch buffer for due bus messages (reused to avoid a per-cycle
+    /// allocation; order-preserving like the `retain` it replaces).
+    bus_due: Vec<BusMsg>,
 }
 
 impl System {
@@ -92,6 +112,9 @@ impl System {
             devices: Vec::new(),
             bus: Vec::new(),
             cycle: 0,
+            next_device_fire: u64::MAX,
+            next_bus_arrive: u64::MAX,
+            bus_due: Vec::new(),
         }
     }
 
@@ -124,11 +147,15 @@ impl System {
 
     /// Attaches a device.
     pub fn add_device(&mut self, device: Device) {
+        self.next_device_fire = self.next_device_fire.min(device.next_fire());
         self.devices.push(device);
     }
 
     fn fire_devices(&mut self) {
         let now = self.cycle;
+        if now < self.next_device_fire {
+            return;
+        }
         for d in &mut self.devices {
             match d {
                 Device::UipiTimer {
@@ -149,10 +176,9 @@ impl System {
                             self.mem
                                 .write(EXTERNAL_WRITER, *upid_addr, low | upid_words::ON);
                             let dest = (low >> upid_words::NDST_SHIFT) as usize;
-                            self.bus.push(BusMsg {
-                                arrive_at: now + *send_latency,
-                                dest,
-                            });
+                            let arrive_at = now + *send_latency;
+                            self.bus.push(BusMsg { arrive_at, dest });
+                            self.next_bus_arrive = self.next_bus_arrive.min(arrive_at);
                         }
                         *next_fire += (*period).max(1);
                     }
@@ -181,11 +207,23 @@ impl System {
                 }
             }
         }
+        self.next_device_fire = self
+            .devices
+            .iter()
+            .map(Device::next_fire)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     fn deliver_bus(&mut self) {
         let now = self.cycle;
-        let mut due = Vec::new();
+        if now < self.next_bus_arrive {
+            return;
+        }
+        // Stable partition into the reusable scratch buffer, preserving
+        // delivery order exactly as the old `retain`-based path did.
+        let mut due = std::mem::take(&mut self.bus_due);
+        due.clear();
         self.bus.retain(|m| {
             if m.arrive_at <= now {
                 due.push(*m);
@@ -194,11 +232,18 @@ impl System {
                 true
             }
         });
-        for m in due {
+        for m in &due {
             if m.dest < self.cores.len() {
                 self.cores[m.dest].post_notification(now);
             }
         }
+        self.bus_due = due;
+        self.next_bus_arrive = self
+            .bus
+            .iter()
+            .map(|m| m.arrive_at)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Advances the whole system by one cycle.
@@ -209,18 +254,42 @@ impl System {
         for core in &mut self.cores {
             core.tick(now, &mut self.mem);
             if let Some(dest) = core.take_pending_ipi() {
-                self.bus.push(BusMsg {
-                    arrive_at: now + self.cfg.ipi_bus_latency,
-                    dest,
-                });
+                let arrive_at = now + self.cfg.ipi_bus_latency;
+                self.bus.push(BusMsg { arrive_at, dest });
+                self.next_bus_arrive = self.next_bus_arrive.min(arrive_at);
             }
         }
         self.cycle += 1;
     }
 
-    /// Runs for `cycles` cycles.
+    /// True when every core has drained and halted.
+    fn all_halted(&self) -> bool {
+        self.cores.iter().all(Core::is_halted)
+    }
+
+    /// With every core halted, nothing can change state between now and
+    /// the next external event (device fire or bus arrival): halting is
+    /// terminal for a core, so those cycles are pure clock advancement.
+    /// Returns the first cycle `>= self.cycle` (capped at `end`) at which
+    /// something can happen again — i.e. how far the clock may jump
+    /// without simulating individual cycles.
+    fn next_wakeup(&self, end: u64) -> u64 {
+        self.next_device_fire.min(self.next_bus_arrive).min(end)
+    }
+
+    /// Runs for `cycles` cycles, skipping dead cycles in bulk once every
+    /// core has halted (cycle-level semantics are unchanged: device
+    /// firings and bus deliveries still happen on their exact cycles).
     pub fn run_cycles(&mut self, cycles: u64) {
-        for _ in 0..cycles {
+        let end = self.cycle.saturating_add(cycles);
+        while self.cycle < end {
+            if self.all_halted() {
+                let wake = self.next_wakeup(end);
+                if wake > self.cycle {
+                    self.cycle = wake;
+                    continue;
+                }
+            }
             self.tick();
         }
     }
@@ -228,7 +297,7 @@ impl System {
     /// Runs until every core halts or `max_cycles` elapse; returns the
     /// cycle count at stop.
     pub fn run_until_halted(&mut self, max_cycles: u64) -> u64 {
-        while self.cycle < max_cycles && !self.cores.iter().all(Core::is_halted) {
+        while self.cycle < max_cycles && !self.all_halted() {
             self.tick();
         }
         self.cycle
@@ -269,6 +338,61 @@ mod tests {
                 Inst::new(Op::Halt),
             ],
         )
+    }
+
+    #[test]
+    fn dead_cycle_skip_matches_per_cycle_ticking() {
+        // Two identical systems with a periodic flag writer; one runs via
+        // run_cycles (bulk-skips dead cycles once the core halts), the
+        // other ticks every cycle. All observable state must match.
+        let build = || {
+            let mut sys = System::new(SystemConfig::uipi(), vec![counting_loop(50)]);
+            sys.add_device(Device::FlagWriter {
+                period: 700,
+                next_fire: 100,
+                addr: 0xA000,
+                value: 1,
+            });
+            sys
+        };
+        let mut fast = build();
+        let mut slow = build();
+        fast.run_cycles(10_000);
+        for _ in 0..10_000 {
+            slow.tick();
+        }
+        assert_eq!(fast.now(), slow.now());
+        assert_eq!(fast.mem.peek(0xA000), slow.mem.peek(0xA000));
+        assert_eq!(
+            fast.cores[0].stats.committed_insts,
+            slow.cores[0].stats.committed_insts
+        );
+        assert_eq!(
+            fast.cores[0].stats.halted_at,
+            slow.cores[0].stats.halted_at
+        );
+    }
+
+    #[test]
+    fn devices_fire_on_exact_cycles_across_bulk_skip() {
+        // A flag writer with a long period: while the (quickly halted)
+        // core sleeps, the writer must still fire exactly at its period
+        // boundaries, observable right after run_cycles crosses each.
+        let mut sys = System::new(SystemConfig::uipi(), vec![counting_loop(1)]);
+        sys.add_device(Device::FlagWriter {
+            period: 1_000_000,
+            next_fire: 5_000,
+            addr: 0xB000,
+            value: 9,
+        });
+        sys.run_cycles(5_000); // clock at 5_000: fire cycle not yet ticked
+        let before = sys.mem.peek(0xB000);
+        sys.run_cycles(1); // executes cycle 5_000 → device fires
+        assert_eq!(before, 0);
+        assert_eq!(sys.mem.peek(0xB000), 9);
+        // The next dead stretch is skipped in bulk, clock still exact.
+        sys.run_cycles(3_000_000);
+        assert_eq!(sys.now(), 3_005_001);
     }
 
     #[test]

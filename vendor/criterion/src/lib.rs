@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the handful of items this workspace's benches use —
+//! [`Criterion`], [`Bencher::iter`], [`black_box`], [`criterion_group!`]
+//! and [`criterion_main!`] — backed by a simple wall-clock loop: warm up
+//! briefly, then time `sample_size` batches and report the median
+//! per-iteration time. No plots, no statistics beyond min/median/max.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the measured samples (filled by [`Bencher::iter`]).
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations so each sample lasts long enough to
+    /// measure, and records min/median/max ns per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & batch sizing: grow the batch until it takes >= 1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.min_ns = per_iter[0];
+        self.median_ns = per_iter[per_iter.len() / 2];
+        self.max_ns = per_iter[per_iter.len() - 1];
+    }
+}
+
+/// Benchmark registry/runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{name:<44} median {:>12} [{} .. {}]",
+            fmt_ns(b.median_ns),
+            fmt_ns(b.min_ns),
+            fmt_ns(b.max_ns)
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `ident in strategy` bindings, [`Strategy`] with `prop_map`,
+//! [`prelude::any`], range strategies, tuple strategies, [`prelude::Just`],
+//! [`collection::vec`], [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: each case draws from a deterministic per-case RNG, so a failure
+//! is reproducible by rerunning the test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner plumbing used by the expanded [`proptest!`] code.
+pub mod test_runner {
+    use super::*;
+
+    /// Error carried out of a failing property (a rendered message).
+    pub type TestCaseError = String;
+
+    /// Per-case deterministic RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Builds the RNG for case number `case` (deterministic).
+        pub fn for_case(case: u64) -> Self {
+            Self(StdRng::seed_from_u64(0x9d0_7e57 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Runner configuration (only `cases` is meaningful here).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u64,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u64) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps offline CI quick
+            // while still exploring the space.
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Strategies: how to generate one random value.
+pub mod strategy {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Object-safe; combinators require `Sized`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(
+        bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f64, f32
+    );
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy produced by [`crate::prelude::any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample(rng)
+                }
+            }
+        )*};
+    }
+    impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.clone().sample(rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Boxes a strategy (used by [`prop_oneof!`] to unify arm types).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].new_value(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::*;
+
+    /// Size specification for [`vec`].
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            self.clone().sample(rng)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            self.clone().sample(rng)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.draw_len(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Strategy generating any value of type `T`.
+    pub fn any<T: crate::strategy::Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+/// Defines `#[test]` functions that run a property over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(
+                    let $arg = $crate::strategy::Strategy::new_value(
+                        &($strat), &mut __rng);
+                )*
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest case {} failed: {}", __case, e);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Uniformly picks one of the arm strategies each draw.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Like `assert!` but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} == {:?}`", __pa, __pb));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} == {:?}`: {}", __pa, __pb, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Like `assert_ne!` but fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if *__pa == *__pb {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} != {:?}`", __pa, __pb));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if *__pa == *__pb {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} != {:?}`: {}", __pa, __pb, format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i32..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((any::<bool>(), 0u8..4).prop_map(|(b, n)| if b { n } else { 0 }), 1..20),
+            pick in prop_oneof![Just(1u32), Just(2u32), 10u32..20],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&n| n < 4));
+            prop_assert!(pick == 1 || pick == 2 || (10..20).contains(&pick));
+            prop_assert_ne!(pick, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|c| s.new_value(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| s.new_value(&mut crate::test_runner::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

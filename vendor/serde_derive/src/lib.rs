@@ -1,0 +1,282 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in. Written directly against `proc_macro` (no
+//! `syn`/`quote`, which are unavailable offline).
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named-field structs, tuple structs (newtype and wider), unit structs,
+//! and enums with unit / tuple / struct variants. Generic types are not
+//! supported and produce a compile error.
+//!
+//! `Deserialize` is accepted but expands to nothing: no code in this
+//! workspace deserializes (results are write-only JSON artifacts).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input).parse().expect("serde_derive: generated code must parse")
+}
+
+/// Accepted for compatibility; expands to nothing (nothing in this
+/// workspace deserializes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn expand(input: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+
+    // Parse an optional plain type-parameter list `<T, U, ...>` (bounds are
+    // tolerated and replaced by a `Serialize` bound; lifetimes/consts are
+    // not supported — nothing in this workspace uses them with derives).
+    let mut i = i + 2;
+    let mut params: Vec<String> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                    i += 1;
+                    continue;
+                }
+                Some(TokenTree::Ident(id)) if expect_param && depth == 1 => {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    panic!("serde_derive (offline stub): lifetime parameters are not supported");
+                }
+                None => panic!("serde_derive: unterminated generics on {name}"),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let (impl_generics, ty_generics) = if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (
+            format!(
+                "<{}>",
+                params
+                    .iter()
+                    .map(|p| format!("{p}: ::serde::Serialize"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            format!("<{}>", params.join(", ")),
+        )
+    };
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_struct_body(&field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(count_fields(g.stream()))
+            }
+            _ => "::serde::Value::Null".to_string(), // unit struct
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive: malformed enum {name}");
+            };
+            enum_body(&name, g.stream())
+        }
+        other => panic!("serde_derive: cannot derive Serialize for {other}"),
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Splits a token stream on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments (e.g. `BTreeMap<String, u64>`) do not
+/// split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks never empty").push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Skips attributes and visibility at the front of a field/variant chunk,
+/// returning the index of the first meaningful token.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> usize {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn named_fields_expr(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from("{ let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "__obj.push((::std::string::String::from(\"{f}\"), \
+             ::serde::Serialize::to_value(&{access_prefix}{f})));\n"
+        ));
+    }
+    s.push_str("::serde::Value::Object(__obj) }");
+    s
+}
+
+fn named_struct_body(fields: &[String]) -> String {
+    named_fields_expr(fields, "self.")
+}
+
+fn tuple_struct_body(n: usize) -> String {
+    if n == 1 {
+        // Newtype: transparent, matching serde's default.
+        "::serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let mut s = String::from(
+            "{ let mut __arr: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+        );
+        for i in 0..n {
+            s.push_str(&format!(
+                "__arr.push(::serde::Serialize::to_value(&self.{i}));\n"
+            ));
+        }
+        s.push_str("::serde::Value::Array(__arr) }");
+        s
+    }
+}
+
+fn enum_body(name: &str, stream: TokenStream) -> String {
+    let mut arms = String::new();
+    for chunk in split_top_level(stream) {
+        let i = skip_attrs_and_vis(&chunk);
+        let vname = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = field_names(g.stream());
+                let bindings = fields.join(", ");
+                let inner = named_fields_expr(&fields, "*");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {bindings} }} => {{\n\
+                       let __inner = {inner};\n\
+                       let mut __tag: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                       __tag.push((::std::string::String::from(\"{vname}\"), __inner));\n\
+                       ::serde::Value::Object(__tag)\n\
+                     }}\n"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_fields(g.stream());
+                let bindings: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+                let inner = if n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let mut s = String::from(
+                        "{ let mut __arr: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+                    );
+                    for b in &bindings {
+                        s.push_str(&format!("__arr.push(::serde::Serialize::to_value({b}));\n"));
+                    }
+                    s.push_str("::serde::Value::Array(__arr) }");
+                    s
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({joined}) => {{\n\
+                       let __inner = {inner};\n\
+                       let mut __tag: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                       __tag.push((::std::string::String::from(\"{vname}\"), __inner));\n\
+                       ::serde::Value::Object(__tag)\n\
+                     }}\n",
+                    joined = bindings.join(", ")
+                ));
+            }
+            // Unit variant (possibly with an explicit discriminant,
+            // which serialization ignores).
+            _ => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
