@@ -2,6 +2,7 @@
 //! periodic polling via the OS interval timer, and xUI device interrupts.
 
 use serde::{Deserialize, Serialize};
+use xui_telemetry::{Event, NullRecorder, Recorder};
 
 use xui_core::CostModel;
 use xui_kernel::os_timers::SETITIMER_MIN_PERIOD;
@@ -63,6 +64,37 @@ impl CompletionWaiter {
     /// written at `completed_at` is observed.
     #[must_use]
     pub fn wait(&self, wait_start: u64, completed_at: u64) -> WaitOutcome {
+        self.wait_traced(wait_start, completed_at, 0, &mut NullRecorder)
+    }
+
+    /// [`CompletionWaiter::wait`] with telemetry: records an
+    /// `offload_wait` span on `actor` from the submit return to the
+    /// moment the completion is observed (argument `delay` = detection
+    /// delay in cycles), plus a `completed` instant at the device's
+    /// completion-record write. With [`NullRecorder`] this is exactly
+    /// the untraced computation.
+    #[must_use]
+    pub fn wait_traced<R: Recorder>(
+        &self,
+        wait_start: u64,
+        completed_at: u64,
+        actor: u32,
+        rec: &mut R,
+    ) -> WaitOutcome {
+        let outcome = self.wait_inner(wait_start, completed_at);
+        if rec.enabled() {
+            rec.record(Event::begin(wait_start, actor, "offload_wait"));
+            rec.record(Event::instant(completed_at, actor, "completed"));
+            rec.record(
+                Event::end(outcome.detected_at, actor, "offload_wait")
+                    .with_arg("delay", outcome.detection_delay)
+                    .with_arg("cpu_free", outcome.cpu_free),
+            );
+        }
+        outcome
+    }
+
+    fn wait_inner(&self, wait_start: u64, completed_at: u64) -> WaitOutcome {
         let span = completed_at.saturating_sub(wait_start);
         match self.mode {
             CompletionMode::BusySpin => {
@@ -156,6 +188,22 @@ mod tests {
         let o = w.wait(0, 100);
         // Clamped to the 2 µs floor: detection waits for tick 1 at 4000.
         assert!(o.detected_at >= SETITIMER_MIN_PERIOD);
+    }
+
+    #[test]
+    fn traced_wait_matches_untraced_and_spans_balance() {
+        let w = CompletionWaiter::new(CompletionMode::XuiInterrupt);
+        let mut rec = xui_telemetry::RingRecorder::new(16);
+        let traced = w.wait_traced(1_000, 5_000, 7, &mut rec);
+        assert_eq!(traced, w.wait(1_000, 5_000));
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], xui_telemetry::Event::begin(1_000, 7, "offload_wait"));
+        assert_eq!(events[1].name, "completed");
+        assert_eq!(events[2].arg("delay"), Some(traced.detection_delay));
+        assert_eq!(events[2].arg("cpu_free"), Some(traced.cpu_free));
+        let doc = xui_telemetry::chrome::trace_json(&events);
+        xui_telemetry::chrome::validate(&doc).expect("balanced wait trace");
     }
 
     #[test]

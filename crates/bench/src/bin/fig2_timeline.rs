@@ -6,7 +6,7 @@ use serde::Serialize;
 use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
-use xui_sim::trace::{first_at_or_after, TraceKind};
+use xui_sim::trace::{first_on_core_at_or_after, TraceKind};
 use xui_sim::{Program, System};
 
 #[derive(Serialize)]
@@ -21,6 +21,9 @@ struct Timeline {
     segments: Vec<Segment>,
     flush_refill: i64,
     notif_delivery: i64,
+    /// Telemetry events bridged from the merged pipeline trace; carried
+    /// through the sweep so `--trace` can export them in point order.
+    telemetry: Vec<xui_telemetry::Event>,
 }
 
 fn main() {
@@ -77,19 +80,27 @@ fn main() {
         sys.cores[1].trace_enabled = true;
         sys.run_until_halted(10_000_000);
 
-        let s = &sys.cores[0].trace;
-        let r = &sys.cores[1].trace;
+        // Reconstruct from the merged multi-core stream with the
+        // core-aware lookup: sender events on core 0, receiver events on
+        // core 1 (the core-blind variant would match whichever core hit
+        // the kind first).
+        let merged = sys.trace_events();
         // Time 0 = senduipi enters the pipeline: the UPID post happens a few
         // cycles into the microcode; subtract the routine preamble.
-        let post = first_at_or_after(s, TraceKind::UpidPosted, 0).expect("posted");
+        let post =
+            first_on_core_at_or_after(&merged, 0, TraceKind::UpidPosted, 0).expect("posted");
         let t0 = post.saturating_sub(25);
         let rel = |c: u64| (c - t0) as i64;
 
-        let icr = first_at_or_after(s, TraceKind::IcrWrite, 0).expect("icr");
-        let arrive = first_at_or_after(r, TraceKind::IpiArrive, 0).expect("arrive");
-        let drained = first_at_or_after(r, TraceKind::UpidDrained, 0).expect("drain");
-        let handler = first_at_or_after(r, TraceKind::HandlerEntered, 0).expect("handler");
-        let uiret = first_at_or_after(r, TraceKind::UiretCommitted, 0).expect("uiret");
+        let icr = first_on_core_at_or_after(&merged, 0, TraceKind::IcrWrite, 0).expect("icr");
+        let arrive =
+            first_on_core_at_or_after(&merged, 1, TraceKind::IpiArrive, 0).expect("arrive");
+        let drained =
+            first_on_core_at_or_after(&merged, 1, TraceKind::UpidDrained, 0).expect("drain");
+        let handler =
+            first_on_core_at_or_after(&merged, 1, TraceKind::HandlerEntered, 0).expect("handler");
+        let uiret =
+            first_on_core_at_or_after(&merged, 1, TraceKind::UiretCommitted, 0).expect("uiret");
 
         let segments = vec![
             Segment { step: "senduipi issued", paper_cycle: 0, measured_cycle: 0 },
@@ -128,6 +139,7 @@ fn main() {
             segments,
             flush_refill: rel(drained) - rel(arrive),
             notif_delivery: rel(handler) - rel(drained),
+            telemetry: sys.telemetry_events(),
         }
     });
     let timeline = results.pop().expect("one point");
@@ -145,4 +157,19 @@ fn main() {
     println!("  notification+delivery: paper 262, measured {}", timeline.notif_delivery);
 
     save_json("fig2_timeline", &timeline.segments);
+
+    if let Some(path) = xui_bench::trace_path() {
+        xui_bench::save_trace_points(&path, std::slice::from_ref(&timeline.telemetry));
+    }
+    if xui_bench::metrics_enabled() {
+        let mut shard = xui_telemetry::MetricsShard::scoped("fig2");
+        for ev in &timeline.telemetry {
+            shard.inc(ev.name, 1);
+        }
+        shard.observe("flush_refill_cycles", timeline.flush_refill.unsigned_abs());
+        shard.observe("notif_delivery_cycles", timeline.notif_delivery.unsigned_abs());
+        let mut reg = xui_telemetry::Registry::new();
+        reg.push_shard(shard);
+        xui_bench::save_metrics("fig2_timeline", &reg.snapshot());
+    }
 }

@@ -113,6 +113,15 @@ pub struct BenchMeta {
     pub speedup: f64,
     /// Whether serial and parallel results serialized byte-identically.
     pub identical: bool,
+    /// Wall-clock of a representative point run with `NullRecorder`
+    /// telemetry, milliseconds (set by figure binaries that measure
+    /// telemetry overhead).
+    pub telemetry_null_ms: Option<f64>,
+    /// Same point run with an active `RingRecorder`, milliseconds.
+    pub telemetry_ring_ms: Option<f64>,
+    /// Ring-vs-null overhead in percent
+    /// (`(ring - null) / null * 100`).
+    pub telemetry_overhead_pct: Option<f64>,
 }
 
 /// Accumulates `--bench-meta` timings across every `run_sweep` call in the
@@ -159,6 +168,9 @@ where
         parallel_ms: 0.0,
         speedup: 1.0,
         identical: true,
+        telemetry_null_ms: None,
+        telemetry_ring_ms: None,
+        telemetry_overhead_pct: None,
     });
     meta.points += serial_stats.points;
     meta.serial_ms += serial_stats.elapsed.as_secs_f64() * 1e3;
@@ -172,6 +184,97 @@ where
     save_json("BENCH_sweep", &*meta);
 
     parallel
+}
+
+/// Records the telemetry-overhead measurement (one representative point
+/// run with `NullRecorder` vs `RingRecorder`) into the cumulative
+/// `--bench-meta` record and re-saves `results/BENCH_sweep.json`. No-op
+/// (but still computed by the caller) when `--bench-meta` is off and no
+/// record exists yet — in that case a fresh record is created so the
+/// numbers are not lost.
+pub fn record_telemetry_overhead(bin: &str, null_ms: f64, ring_ms: f64) {
+    let mut guard = BENCH_META.lock().expect("bench meta lock");
+    let meta = guard.get_or_insert_with(|| BenchMeta {
+        bin: bin.to_string(),
+        points: 0,
+        threads: sweep::worker_threads(None),
+        host_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        serial_ms: 0.0,
+        parallel_ms: 0.0,
+        speedup: 1.0,
+        identical: true,
+        telemetry_null_ms: None,
+        telemetry_ring_ms: None,
+        telemetry_overhead_pct: None,
+    });
+    meta.telemetry_null_ms = Some(null_ms);
+    meta.telemetry_ring_ms = Some(ring_ms);
+    meta.telemetry_overhead_pct = if null_ms > 0.0 {
+        Some((ring_ms - null_ms) / null_ms * 100.0)
+    } else {
+        None
+    };
+    save_json("BENCH_sweep", &*meta);
+}
+
+/// The path given with `--trace <path>` on the command line, if any.
+/// Figure binaries that support tracing write a Chrome trace JSON there.
+#[must_use]
+pub fn trace_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(rest) = a.strip_prefix("--trace=") {
+            return Some(PathBuf::from(rest));
+        }
+    }
+    None
+}
+
+/// Whether this process was invoked with `--metrics`: figure binaries
+/// that support it then save a merged metrics snapshot under `results/`.
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    std::env::args().any(|a| a == "--metrics")
+}
+
+/// Writes a single-group Chrome trace to `path` (best effort, with a
+/// console note like `save_json`).
+pub fn save_trace(path: &std::path::Path, events: &[xui_telemetry::Event]) {
+    if xui_telemetry::chrome::write_trace(path, events).is_ok() {
+        println!("\n    [trace {} ({} events)]", path.display(), events.len());
+    }
+}
+
+/// Writes a grouped Chrome trace to `path`: one `pid` per sweep point,
+/// in point order, so the export is byte-identical for any worker count.
+pub fn save_trace_points(path: &std::path::Path, points: &[Vec<xui_telemetry::Event>]) {
+    let groups: Vec<xui_telemetry::TraceGroup> = points
+        .iter()
+        .enumerate()
+        .map(|(i, events)| xui_telemetry::TraceGroup {
+            pid: u32::try_from(i).unwrap_or(u32::MAX),
+            label: format!("point-{i}"),
+            events: events.clone(),
+        })
+        .collect();
+    if xui_telemetry::chrome::write_trace_grouped(path, &groups).is_ok() {
+        let n: usize = points.iter().map(Vec::len).sum();
+        println!(
+            "\n    [trace {} ({} events across {} points)]",
+            path.display(),
+            n,
+            points.len()
+        );
+    }
+}
+
+/// Saves a merged metrics snapshot as `results/metrics_<id>.json`.
+pub fn save_metrics(id: &str, snapshot: &xui_telemetry::MetricsSnapshot) {
+    save_json(&format!("metrics_{id}"), snapshot);
 }
 
 /// Formats a cycle count as microseconds at the paper's 2 GHz clock.

@@ -1,0 +1,109 @@
+//! Golden-file tests for the `--trace` export path: a traced fig2-style
+//! run must produce a Chrome trace document that is schema-valid,
+//! span-balanced, and byte-identical across repeated runs — the property
+//! the CI smoke job checks end-to-end on the real binary.
+
+use xui_sim::config::SystemConfig;
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
+use xui_sim::{Program, System};
+use xui_telemetry::chrome::{trace_json_grouped, validate};
+use xui_telemetry::{Event, TraceGroup};
+
+/// The fig2 scenario in miniature: one traced senduipi round trip.
+fn traced_send_events() -> Vec<Event> {
+    let sender = Program::new(
+        "one-send",
+        vec![
+            Inst::new(Op::Li { dst: Reg(2), imm: 500 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(2),
+                src: Reg(2),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(2), target: 1 }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Halt),
+        ],
+    );
+    let receiver = Program::new(
+        "spin",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: 100_000 }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(20),
+                src: Reg(20),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Uiret),
+        ],
+    );
+    let mut sys = System::new(SystemConfig::uipi(), vec![sender, receiver]);
+    sys.register_receiver(1, 4);
+    sys.connect_sender(0, 1, 5);
+    sys.cores[0].trace_enabled = true;
+    sys.cores[1].trace_enabled = true;
+    sys.run_until_halted(10_000_000);
+    sys.telemetry_events()
+}
+
+fn export(events: &[Event]) -> String {
+    trace_json_grouped(&[TraceGroup {
+        pid: 0,
+        label: "point-0".to_string(),
+        events: events.to_vec(),
+    }])
+}
+
+#[test]
+fn traced_run_exports_valid_balanced_chrome_trace() {
+    let events = traced_send_events();
+    assert!(!events.is_empty(), "a traced send must produce events");
+
+    let doc = export(&events);
+    // Chrome trace-event schema skeleton.
+    assert!(doc.starts_with('{'), "document is a JSON object");
+    assert!(doc.contains("\"displayTimeUnit\""));
+    assert!(doc.contains("\"traceEvents\""));
+
+    let check = validate(&doc).expect("trace is schema-valid and balanced");
+    assert!(check.span_pairs >= 1, "the uipi_handler span must pair up");
+    assert!(check.instants >= 1, "pipeline instants must survive export");
+    assert!(check.tracks >= 2, "sender and receiver cores are distinct tids");
+
+    // The taxonomy events the fig2 timeline is reconstructed from.
+    for name in ["uipi_handler", "senduipi", "ipi_arrive"] {
+        assert!(doc.contains(&format!("\"name\":\"{name}\"")), "missing {name}");
+    }
+}
+
+#[test]
+fn traced_run_is_byte_identical_across_runs() {
+    let a = export(&traced_send_events());
+    let b = export(&traced_send_events());
+    assert_eq!(a, b, "trace export must be byte-stable run to run");
+}
+
+#[test]
+fn exporter_balances_even_adversarial_input() {
+    // An unmatched Begin and an orphan End: the exporter must still emit
+    // a document the strict validator accepts (auto-close + demotion).
+    let events = vec![
+        Event::begin(10, 0, "open_never_closed"),
+        Event::end(20, 1, "never_opened"),
+        Event::instant(30, 0, "marker"),
+    ];
+    let doc = export(&events);
+    let check = validate(&doc).expect("exporter output always validates");
+    assert_eq!(check.span_pairs, 1, "unmatched Begin auto-closed");
+    assert_eq!(check.instants, 2, "orphan End demoted to an instant");
+}

@@ -309,10 +309,16 @@ mod tests {
     fn empty_histogram_is_safe() {
         let h = Histogram::new();
         assert!(h.is_empty());
-        assert_eq!(h.percentile(99.0), 0);
+        // Every percentile — including the 0/100 edges — is 0 when empty,
+        // and none of them panic on the empty-bucket path.
+        for p in [0.0, 0.1, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty histogram");
+        }
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.p999, s.max), (0, 0, 0, 0));
     }
 
     #[test]
@@ -423,6 +429,56 @@ mod proptests {
             }
             let expected = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
             prop_assert!((h.mean() - expected).abs() < 1e-6);
+        }
+
+        /// Merging shards then asking for a quantile gives *exactly* the
+        /// same answer as recording every sample into one histogram —
+        /// buckets add, so the merged state is identical, making sharded
+        /// metric collection lossless.
+        #[test]
+        fn merge_then_quantile_equals_record_all(
+            a in proptest::collection::vec(0u64..5_000_000, 0..200),
+            b in proptest::collection::vec(0u64..5_000_000, 0..200),
+        ) {
+            let mut ha = Histogram::new();
+            let mut hb = Histogram::new();
+            let mut combined = Histogram::new();
+            for &v in &a {
+                ha.record(v);
+                combined.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+                combined.record(v);
+            }
+            ha.merge(&hb);
+            prop_assert_eq!(&ha, &combined, "merged state differs from combined recording");
+            for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                prop_assert_eq!(ha.percentile(p), combined.percentile(p));
+            }
+            prop_assert_eq!(ha.summary(), combined.summary());
+        }
+
+        /// Merging with an empty histogram is an identity in both
+        /// directions — in particular it must not poison min (empty's
+        /// internal min is the u64::MAX sentinel).
+        #[test]
+        fn merge_with_empty_is_identity(values in proptest::collection::vec(0u64..1_000_000, 0..100)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut left = h.clone();
+            left.merge(&Histogram::new());
+            prop_assert_eq!(&left, &h);
+            let mut right = Histogram::new();
+            right.merge(&h);
+            prop_assert_eq!(right.min(), h.min());
+            prop_assert_eq!(right.max(), h.max());
+            prop_assert_eq!(right.count(), h.count());
+            for p in [0.0, 50.0, 100.0] {
+                prop_assert_eq!(right.percentile(p), h.percentile(p));
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use xui_telemetry::{Event, NullRecorder, Recorder};
 
 use xui_des::stats::{CycleAccount, Histogram, Summary};
 
@@ -130,8 +131,20 @@ impl QueueState {
 ///
 /// Panics if `cfg.nics == 0`.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
+    run_l3fwd_traced(cfg, &mut NullRecorder)
+}
+
+/// [`run_l3fwd`] with telemetry. Queue `q` is actor `q`; the worker is
+/// actor `cfg.nics`. Every non-empty RX burst records a `fwd_burst`
+/// span on its queue's actor (argument `pkts` = packets forwarded), and
+/// in [`IoMode::XuiInterrupt`] each wake-to-`uiret` handler activation
+/// records an `irq_handler` span on the worker actor. With
+/// [`NullRecorder`] the function monomorphizes to the untraced loop,
+/// result-identical by test.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdReport {
     assert!(cfg.nics > 0, "need at least one NIC");
     let routes = paper_route_table(cfg.seed);
     let mut lpm = Lpm::new();
@@ -181,15 +194,19 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
     let mut forwarded = 0u64;
     let mut now = 0u64;
 
-    // Processes up to a burst from queue `q` at the current time.
-    // Returns packets forwarded.
+    // Processes up to a burst from queue `qi` at the current time.
+    // Returns packets forwarded. Non-empty bursts record a `fwd_burst`
+    // span on the queue's actor covering the RX-pop → TX-push window.
     let process_burst = |q: &mut QueueState,
+                         qi: u32,
                          now: &mut u64,
                          latency: &mut Histogram,
                          account: &mut CycleAccount,
                          lpm: &Lpm,
-                         cfg: &L3fwdConfig|
+                         cfg: &L3fwdConfig,
+                         rec: &mut R|
      -> u64 {
+        let start = *now;
         let mut done = 0;
         while done < cfg.burst as u64 {
             let Some(pkt) = q.ring.pop() else { break };
@@ -201,6 +218,10 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
             // Send back out the same NIC (§5.4, 1-NIC methodology).
             q.tx.push(*now, pkt);
             done += 1;
+        }
+        if done > 0 && rec.enabled() {
+            rec.record(Event::begin(start, qi, "fwd_burst"));
+            rec.record(Event::end(*now, qi, "fwd_burst").with_arg("pkts", done));
         }
         done
     };
@@ -216,8 +237,16 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
                     account.add("polling", cfg.poll_cost);
                 } else {
                     account.add("networking", cfg.poll_cost);
-                    forwarded +=
-                        process_burst(q, &mut now, &mut latency, &mut account, &lpm, cfg);
+                    forwarded += process_burst(
+                        q,
+                        qi as u32,
+                        &mut now,
+                        &mut latency,
+                        &mut account,
+                        &lpm,
+                        cfg,
+                        rec,
+                    );
                 }
                 qi = (qi + 1) % cfg.nics;
             }
@@ -240,6 +269,7 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
                     now = next;
                 }
                 // Forwarded tracked interrupt wakes the thread.
+                rec.begin(now, cfg.nics as u32, "irq_handler");
                 now += cfg.wake_cost;
                 account.add("interrupt", cfg.wake_cost);
                 // Handler: drain rotations until one full pass finds
@@ -247,18 +277,20 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
                 // before returning").
                 loop {
                     let mut drained_any = false;
-                    for q in &mut queues {
+                    for (qi, q) in queues.iter_mut().enumerate() {
                         q.ingest(now);
                         now += cfg.poll_cost;
                         account.add("interrupt", cfg.poll_cost);
                         loop {
                             let got = process_burst(
                                 q,
+                                qi as u32,
                                 &mut now,
                                 &mut latency,
                                 &mut account,
                                 &lpm,
                                 cfg,
+                                rec,
                             );
                             forwarded += got;
                             if got == 0 {
@@ -274,6 +306,7 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
                 }
                 now += cfg.uiret_cost;
                 account.add("interrupt", cfg.uiret_cost);
+                rec.end(now, cfg.nics as u32, "irq_handler");
                 if now >= cfg.duration {
                     break;
                 }
@@ -384,6 +417,31 @@ mod tests {
         let b = quick(2, 0.4, IoMode::XuiInterrupt);
         assert_eq!(a.forwarded, b.forwarded);
         assert_eq!(a.latency.p95, b.latency.p95);
+    }
+
+    #[test]
+    fn traced_run_is_result_identical_and_balanced() {
+        let mut cfg = L3fwdConfig::paper(2, 0.4, IoMode::XuiInterrupt);
+        cfg.duration = 2_000_000; // 1 ms
+        let untraced = run_l3fwd(&cfg);
+        let mut rec = xui_telemetry::RingRecorder::new(1 << 20);
+        let traced = run_l3fwd_traced(&cfg, &mut rec);
+        assert_eq!(traced.forwarded, untraced.forwarded);
+        assert_eq!(traced.latency.p99, untraced.latency.p99);
+        assert_eq!(traced.account, untraced.account);
+
+        let events = rec.events();
+        assert_eq!(rec.dropped(), 0);
+        let bursts = events.iter().filter(|e| e.name == "fwd_burst").count();
+        assert!(bursts >= 2, "begin/end burst spans recorded");
+        let burst_pkts: u64 = events
+            .iter()
+            .filter_map(|e| e.arg("pkts"))
+            .sum();
+        assert_eq!(burst_pkts, untraced.forwarded, "span args account every packet");
+        assert!(events.iter().any(|e| e.name == "irq_handler"));
+        let doc = xui_telemetry::chrome::trace_json(&events);
+        xui_telemetry::chrome::validate(&doc).expect("balanced l3fwd trace");
     }
 }
 

@@ -15,6 +15,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use xui_telemetry::{Event, NullRecorder, Recorder};
 
 use xui_core::CostModel;
 use xui_des::dist::PoissonProcess;
@@ -129,8 +130,21 @@ struct Worker {
 
 /// Runs the simulation described by `cfg`.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_server(cfg: &ServerConfig) -> ServerReport {
+    run_server_traced(cfg, &mut NullRecorder)
+}
+
+/// [`run_server`] with telemetry. Per worker (the event actor) this
+/// records: an `arrival` instant per request (class argument: 0 = GET,
+/// 1 = SCAN), a `run` span from dispatch to completion or preemption, a
+/// `preempt` instant per forced switch, a `timer_fire` instant per
+/// quantum fire that found work running, a `steal` instant per
+/// cross-worker steal, and a `park` instant when a worker goes idle.
+/// With [`NullRecorder`] the instrumentation monomorphizes away and the
+/// function is the untraced simulation, result-identical by test.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_server_traced<R: Recorder>(cfg: &ServerConfig, rec: &mut R) -> ServerReport {
     let hw = CostModel::paper();
     let os = OsCosts::paper();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -178,9 +192,15 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
                 let tid = threads.len();
                 threads.push(Uthread::new(UthreadId(tid), class, t, service));
                 queue.push(tid % cfg.workers, tid);
+                if rec.enabled() {
+                    rec.record(
+                        Event::instant(t, (tid % cfg.workers) as u32, "arrival")
+                            .with_arg("class", u64::from(class == RequestClass::Scan)),
+                    );
+                }
                 // Wake an idle worker.
                 if let Some(w) = workers.iter().position(|w| w.running.is_none()) {
-                    dispatch(w, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads);
+                    dispatch(w, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads, rec);
                 }
                 if t < cfg.duration {
                     let next = arrivals.next_arrival(&mut rng).max(t + 1);
@@ -208,7 +228,14 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
                         completed_scans += 1;
                     }
                 }
-                dispatch(worker, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads);
+                if rec.enabled() {
+                    rec.record(
+                        Event::end(t, worker as u32, "run")
+                            .with_arg("tid", run.tid as u64)
+                            .with_arg("sojourn", sojourn),
+                    );
+                }
+                dispatch(worker, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads, rec);
             }
             Ev::Fire { worker } => {
                 // The periodic preemption timer (KB_Timer or SW timer
@@ -222,6 +249,7 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
                 if t <= run.progress_from {
                     continue; // still inside an overhead window
                 }
+                rec.instant(t, worker as u32, "timer_fire");
                 let executed = t - run.progress_from;
                 let ran_long_enough = t.saturating_sub(run.started_at) >= cfg.quantum;
                 let should_switch = ran_long_enough && !queue.is_empty();
@@ -238,6 +266,14 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
                     workers[worker].epoch += 1;
                     workers[worker].running = None;
                     queue.push(worker, tid);
+                    if rec.enabled() {
+                        rec.record(Event::end(t, worker as u32, "run").with_arg("tid", tid as u64));
+                        rec.record(
+                            Event::instant(t, worker as u32, "preempt")
+                                .with_arg("tid", tid as u64)
+                                .with_arg("cost", cost),
+                        );
+                    }
                     dispatch_at(
                         worker,
                         t + cost,
@@ -246,6 +282,7 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
                         &mut heap,
                         &mut seq,
                         &threads,
+                        rec,
                     );
                 } else {
                     // Fire without a switch: the handler runs, decides to
@@ -301,7 +338,8 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
     }
 }
 
-fn dispatch(
+#[allow(clippy::too_many_arguments)]
+fn dispatch<R: Recorder>(
     worker: usize,
     t: u64,
     workers: &mut [Worker],
@@ -309,11 +347,13 @@ fn dispatch(
     heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>,
     seq: &mut u64,
     threads: &[Uthread],
+    rec: &mut R,
 ) {
-    dispatch_at(worker, t, workers, queue, heap, seq, threads);
+    dispatch_at(worker, t, workers, queue, heap, seq, threads, rec);
 }
 
-fn dispatch_at(
+#[allow(clippy::too_many_arguments)]
+fn dispatch_at<R: Recorder>(
     worker: usize,
     t: u64,
     workers: &mut [Worker],
@@ -321,12 +361,21 @@ fn dispatch_at(
     heap: &mut BinaryHeap<Reverse<(u64, u64, Ev)>>,
     seq: &mut u64,
     threads: &[Uthread],
+    rec: &mut R,
 ) {
     // FIFO from the worker's own queue for fairness; steal the oldest
     // work from the most loaded peer when idle.
+    let steals_before = queue.steals;
     let Some(tid) = queue.pop_fifo_or_steal(worker) else {
+        rec.instant(t, worker as u32, "park");
         return;
     };
+    if rec.enabled() {
+        if queue.steals > steals_before {
+            rec.instant(t, worker as u32, "steal");
+        }
+        rec.record(Event::begin(t, worker as u32, "run").with_arg("tid", tid as u64));
+    }
     workers[worker].epoch += 1;
     let epoch = workers[worker].epoch;
     workers[worker].running = Some(Running {
@@ -412,6 +461,32 @@ mod tests {
             r.preemptions,
             r.completed_scans
         );
+    }
+
+    #[test]
+    fn traced_run_is_result_identical_and_balanced() {
+        let mut cfg = ServerConfig::paper(PreemptMechanism::XuiKbTimer, 80_000.0);
+        cfg.duration = 20_000_000; // 10 ms
+        let untraced = run_server(&cfg);
+        let mut rec = xui_telemetry::RingRecorder::new(1 << 20);
+        let traced = run_server_traced(&cfg, &mut rec);
+        assert_eq!(traced.completed_gets, untraced.completed_gets);
+        assert_eq!(traced.preemptions, untraced.preemptions);
+        assert_eq!(traced.get_latency.p999, untraced.get_latency.p999);
+
+        let events = rec.events();
+        assert_eq!(rec.dropped(), 0, "ring must hold the whole short run");
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count() as u64;
+        assert_eq!(
+            count("arrival"),
+            untraced.completed_gets + untraced.completed_scans + untraced.unfinished
+        );
+        assert_eq!(count("preempt"), untraced.preemptions);
+        assert!(count("run") >= 2, "begin+end run spans present");
+        // Export balances (auto-closing any span still open at horizon).
+        let doc = xui_telemetry::chrome::trace_json(&events);
+        let check = xui_telemetry::chrome::validate(&doc).expect("valid server trace");
+        assert!(check.span_pairs > 0);
     }
 
     #[test]

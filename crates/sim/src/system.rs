@@ -303,6 +303,27 @@ impl System {
         self.cycle
     }
 
+    /// All cores' trace events merged into one stream, sorted by
+    /// `(cycle, core)` — deterministic input for the core-aware lookups
+    /// in `trace` and for telemetry export.
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<crate::trace::TraceEvent> {
+        let mut out: Vec<crate::trace::TraceEvent> = self
+            .cores
+            .iter()
+            .flat_map(|c| c.trace.iter().copied())
+            .collect();
+        out.sort_by_key(|e| (e.cycle, e.core));
+        out
+    }
+
+    /// The merged trace as telemetry events (see
+    /// [`crate::trace::to_telemetry`]), ready for Chrome-trace export.
+    #[must_use]
+    pub fn telemetry_events(&self) -> Vec<xui_telemetry::Event> {
+        crate::trace::to_telemetry(&self.trace_events())
+    }
+
     /// Runs until the given core halts or `max_cycles` elapse; returns
     /// the halt cycle, or `None` on timeout.
     pub fn run_until_core_halted(&mut self, core: usize, max_cycles: u64) -> Option<u64> {

@@ -1,6 +1,16 @@
 //! Per-event tracing, used to reconstruct the Figure 2 latency timeline.
+//!
+//! [`TraceEvent`] is the pipeline simulator's native record — cheap,
+//! `Copy`, recorded inline by the cores. The telemetry bridge
+//! ([`to_telemetry`] / `From<TraceEvent> for xui_telemetry::Event`) maps
+//! these onto the workspace-wide structured event model: handler
+//! execution and misprediction recovery become *spans* (their entry/exit
+//! kinds open and close a named region), everything else becomes an
+//! instant. Figure reconstruction keeps using the native records; the
+//! `--trace` export path goes through the bridge.
 
 use serde::{Deserialize, Serialize};
+use xui_telemetry::Event;
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,6 +43,58 @@ pub enum TraceKind {
     SafepointHit,
 }
 
+impl TraceKind {
+    /// The stable snake_case name this kind exports under (instants use
+    /// it directly; span kinds share their region's name — see
+    /// [`TraceKind::span_role`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SendUipiStart => "senduipi",
+            Self::IcrWrite => "icr_write",
+            Self::UpidPosted => "upid_posted",
+            Self::IpiArrive => "ipi_arrive",
+            Self::IrqAccepted => "irq_accepted",
+            Self::IrqInjected => "irq_injected",
+            Self::UpidDrained => "upid_drained",
+            Self::HandlerEntered | Self::UiretCommitted => "uipi_handler",
+            Self::KbTimerFired => "kb_timer_fired",
+            Self::MispredictDetected | Self::MispredictRecovered => "mispredict_recovery",
+            Self::SafepointHit => "safepoint_hit",
+        }
+    }
+
+    /// Whether this kind opens (+1) or closes (-1) a span, or is a point
+    /// event (0). Handler entry/exit and mispredict detect/recover are
+    /// the two durations Figure 2 cares about, so they export as spans.
+    #[must_use]
+    pub fn span_role(self) -> i8 {
+        match self {
+            Self::HandlerEntered | Self::MispredictDetected => 1,
+            Self::UiretCommitted | Self::MispredictRecovered => -1,
+            _ => 0,
+        }
+    }
+}
+
+impl From<TraceEvent> for Event {
+    fn from(e: TraceEvent) -> Self {
+        let core = u32::try_from(e.core).unwrap_or(u32::MAX);
+        match e.kind.span_role() {
+            1 => Event::begin(e.cycle, core, e.kind.name()),
+            -1 => Event::end(e.cycle, core, e.kind.name()),
+            _ => Event::instant(e.cycle, core, e.kind.name()),
+        }
+    }
+}
+
+/// Converts native pipeline trace events to telemetry events, preserving
+/// order.
+#[must_use]
+pub fn to_telemetry(events: &[TraceEvent]) -> Vec<Event> {
+    events.iter().copied().map(Event::from).collect()
+}
+
 /// A timestamped trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
@@ -45,12 +107,31 @@ pub struct TraceEvent {
 }
 
 /// Finds the first event of `kind` at or after `from`, returning its
-/// cycle.
+/// cycle. **Ignores which core produced the event** — correct only for
+/// single-core traces; multi-core reconstruction must use
+/// [`first_on_core_at_or_after`] or it will match a different core's
+/// event of the same kind.
 #[must_use]
 pub fn first_at_or_after(events: &[TraceEvent], kind: TraceKind, from: u64) -> Option<u64> {
     events
         .iter()
         .find(|e| e.kind == kind && e.cycle >= from)
+        .map(|e| e.cycle)
+}
+
+/// Finds the first event of `kind` **on `core`** at or after `from`,
+/// returning its cycle. This is the core-aware variant figure
+/// reconstruction uses on merged multi-core traces.
+#[must_use]
+pub fn first_on_core_at_or_after(
+    events: &[TraceEvent],
+    core: usize,
+    kind: TraceKind,
+    from: u64,
+) -> Option<u64> {
+    events
+        .iter()
+        .find(|e| e.core == core && e.kind == kind && e.cycle >= from)
         .map(|e| e.cycle)
 }
 
@@ -74,5 +155,85 @@ mod tests {
             Some(12)
         );
         assert_eq!(first_at_or_after(&events, TraceKind::UpidDrained, 0), None);
+    }
+
+    #[test]
+    fn first_on_core_filters_by_core() {
+        // Regression for the core-blind lookup: the same kind fires on
+        // core 1 *before* core 0, and the core-aware variant must not
+        // return the other core's cycle.
+        let events = vec![
+            TraceEvent { cycle: 3, core: 1, kind: TraceKind::IpiArrive },
+            TraceEvent { cycle: 8, core: 0, kind: TraceKind::IpiArrive },
+            TraceEvent { cycle: 15, core: 1, kind: TraceKind::IpiArrive },
+        ];
+        assert_eq!(
+            first_at_or_after(&events, TraceKind::IpiArrive, 0),
+            Some(3),
+            "core-blind lookup matches core 1's earlier event"
+        );
+        assert_eq!(
+            first_on_core_at_or_after(&events, 0, TraceKind::IpiArrive, 0),
+            Some(8)
+        );
+        assert_eq!(
+            first_on_core_at_or_after(&events, 1, TraceKind::IpiArrive, 4),
+            Some(15)
+        );
+        assert_eq!(
+            first_on_core_at_or_after(&events, 2, TraceKind::IpiArrive, 0),
+            None
+        );
+    }
+
+    #[test]
+    fn telemetry_bridge_maps_spans_and_instants() {
+        let events = vec![
+            TraceEvent { cycle: 10, core: 1, kind: TraceKind::HandlerEntered },
+            TraceEvent { cycle: 14, core: 1, kind: TraceKind::SafepointHit },
+            TraceEvent { cycle: 30, core: 1, kind: TraceKind::UiretCommitted },
+        ];
+        let tel = to_telemetry(&events);
+        assert_eq!(tel.len(), 3);
+        assert_eq!(tel[0], Event::begin(10, 1, "uipi_handler"));
+        assert_eq!(tel[1], Event::instant(14, 1, "safepoint_hit"));
+        assert_eq!(tel[2], Event::end(30, 1, "uipi_handler"));
+        // The bridged stream exports to a balanced Chrome trace.
+        let doc = xui_telemetry::chrome::trace_json(&tel);
+        let check = xui_telemetry::chrome::validate(&doc).expect("valid");
+        assert_eq!(check.span_pairs, 1);
+        assert_eq!(check.instants, 1);
+    }
+
+    #[test]
+    fn every_kind_has_a_name_and_spans_pair_up() {
+        let kinds = [
+            TraceKind::SendUipiStart,
+            TraceKind::IcrWrite,
+            TraceKind::UpidPosted,
+            TraceKind::IpiArrive,
+            TraceKind::IrqAccepted,
+            TraceKind::IrqInjected,
+            TraceKind::UpidDrained,
+            TraceKind::HandlerEntered,
+            TraceKind::UiretCommitted,
+            TraceKind::KbTimerFired,
+            TraceKind::MispredictDetected,
+            TraceKind::MispredictRecovered,
+            TraceKind::SafepointHit,
+        ];
+        for kind in kinds {
+            assert!(!kind.name().is_empty());
+            assert!(kind.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        // Each span opener shares its name with exactly one closer.
+        for (open, close) in [
+            (TraceKind::HandlerEntered, TraceKind::UiretCommitted),
+            (TraceKind::MispredictDetected, TraceKind::MispredictRecovered),
+        ] {
+            assert_eq!(open.span_role(), 1);
+            assert_eq!(close.span_role(), -1);
+            assert_eq!(open.name(), close.name());
+        }
     }
 }

@@ -1,0 +1,44 @@
+//! Validates a Chrome trace JSON file produced by the `--trace` flag:
+//! it must parse, timestamps must be monotone per `pid`, and every `B`
+//! span must have a matching `E`. Exits non-zero (with a diagnostic on
+//! stderr) on any violation — CI runs this against a fresh fig2 trace.
+//!
+//! Usage: `validate_trace <trace.json> [more.json ...]`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.json> [more.json ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        match xui_telemetry::chrome::validate(&doc) {
+            Ok(check) => {
+                println!(
+                    "{path}: OK — {} events, {} span pairs, {} instants, {} counters, {} tracks",
+                    check.events, check.span_pairs, check.instants, check.counters, check.tracks
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,108 @@
+//! Adapter connecting [`xui_des::engine::EngineProbe`] to a [`Recorder`].
+//!
+//! The DES crate sits *below* telemetry in the dependency graph, so it
+//! exposes a zero-dependency probe trait instead of depending on this
+//! crate; `DesProbe` implements that trait on top of any recorder. The
+//! recorder is shared through `Rc<RefCell<_>>` so the caller keeps a
+//! handle for reading events back after the run (the probe itself is
+//! boxed away inside the engine).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use xui_des::engine::{EngineProbe, SimTime};
+
+use crate::recorder::Recorder;
+
+/// Records engine activity — `des_schedule` / `des_fire` / `des_cancel`
+/// instants plus a `des_pending` queue-depth counter — into a shared
+/// recorder.
+#[derive(Debug)]
+pub struct DesProbe<R: Recorder> {
+    recorder: Rc<RefCell<R>>,
+    actor: u32,
+}
+
+impl<R: Recorder> DesProbe<R> {
+    /// Wraps a shared recorder; `actor` tags every emitted event (use it
+    /// to separate engines when a run drives more than one).
+    pub fn new(recorder: Rc<RefCell<R>>, actor: u32) -> Self {
+        Self { recorder, actor }
+    }
+}
+
+impl<R: Recorder> EngineProbe for DesProbe<R> {
+    fn on_schedule(&mut self, _now: SimTime, at: SimTime, pending: usize) {
+        let mut rec = self.recorder.borrow_mut();
+        if rec.enabled() {
+            rec.record(
+                crate::event::Event::instant(at, self.actor, "des_schedule")
+                    .with_arg("at", at),
+            );
+            rec.counter(at, self.actor, "des_pending", pending as u64);
+        }
+    }
+
+    fn on_fire(&mut self, at: SimTime, pending: usize) {
+        let mut rec = self.recorder.borrow_mut();
+        if rec.enabled() {
+            rec.instant(at, self.actor, "des_fire");
+            rec.counter(at, self.actor, "des_pending", pending as u64);
+        }
+    }
+
+    fn on_cancel(&mut self, now: SimTime, pending: usize) {
+        let mut rec = self.recorder.borrow_mut();
+        if rec.enabled() {
+            rec.instant(now, self.actor, "des_cancel");
+            rec.counter(now, self.actor, "des_pending", pending as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use xui_des::engine::Engine;
+
+    use super::*;
+    use crate::recorder::RingRecorder;
+
+    #[test]
+    fn probe_records_engine_lifecycle() {
+        let recorder = Rc::new(RefCell::new(RingRecorder::new(1024)));
+        let mut engine: Engine<u64> = Engine::new();
+        engine.set_probe(Box::new(DesProbe::new(Rc::clone(&recorder), 0)));
+
+        let cancel_me = engine.schedule_at(50, |_: &mut u64, _: &mut Engine<u64>| {});
+        engine.schedule_at(10, |s: &mut u64, eng: &mut Engine<u64>| {
+            *s += 1;
+            eng.schedule_in(5, |s: &mut u64, _: &mut Engine<u64>| *s += 1);
+        });
+        engine.cancel(cancel_me);
+        let mut state = 0u64;
+        engine.run(&mut state);
+        assert_eq!(state, 2);
+
+        let events = recorder.borrow().events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("des_schedule"), 3, "two up-front + one nested");
+        assert_eq!(count("des_fire"), 2);
+        assert_eq!(count("des_cancel"), 1);
+        assert!(count("des_pending") >= 6, "a depth sample rides each hook");
+        // The schedule instant carries the target time as an argument.
+        let sched = events.iter().find(|e| e.name == "des_schedule").unwrap();
+        assert_eq!(sched.arg("at"), Some(50));
+    }
+
+    #[test]
+    fn disabled_recorder_stays_empty() {
+        let recorder = Rc::new(RefCell::new(crate::recorder::NullRecorder));
+        let mut engine: Engine<()> = Engine::new();
+        engine.set_probe(Box::new(DesProbe::new(Rc::clone(&recorder), 0)));
+        engine.schedule_at(1, |_: &mut (), _: &mut Engine<()>| {});
+        engine.run(&mut ());
+        // Nothing to assert on NullRecorder's contents — the point is the
+        // enabled() gate means no event construction happened (covered by
+        // the hotpath bench); this just exercises the code path.
+    }
+}
