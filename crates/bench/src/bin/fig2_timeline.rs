@@ -3,18 +3,11 @@
 
 use serde::Serialize;
 
-use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
+use xui_bench::timeline::Segment;
+use xui_bench::{banner, reconstruct_fig2, run_sweep, save_json, Sweep, Table};
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
-use xui_sim::trace::{first_on_core_at_or_after, TraceKind};
 use xui_sim::{Program, System};
-
-#[derive(Serialize)]
-struct Segment {
-    step: &'static str,
-    paper_cycle: i64,
-    measured_cycle: i64,
-}
 
 #[derive(Serialize)]
 struct Timeline {
@@ -83,62 +76,15 @@ fn main() {
         // Reconstruct from the merged multi-core stream with the
         // core-aware lookup: sender events on core 0, receiver events on
         // core 1 (the core-blind variant would match whichever core hit
-        // the kind first).
+        // the kind first). The library function returns the missing
+        // step's name instead of panicking mid-reconstruction.
         let merged = sys.trace_events();
-        // Time 0 = senduipi enters the pipeline: the UPID post happens a few
-        // cycles into the microcode; subtract the routine preamble.
-        let post =
-            first_on_core_at_or_after(&merged, 0, TraceKind::UpidPosted, 0).expect("posted");
-        let t0 = post.saturating_sub(25);
-        let rel = |c: u64| (c - t0) as i64;
-
-        let icr = first_on_core_at_or_after(&merged, 0, TraceKind::IcrWrite, 0).expect("icr");
-        let arrive =
-            first_on_core_at_or_after(&merged, 1, TraceKind::IpiArrive, 0).expect("arrive");
-        let drained =
-            first_on_core_at_or_after(&merged, 1, TraceKind::UpidDrained, 0).expect("drain");
-        let handler =
-            first_on_core_at_or_after(&merged, 1, TraceKind::HandlerEntered, 0).expect("handler");
-        let uiret =
-            first_on_core_at_or_after(&merged, 1, TraceKind::UiretCommitted, 0).expect("uiret");
-
-        let segments = vec![
-            Segment { step: "senduipi issued", paper_cycle: 0, measured_cycle: 0 },
-            Segment {
-                step: "UPID posted (PIR/ON set)",
-                paper_cycle: 25,
-                measured_cycle: rel(post),
-            },
-            Segment {
-                step: "ICR written (IPI leaves)",
-                paper_cycle: 129,
-                measured_cycle: rel(icr),
-            },
-            Segment {
-                step: "receiver program flow interrupted",
-                paper_cycle: 380,
-                measured_cycle: rel(arrive),
-            },
-            Segment {
-                step: "notification processing (ON cleared)",
-                paper_cycle: 804, // 380 + 424 flush/refill
-                measured_cycle: rel(drained),
-            },
-            Segment {
-                step: "handler entered (delivery done)",
-                paper_cycle: 1_066, // + 262 notification+delivery
-                measured_cycle: rel(handler),
-            },
-            Segment {
-                step: "uiret (handler complete)",
-                paper_cycle: 1_360,
-                measured_cycle: rel(uiret),
-            },
-        ];
+        let r = reconstruct_fig2(&merged, 0, 1)
+            .unwrap_or_else(|step| panic!("trace is missing step: {step}"));
         Timeline {
-            segments,
-            flush_refill: rel(drained) - rel(arrive),
-            notif_delivery: rel(handler) - rel(drained),
+            segments: r.segments,
+            flush_refill: r.flush_refill,
+            notif_delivery: r.notif_delivery,
             telemetry: sys.telemetry_events(),
         }
     });

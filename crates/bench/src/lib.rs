@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod sweep;
+pub mod timeline;
 
 use std::fs;
 use std::path::PathBuf;
@@ -18,6 +19,7 @@ use std::sync::Mutex;
 use serde::Serialize;
 
 pub use sweep::{Sweep, SweepCtx};
+pub use timeline::{reconstruct_fig2, Fig2Reconstruction};
 
 /// A simple aligned table printer for experiment output.
 #[derive(Debug, Clone, Default)]

@@ -350,5 +350,76 @@ mod proptests {
             let upid = Upid::from_bits(bits);
             prop_assert_eq!(Upid::from_words(upid.low_word(), upid.high_word()), upid);
         }
+
+        /// Arbitrary interleavings of sender posts, kernel suspends
+        /// (SN set on context-switch-out) and resumes (SN cleared, then
+        /// notification processing drains PIR) never lose a pending
+        /// vector: at every step PIR equals exactly the model's
+        /// posted-but-undrained set, and each drain hands the receiver
+        /// that whole set.
+        #[test]
+        fn post_suspend_resume_interleavings_never_lose_a_vector(
+            ops in proptest::collection::vec((0u8..4, 0u8..64), 1..48),
+        ) {
+            let mut upid = Upid::new();
+            let mut pending = 0u64; // model: posted, not yet drained
+            let mut delivered = 0u64;
+            let mut posted = 0u64;
+            for (op, raw) in ops {
+                match op {
+                    // Sender posts — legal whether or not SN is set (the
+                    // PIR RMW happens regardless; SN only suppresses the
+                    // notification IPI).
+                    0 | 1 => {
+                        let uv = UserVector::new(raw).unwrap();
+                        let novel = upid.post(uv);
+                        prop_assert_eq!(novel, pending & uv.bit() == 0,
+                            "novelty must reflect the pending set");
+                        pending |= uv.bit();
+                        posted |= uv.bit();
+                    }
+                    // Kernel suspends: the SN race window. Flipping SN
+                    // must not clobber concurrent posts.
+                    2 => {
+                        upid.set_sn(true);
+                    }
+                    // Resume: clear SN, notification processing drains.
+                    _ => {
+                        upid.set_sn(false);
+                        let drained = upid.take_pir();
+                        prop_assert_eq!(drained, pending,
+                            "drain returns exactly the pending set");
+                        delivered |= drained;
+                        pending = 0;
+                    }
+                }
+                prop_assert_eq!(upid.pir(), pending, "PIR tracks the model set");
+            }
+            let final_drain = upid.take_pir();
+            prop_assert_eq!(final_drain, pending);
+            prop_assert_eq!(delivered | final_drain, posted,
+                "every posted vector is delivered by some drain — none lost");
+        }
+
+        /// The `set_sn` race window touches only bit 1: any flip
+        /// sequence leaves ON, NV, NDST and the whole PIR word
+        /// bit-exact, so a suspend racing a post can suppress the IPI
+        /// but can never eat the posted vector.
+        #[test]
+        fn set_sn_race_window_only_touches_bit1(
+            bits in any::<u128>(),
+            flips in proptest::collection::vec(any::<bool>(), 1..16),
+        ) {
+            let base = Upid::from_bits(bits);
+            let mut upid = base;
+            for f in flips {
+                upid.set_sn(f);
+                prop_assert_eq!(upid.sn(), f);
+                prop_assert_eq!(upid.bits() & !0b10, base.bits() & !0b10,
+                    "everything except SN is untouched");
+                prop_assert_eq!(upid.pir(), base.pir());
+                prop_assert_eq!(upid.on(), base.on());
+            }
+        }
     }
 }

@@ -1,0 +1,357 @@
+//! Cross-model conformance: run one send schedule through the untimed
+//! DES behavioural model (`xui_core::model::ProtocolModel`) and the
+//! cycle-level pipeline simulator (`xui_sim::System`), then diff the
+//! delivery traces.
+//!
+//! The two models implement the same UPID/UIRR protocol at very
+//! different levels of abstraction; agreement on *what gets delivered*
+//! (counts per vector, order within a batch, coalescing of duplicates)
+//! under both clean and faulted schedules is the conformance claim.
+//! A [`FaultPlan`] is applied to the *schedule* before either model
+//! runs, so both models see the identical adversarial input and must
+//! still agree with each other.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inject::{FaultInjector, PostAction};
+use crate::plan::FaultPlan;
+use xui_core::model::{CoreId, ProtocolModel};
+use xui_core::vectors::UserVector;
+use xui_sim::config::SystemConfig;
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
+use xui_sim::trace::TraceKind;
+use xui_sim::{Device, Program, System};
+
+/// One scheduled `senduipi` toward the single receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledSend {
+    /// Virtual time (DES ticks == sim cycles) of the send.
+    pub at: u64,
+    /// User vector (0..64).
+    pub uv: u8,
+}
+
+/// A conformance scenario: a named send schedule plus sim parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceScenario {
+    /// Scenario name (appears in reports).
+    pub name: String,
+    /// The send schedule, in any order (it is sorted before running).
+    pub sends: Vec<ScheduledSend>,
+    /// Sender-side µcode + APIC transit latency in the cycle model.
+    pub send_latency: u64,
+    /// Extra cycles the receiver keeps spinning after the last send, so
+    /// late deliveries land before it halts.
+    pub slack: u64,
+}
+
+impl ConformanceScenario {
+    /// A scenario with fig2-like sim timing defaults.
+    #[must_use]
+    pub fn new(name: impl Into<String>, sends: Vec<ScheduledSend>) -> Self {
+        Self {
+            name: name.into(),
+            sends,
+            send_latency: 140,
+            slack: 50_000,
+        }
+    }
+
+    /// The schedule after applying `plan` (drop/delay/duplicate/reorder),
+    /// sorted by time. Vectors are clamped into 0..64. Reorder faults
+    /// permute *vectors across slots* inside windows — arrival times stay
+    /// sorted, payloads swap, which is how fabric reordering looks to the
+    /// receiver.
+    #[must_use]
+    pub fn effective_sends(&self, plan: Option<&FaultPlan>) -> Vec<ScheduledSend> {
+        let mut sends = self.sends.clone();
+        for s in &mut sends {
+            s.uv &= 63;
+        }
+        sends.sort_by_key(|s| (s.at, s.uv));
+        let Some(plan) = plan else { return sends };
+        let mut inj = FaultInjector::new(plan);
+        let mut out = Vec::with_capacity(sends.len());
+        for s in sends {
+            match inj.on_post(s.at) {
+                PostAction::Deliver => out.push(s),
+                PostAction::Drop => {}
+                PostAction::Delay(by) => {
+                    out.push(ScheduledSend { at: s.at + by, uv: s.uv });
+                }
+                PostAction::Duplicate => {
+                    out.push(s);
+                    out.push(s);
+                }
+            }
+        }
+        let mut uvs: Vec<u8> = out.iter().map(|s| s.uv).collect();
+        inj.permute_posts(&mut uvs);
+        for (s, uv) in out.iter_mut().zip(uvs) {
+            s.uv = uv;
+        }
+        out.sort_by_key(|s| (s.at, s.uv));
+        out
+    }
+}
+
+/// The delivery obligations implied by an effective schedule: sends
+/// sharing a timestamp form one *batch*; within a batch duplicate
+/// vectors coalesce and delivery is highest-vector-first (the UIRR
+/// contract both models implement).
+#[must_use]
+pub fn expected_deliveries(effective: &[ScheduledSend]) -> Vec<ScheduledSend> {
+    let mut out: Vec<ScheduledSend> = Vec::new();
+    let mut i = 0;
+    while i < effective.len() {
+        let at = effective[i].at;
+        let mut batch: Vec<u8> = Vec::new();
+        while i < effective.len() && effective[i].at == at {
+            if !batch.contains(&effective[i].uv) {
+                batch.push(effective[i].uv);
+            }
+            i += 1;
+        }
+        batch.sort_unstable_by(|a, b| b.cmp(a)); // highest vector first
+        out.extend(batch.into_iter().map(|uv| ScheduledSend { at, uv }));
+    }
+    out
+}
+
+/// Outcome of one cross-model conformance run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// Scenario name.
+    pub name: String,
+    /// Fault plan name applied to the schedule (`"none"` if clean).
+    pub plan: String,
+    /// Effective sends after fault application.
+    pub effective_sends: usize,
+    /// Expected delivery sequence (vectors, in obligation order).
+    pub expected_sequence: Vec<u8>,
+    /// Vectors the DES model delivered, in order.
+    pub des_sequence: Vec<u8>,
+    /// Handler entries observed in the cycle model, in cycle order.
+    pub sim_handler_cycles: Vec<u64>,
+    /// The cycle model's own delivery count (receiver `r20` increments).
+    pub sim_handler_count: u64,
+    /// Whether every cross-check agreed.
+    pub matched: bool,
+    /// First disagreement, when `matched` is false.
+    pub mismatch: Option<String>,
+}
+
+/// Runs `scenario` (with `plan` applied to the schedule, if given)
+/// through both models and diffs the delivery traces.
+///
+/// # Panics
+///
+/// Panics only on internal model-setup errors (bad vector constants),
+/// which indicate a bug in the scenario construction, not a conformance
+/// failure — conformance failures are reported, never panicked.
+#[must_use]
+pub fn run_conformance(
+    scenario: &ConformanceScenario,
+    plan: Option<&FaultPlan>,
+) -> ConformanceReport {
+    let effective = scenario.effective_sends(plan);
+    let expected = expected_deliveries(&effective);
+    let expected_sequence: Vec<u8> = expected.iter().map(|s| s.uv).collect();
+
+    let des_sequence = run_des(&effective);
+    let (sim_handler_cycles, sim_handler_count) = run_sim(scenario, &effective);
+
+    let mut mismatch = None;
+    if des_sequence != expected_sequence {
+        mismatch = Some(format!(
+            "DES delivered {des_sequence:?} but the schedule implies {expected_sequence:?}"
+        ));
+    } else if sim_handler_cycles.len() as u64 != sim_handler_count {
+        mismatch = Some(format!(
+            "cycle model trace shows {} handler entries but the handler ran {} times",
+            sim_handler_cycles.len(),
+            sim_handler_count
+        ));
+    } else if sim_handler_count != des_sequence.len() as u64 {
+        mismatch = Some(format!(
+            "cycle model delivered {sim_handler_count} interrupts, DES delivered {}",
+            des_sequence.len()
+        ));
+    }
+
+    ConformanceReport {
+        name: scenario.name.clone(),
+        plan: plan.map_or_else(|| "none".to_string(), |p| p.name.clone()),
+        effective_sends: effective.len(),
+        expected_sequence,
+        des_sequence,
+        sim_handler_cycles,
+        sim_handler_count,
+        matched: mismatch.is_none(),
+        mismatch,
+    }
+}
+
+/// DES side: sender and receiver threads, both scheduled; sends grouped
+/// into same-timestamp batches, draining between batches.
+fn run_des(effective: &[ScheduledSend]) -> Vec<u8> {
+    let mut sys = ProtocolModel::new(2);
+    let sender = sys.create_thread();
+    let receiver = sys.create_thread();
+    sys.register_handler(receiver, 0x4000)
+        .expect("register_handler on fresh thread");
+
+    // One UITT entry per distinct vector in the schedule.
+    let mut idx_by_uv = [None::<xui_core::uitt::UittIndex>; 64];
+    for s in effective {
+        let lane = usize::from(s.uv & 63);
+        if idx_by_uv[lane].is_none() {
+            let uv = UserVector::new(s.uv & 63).expect("clamped vector");
+            idx_by_uv[lane] = Some(
+                sys.register_sender(sender, receiver, uv)
+                    .expect("register_sender after register_handler"),
+            );
+        }
+    }
+    sys.schedule(sender, CoreId(0)).expect("idle core 0");
+    sys.schedule(receiver, CoreId(1)).expect("idle core 1");
+
+    let mut delivered = Vec::new();
+    let mut i = 0;
+    while i < effective.len() {
+        let at = effective[i].at;
+        sys.advance_time(at);
+        while i < effective.len() && effective[i].at == at {
+            let idx = idx_by_uv[usize::from(effective[i].uv & 63)].expect("registered above");
+            sys.senduipi(sender, idx).expect("send on valid uitt index");
+            i += 1;
+        }
+        for uv in sys.run_pending(receiver).expect("receiver is running") {
+            #[allow(clippy::cast_possible_truncation)]
+            delivered.push(uv.index() as u8);
+        }
+    }
+    delivered
+}
+
+/// Cycle-model side: a single receiver core spinning, with one one-shot
+/// `UipiTimer` device per scheduled send (huge period ⇒ fires once).
+fn run_sim(scenario: &ConformanceScenario, effective: &[ScheduledSend]) -> (Vec<u64>, u64) {
+    let last_at = effective.iter().map(|s| s.at).max().unwrap_or(0);
+    // The dependent sub chain retires ~1/cycle, so `imm` ≈ spin cycles.
+    let spin = last_at + scenario.send_latency + scenario.slack;
+    let receiver = Program::new(
+        "conformance-spin",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: spin }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+            // Handler: count the delivery, return.
+            Inst::new(Op::Alu {
+                kind: AluKind::Add,
+                dst: Reg(20),
+                src: Reg(20),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Uiret),
+        ],
+    );
+    let mut sys = System::new(SystemConfig::uipi(), vec![receiver]);
+    sys.register_receiver(0, 4);
+    sys.cores[0].trace_enabled = true;
+    let upid_addr = sys.cores[0].upid_addr;
+    for s in effective {
+        sys.add_device(Device::UipiTimer {
+            period: 1 << 40, // one-shot within any realistic horizon
+            next_fire: s.at,
+            upid_addr,
+            user_vector: s.uv & 63,
+            send_latency: scenario.send_latency,
+        });
+    }
+    sys.run_until_halted(spin.saturating_mul(8).saturating_add(2_000_000));
+
+    let handler_cycles: Vec<u64> = sys
+        .trace_events()
+        .iter()
+        .filter(|e| e.core == 0 && e.kind == TraceKind::HandlerEntered)
+        .map(|e| e.cycle)
+        .collect();
+    (handler_cycles, sys.cores[0].reg(Reg(20)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sends(spec: &[(u64, u8)]) -> Vec<ScheduledSend> {
+        spec.iter().map(|&(at, uv)| ScheduledSend { at, uv }).collect()
+    }
+
+    #[test]
+    fn expected_deliveries_batch_dedup_and_order() {
+        // t=10: vectors 3, 9, 3 → batch {9, 3} highest-first.
+        let eff = sends(&[(10, 3), (10, 9), (10, 3), (50, 1)]);
+        let exp = expected_deliveries(&eff);
+        let seq: Vec<(u64, u8)> = exp.iter().map(|s| (s.at, s.uv)).collect();
+        assert_eq!(seq, vec![(10, 9), (10, 3), (50, 1)]);
+    }
+
+    #[test]
+    fn clean_two_send_scenario_matches() {
+        let sc = ConformanceScenario::new("clean", sends(&[(2_000, 5), (6_000, 7)]));
+        let r = run_conformance(&sc, None);
+        assert!(r.matched, "{:?}", r.mismatch);
+        assert_eq!(r.des_sequence, vec![5, 7]);
+        assert_eq!(r.sim_handler_count, 2);
+        assert_eq!(r.sim_handler_cycles.len(), 2);
+        assert!(r.sim_handler_cycles[0] >= 2_000);
+    }
+
+    #[test]
+    fn duplicate_fault_coalesces_in_both_models() {
+        let sc = ConformanceScenario::new("dup", sends(&[(2_000, 5), (6_000, 7)]));
+        let plan = FaultPlan::named("dup-all").duplicate_every(1, 1);
+        let r = run_conformance(&sc, Some(&plan));
+        assert!(r.matched, "{:?}", r.mismatch);
+        // 4 effective sends, but duplicates coalesce: still 2 deliveries.
+        assert_eq!(r.effective_sends, 4);
+        assert_eq!(r.des_sequence, vec![5, 7]);
+        assert_eq!(r.sim_handler_count, 2);
+    }
+
+    #[test]
+    fn drop_fault_removes_deliveries_consistently() {
+        let sc = ConformanceScenario::new("drop", sends(&[(2_000, 5), (6_000, 7), (10_000, 3)]));
+        let plan = FaultPlan::named("drop-2nd").drop_every(3, 2);
+        let r = run_conformance(&sc, Some(&plan));
+        assert!(r.matched, "{:?}", r.mismatch);
+        assert_eq!(r.des_sequence, vec![5, 3]);
+        assert_eq!(r.sim_handler_count, 2);
+    }
+
+    #[test]
+    fn same_cycle_batch_delivers_highest_first() {
+        let sc = ConformanceScenario::new("batch", sends(&[(3_000, 2), (3_000, 9)]));
+        let r = run_conformance(&sc, None);
+        assert!(r.matched, "{:?}", r.mismatch);
+        assert_eq!(r.des_sequence, vec![9, 2]);
+        assert_eq!(r.sim_handler_count, 2);
+    }
+
+    #[test]
+    fn empty_schedule_trivially_matches() {
+        let sc = ConformanceScenario::new("empty", vec![]);
+        let plan = FaultPlan::named("drop-all").drop_every(1, 1);
+        let r = run_conformance(&sc, Some(&plan));
+        assert!(r.matched);
+        assert_eq!(r.effective_sends, 0);
+        assert_eq!(r.sim_handler_count, 0);
+    }
+}

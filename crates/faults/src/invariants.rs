@@ -1,0 +1,402 @@
+//! Delivery invariants checked over a telemetry event stream.
+//!
+//! The checker consumes the `xui-telemetry` [`Event`] stream produced
+//! by a (possibly fault-injected) run and asserts the paper's §4
+//! liveness/correctness contract:
+//!
+//! 1. **No lost wakeup** — every novel post is eventually delivered.
+//! 2. **No duplicate delivery** — a vector is never delivered more
+//!    often than it was (novelly) posted.
+//! 3. **PIR drained before idle** — an actor never declares idle with
+//!    a pending, unsuppressed vector outstanding.
+//! 4. **Bounded delivery latency once unblocked** — once the receiver
+//!    is able to take interrupts, delivery lands within a bound.
+//!
+//! Instrumented code participates by emitting instants with the names
+//! below. `EV_POST` must be emitted only for *novel* posts (the UPID
+//! pending bit transitioned 0→1) — coalesced re-posts are legitimate
+//! and are not delivery obligations.
+
+use serde::{Deserialize, Serialize};
+use xui_telemetry::{Event, Phase};
+
+/// A novel interrupt post toward `actor` (arg `uv` = user vector).
+pub const EV_POST: &str = "uintr_post";
+/// A delivery of vector `uv` on `actor`.
+pub const EV_DELIVER: &str = "uintr_deliver";
+/// `actor` can no longer take user interrupts (UIF clear / SN set).
+pub const EV_BLOCK: &str = "uintr_block";
+/// `actor` can take user interrupts again.
+pub const EV_UNBLOCK: &str = "uintr_unblock";
+/// `actor` declares itself idle (nothing runnable, nothing pending).
+pub const EV_IDLE: &str = "idle";
+
+/// Maximum user vectors tracked (matches the 64-bit PIR).
+const MAX_VECTORS: usize = 64;
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// A posted vector was never delivered.
+    LostWakeup,
+    /// A vector was delivered with nothing pending.
+    DuplicateDelivery,
+    /// Idle was declared with vectors still pending.
+    PirNotDrainedAtIdle,
+    /// Delivery exceeded the latency bound after the receiver unblocked.
+    LatencyExceeded,
+}
+
+/// One invariant violation, with enough context to replay it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Virtual timestamp at which the violation was established.
+    pub ts: u64,
+    /// Receiver actor involved.
+    pub actor: u32,
+    /// User vector involved, when one applies.
+    pub vector: Option<u64>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Tunables for the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvariantConfig {
+    /// Max virtual ticks between a post becoming deliverable (posted,
+    /// receiver unblocked) and its delivery.
+    pub latency_bound: u64,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        // Generous default: covers notification + handler dispatch in
+        // every model at the paper's 2 GHz operating point.
+        Self { latency_bound: 10_000 }
+    }
+}
+
+/// Result of a checker pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct InvariantReport {
+    /// Novel posts observed.
+    pub posts: u64,
+    /// Deliveries observed.
+    pub delivers: u64,
+    /// Idle declarations observed.
+    pub idles: u64,
+    /// All violations found, in trace order.
+    pub violations: Vec<Violation>,
+}
+
+impl InvariantReport {
+    /// True when every invariant held.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one kind.
+    #[must_use]
+    pub fn count_of(&self, kind: InvariantKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+}
+
+/// Per-(actor, vector) pending post timestamps, FIFO.
+#[derive(Debug, Default, Clone)]
+struct ActorState {
+    /// `pending[uv]` holds post timestamps awaiting delivery.
+    pending: Vec<Vec<u64>>,
+    blocked: bool,
+    last_unblock: u64,
+}
+
+impl ActorState {
+    fn lane(&mut self, uv: usize) -> &mut Vec<u64> {
+        if self.pending.len() <= uv {
+            self.pending.resize(uv + 1, Vec::new());
+        }
+        &mut self.pending[uv]
+    }
+
+    fn total_pending(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+}
+
+/// Checks the four delivery invariants over `events`.
+///
+/// Events must be in nondecreasing `ts` order (the order every recorder
+/// in this workspace produces). Unknown event names are ignored, so the
+/// checker can run over a full mixed trace.
+///
+/// # Examples
+///
+/// ```
+/// use xui_faults::invariants::{check, InvariantConfig, EV_DELIVER, EV_POST};
+/// use xui_telemetry::Event;
+///
+/// let trace = vec![
+///     Event::instant(10, 1, EV_POST).with_arg("uv", 5),
+///     Event::instant(40, 1, EV_DELIVER).with_arg("uv", 5),
+/// ];
+/// let report = check(&trace, &InvariantConfig::default());
+/// assert!(report.pass());
+/// assert_eq!(report.posts, 1);
+/// ```
+#[must_use]
+pub fn check(events: &[Event], cfg: &InvariantConfig) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let mut actors: Vec<ActorState> = Vec::new();
+    let mut end_ts = 0u64;
+
+    fn actor_mut(actors: &mut Vec<ActorState>, idx: u32) -> &mut ActorState {
+        let idx = idx as usize;
+        if actors.len() <= idx {
+            actors.resize_with(idx + 1, ActorState::default);
+        }
+        &mut actors[idx]
+    }
+
+    for ev in events {
+        end_ts = end_ts.max(ev.ts);
+        if ev.phase != Phase::Instant {
+            continue;
+        }
+        match ev.name {
+            EV_POST => {
+                let uv = ev.arg("uv").unwrap_or(0);
+                report.posts += 1;
+                let st = actor_mut(&mut actors, ev.actor);
+                st.lane(vector_lane(uv)).push(ev.ts);
+            }
+            EV_DELIVER => {
+                let uv = ev.arg("uv").unwrap_or(0);
+                report.delivers += 1;
+                let st = actor_mut(&mut actors, ev.actor);
+                let last_unblock = st.last_unblock;
+                let lane = st.lane(vector_lane(uv));
+                if lane.is_empty() {
+                    report.violations.push(Violation {
+                        kind: InvariantKind::DuplicateDelivery,
+                        ts: ev.ts,
+                        actor: ev.actor,
+                        vector: Some(uv),
+                        detail: format!(
+                            "vector {uv} delivered at t={} with nothing pending",
+                            ev.ts
+                        ),
+                    });
+                } else {
+                    let posted = lane.remove(0);
+                    // The latency clock starts when the post is both
+                    // present and deliverable: the later of the post
+                    // itself and the receiver's most recent unblock.
+                    let deliverable_at = posted.max(last_unblock);
+                    let latency = ev.ts.saturating_sub(deliverable_at);
+                    if latency > cfg.latency_bound {
+                        report.violations.push(Violation {
+                            kind: InvariantKind::LatencyExceeded,
+                            ts: ev.ts,
+                            actor: ev.actor,
+                            vector: Some(uv),
+                            detail: format!(
+                                "vector {uv} posted at t={posted}, deliverable at \
+                                 t={deliverable_at}, delivered at t={} (latency {latency} > \
+                                 bound {})",
+                                ev.ts, cfg.latency_bound
+                            ),
+                        });
+                    }
+                }
+            }
+            EV_BLOCK => {
+                actor_mut(&mut actors, ev.actor).blocked = true;
+            }
+            EV_UNBLOCK => {
+                let st = actor_mut(&mut actors, ev.actor);
+                st.blocked = false;
+                st.last_unblock = ev.ts;
+            }
+            EV_IDLE => {
+                report.idles += 1;
+                let st = actor_mut(&mut actors, ev.actor);
+                let outstanding = st.total_pending();
+                if outstanding > 0 && !st.blocked {
+                    report.violations.push(Violation {
+                        kind: InvariantKind::PirNotDrainedAtIdle,
+                        ts: ev.ts,
+                        actor: ev.actor,
+                        vector: None,
+                        detail: format!(
+                            "actor {} idle at t={} with {outstanding} vector(s) pending",
+                            ev.actor, ev.ts
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // End-of-trace: anything still pending was lost.
+    for (actor, st) in actors.iter().enumerate() {
+        for (uv, lane) in st.pending.iter().enumerate() {
+            for &posted in lane {
+                #[allow(clippy::cast_possible_truncation)]
+                report.violations.push(Violation {
+                    kind: InvariantKind::LostWakeup,
+                    ts: end_ts,
+                    actor: actor as u32,
+                    vector: Some(uv as u64),
+                    detail: format!(
+                        "vector {uv} posted at t={posted} to actor {actor} never delivered \
+                         by end of trace (t={end_ts})"
+                    ),
+                });
+            }
+        }
+    }
+
+    report
+}
+
+/// Maps a user vector to its tracking lane, clamping out-of-range
+/// vectors into the last lane so the checker never panics on bad input.
+fn vector_lane(uv: u64) -> usize {
+    (uv as usize).min(MAX_VECTORS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(ts: u64, actor: u32, uv: u64) -> Event {
+        Event::instant(ts, actor, EV_POST).with_arg("uv", uv)
+    }
+
+    fn deliver(ts: u64, actor: u32, uv: u64) -> Event {
+        Event::instant(ts, actor, EV_DELIVER).with_arg("uv", uv)
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let trace = vec![
+            post(10, 0, 3),
+            deliver(15, 0, 3),
+            post(20, 0, 7),
+            post(21, 0, 3),
+            deliver(25, 0, 7),
+            deliver(26, 0, 3),
+            Event::instant(30, 0, EV_IDLE),
+        ];
+        let r = check(&trace, &InvariantConfig::default());
+        assert!(r.pass(), "{:?}", r.violations);
+        assert_eq!((r.posts, r.delivers, r.idles), (3, 3, 1));
+    }
+
+    #[test]
+    fn undelivered_post_is_lost_wakeup() {
+        let trace = vec![post(10, 1, 4), deliver(12, 1, 4), post(20, 1, 4)];
+        let r = check(&trace, &InvariantConfig::default());
+        assert_eq!(r.count_of(InvariantKind::LostWakeup), 1);
+        let v = &r.violations[0];
+        assert_eq!((v.actor, v.vector), (1, Some(4)));
+    }
+
+    #[test]
+    fn spurious_delivery_is_duplicate() {
+        let trace = vec![post(10, 0, 2), deliver(12, 0, 2), deliver(13, 0, 2)];
+        let r = check(&trace, &InvariantConfig::default());
+        assert_eq!(r.count_of(InvariantKind::DuplicateDelivery), 1);
+    }
+
+    #[test]
+    fn idle_with_pending_vector_flagged_unless_blocked() {
+        let pending_idle = vec![post(10, 0, 1), Event::instant(20, 0, EV_IDLE), deliver(21, 0, 1)];
+        let r = check(&pending_idle, &InvariantConfig::default());
+        assert_eq!(r.count_of(InvariantKind::PirNotDrainedAtIdle), 1);
+
+        // Blocked receivers may legitimately idle with vectors pending
+        // (SN is set; the wakeup re-arms on unblock).
+        let blocked_idle = vec![
+            Event::instant(5, 0, EV_BLOCK),
+            post(10, 0, 1),
+            Event::instant(20, 0, EV_IDLE),
+            Event::instant(30, 0, EV_UNBLOCK),
+            deliver(31, 0, 1),
+        ];
+        let r = check(&blocked_idle, &InvariantConfig::default());
+        assert!(r.pass(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn latency_clock_restarts_at_unblock() {
+        let cfg = InvariantConfig { latency_bound: 100 };
+        // Posted at 10 while blocked; unblocked at 5_000; delivered at
+        // 5_050 → latency 50, fine even though wall gap is 5_040.
+        let ok = vec![
+            Event::instant(0, 0, EV_BLOCK),
+            post(10, 0, 9),
+            Event::instant(5_000, 0, EV_UNBLOCK),
+            deliver(5_050, 0, 9),
+        ];
+        assert!(check(&ok, &cfg).pass());
+
+        // Delivered 200 ticks after unblock → violation.
+        let slow = vec![
+            Event::instant(0, 0, EV_BLOCK),
+            post(10, 0, 9),
+            Event::instant(5_000, 0, EV_UNBLOCK),
+            deliver(5_200, 0, 9),
+        ];
+        let r = check(&slow, &cfg);
+        assert_eq!(r.count_of(InvariantKind::LatencyExceeded), 1);
+    }
+
+    #[test]
+    fn unblocked_receiver_latency_measured_from_post() {
+        let cfg = InvariantConfig { latency_bound: 30 };
+        let slow = vec![post(10, 0, 1), deliver(100, 0, 1)];
+        let r = check(&slow, &cfg);
+        assert_eq!(r.count_of(InvariantKind::LatencyExceeded), 1);
+        let fast = vec![post(10, 0, 1), deliver(39, 0, 1)];
+        assert!(check(&fast, &cfg).pass());
+    }
+
+    #[test]
+    fn actors_and_vectors_are_independent() {
+        let trace = vec![
+            post(10, 0, 1),
+            post(10, 1, 1),
+            deliver(15, 1, 1),
+            deliver(16, 0, 1),
+            post(20, 0, 2),
+            deliver(22, 0, 2),
+        ];
+        assert!(check(&trace, &InvariantConfig::default()).pass());
+    }
+
+    #[test]
+    fn non_instant_and_unknown_events_are_ignored() {
+        let trace = vec![
+            Event::begin(1, 0, "fwd_burst"),
+            Event::counter(2, 0, EV_POST, 99), // counter, not instant
+            Event::end(3, 0, "fwd_burst"),
+            Event::instant(4, 0, "some_other_thing"),
+        ];
+        let r = check(&trace, &InvariantConfig::default());
+        assert!(r.pass());
+        assert_eq!(r.posts, 0);
+    }
+
+    #[test]
+    fn empty_trace_passes() {
+        let r = check(&[], &InvariantConfig::default());
+        assert!(r.pass());
+        assert_eq!(r.posts, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic fault injection and cross-model conformance checking
+//! for the xUI reproduction.
+//!
+//! The paper's delivery guarantees (§4.2–§4.5) are liveness claims: no
+//! user interrupt may be lost or duplicated across UPID posting,
+//! `SN`/`UIF` blocking, KB_Timer rearm and forwarding. This crate makes
+//! those claims testable under adversarial conditions:
+//!
+//! - [`plan::FaultPlan`] — a serializable DSL of faults (drop / delay /
+//!   duplicate / reorder posts, flip `SN`/`UIF` in time windows, stall
+//!   the timer core, clamp NIC rings, reorder accelerator completions),
+//!   replayable from `(seed, plan)`;
+//! - [`inject::FaultInjector`] — the deterministic interpreter consulted
+//!   by the fault-aware run paths in `runtime`, `net` and the scenario
+//!   binaries;
+//! - [`invariants`] — a checker over the `xui-telemetry` event stream
+//!   asserting no-lost-wakeup, no-duplicate-delivery, PIR-drained-
+//!   before-idle and bounded-delivery-latency-once-unblocked;
+//! - [`recovery::DegradeGuard`] — the fallback-to-polling policy used
+//!   when injected faults exceed a plan's threshold;
+//! - [`conformance`] — runs one send schedule through the untimed DES
+//!   behavioural model and the cycle-level simulator and diffs the
+//!   delivery traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod inject;
+pub mod invariants;
+pub mod plan;
+pub mod recovery;
+
+pub use conformance::{
+    expected_deliveries, run_conformance, ConformanceReport, ConformanceScenario, ScheduledSend,
+};
+pub use inject::{FaultInjector, InjectionLog, PostAction};
+pub use invariants::{check, InvariantConfig, InvariantKind, InvariantReport, Violation};
+pub use plan::{FaultOp, FaultPlan};
+pub use recovery::DegradeGuard;

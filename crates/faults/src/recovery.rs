@@ -1,0 +1,131 @@
+//! Degradation policy: when to give up on interrupt-driven operation
+//! and fall back to polling.
+//!
+//! Components that depend on timely interrupt delivery (the preemptive
+//! server, the interrupt-driven NIC path) track consecutive delivery
+//! faults with a [`DegradeGuard`]. Crossing the plan's threshold flips
+//! the component into a degraded-but-live polling mode instead of
+//! panicking or hanging — the behaviour the acceptance scenarios
+//! demonstrate.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks consecutive faults against a degrade threshold.
+///
+/// # Examples
+///
+/// ```
+/// use xui_faults::DegradeGuard;
+///
+/// let mut g = DegradeGuard::new(3);
+/// g.fault(); g.fault();
+/// g.ok();            // success resets the consecutive counter
+/// g.fault(); g.fault();
+/// assert!(!g.degraded());
+/// g.fault();         // third consecutive fault crosses the threshold
+/// assert!(g.degraded());
+/// assert_eq!(g.total_faults(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradeGuard {
+    threshold: u32,
+    consecutive: u32,
+    total: u64,
+    degraded: bool,
+}
+
+impl DegradeGuard {
+    /// A guard that degrades after `threshold` consecutive faults.
+    /// `u32::MAX` never degrades.
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        Self { threshold, consecutive: 0, total: 0, degraded: false }
+    }
+
+    /// Records one fault; returns `true` if this fault tripped the
+    /// guard (exactly once — later faults keep `degraded()` true but
+    /// return `false`).
+    pub fn fault(&mut self) -> bool {
+        self.total += 1;
+        self.consecutive = self.consecutive.saturating_add(1);
+        if !self.degraded && self.threshold != u32::MAX && self.consecutive >= self.threshold {
+            self.degraded = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records one success, resetting the consecutive-fault streak.
+    /// Degradation is sticky: once tripped, the component stays in
+    /// polling mode for the rest of the run (re-arming mid-run would
+    /// make behaviour depend on fault phasing in non-replayable ways).
+    pub fn ok(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// Whether the guard has tripped.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Total faults recorded, including after degradation.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.total
+    }
+
+    /// Current consecutive-fault streak.
+    #[must_use]
+    pub fn streak(&self) -> u32 {
+        self.consecutive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_only_once_and_stays_degraded() {
+        let mut g = DegradeGuard::new(2);
+        assert!(!g.fault());
+        assert!(g.fault(), "second consecutive fault trips");
+        assert!(!g.fault(), "already degraded, no second trip");
+        assert!(g.degraded());
+        g.ok();
+        assert!(g.degraded(), "degradation is sticky");
+        assert_eq!(g.streak(), 0);
+        assert_eq!(g.total_faults(), 3);
+    }
+
+    #[test]
+    fn success_resets_streak_before_threshold() {
+        let mut g = DegradeGuard::new(3);
+        g.fault();
+        g.fault();
+        g.ok();
+        g.fault();
+        g.fault();
+        assert!(!g.degraded());
+        g.fault();
+        assert!(g.degraded());
+    }
+
+    #[test]
+    fn max_threshold_never_degrades() {
+        let mut g = DegradeGuard::new(u32::MAX);
+        for _ in 0..1_000 {
+            g.fault();
+        }
+        assert!(!g.degraded());
+        assert_eq!(g.total_faults(), 1_000);
+    }
+
+    #[test]
+    fn threshold_one_degrades_immediately() {
+        let mut g = DegradeGuard::new(1);
+        assert!(g.fault());
+        assert!(g.degraded());
+    }
+}

@@ -1,0 +1,147 @@
+//! Typed kernel errors and the sender-side retry policy.
+//!
+//! The kernel interface distinguishes *architectural* failures
+//! (propagated from the protocol model as [`KernelError::Arch`]) from
+//! *kernel-level* misuse it detects itself: double handler
+//! registration, operations on torn-down threads, and transient send
+//! failures that exhausted their retry budget. Callers that previously
+//! had to `unwrap()` an [`XuiError`] can now match on the failure class
+//! and recover — the fault-injection scenarios rely on this to degrade
+//! gracefully instead of panicking.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use xui_core::XuiError;
+
+/// A failure reported by the kernel interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// An architectural error propagated from the protocol model.
+    Arch(XuiError),
+    /// `register_handler` was called twice for the same thread.
+    HandlerAlreadyRegistered {
+        /// The offending thread id.
+        thread: usize,
+    },
+    /// The operation referenced a thread that has been torn down.
+    ThreadTornDown {
+        /// The torn-down thread id.
+        thread: usize,
+    },
+    /// `senduipi_with_retry` exhausted its attempts against transient
+    /// failures.
+    SendRetriesExhausted {
+        /// Sending thread id.
+        thread: usize,
+        /// Attempts made (== the policy's `max_attempts`).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Arch(e) => write!(f, "architectural error: {e}"),
+            Self::HandlerAlreadyRegistered { thread } => {
+                write!(f, "thread {thread} already has a registered handler")
+            }
+            Self::ThreadTornDown { thread } => {
+                write!(f, "thread {thread} has been torn down")
+            }
+            Self::SendRetriesExhausted { thread, attempts } => {
+                write!(f, "senduipi from thread {thread} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<XuiError> for KernelError {
+    fn from(e: XuiError) -> Self {
+        Self::Arch(e)
+    }
+}
+
+/// Exponential-backoff policy for retrying transiently failing sends.
+///
+/// Attempt `k` (0-based) that fails costs `base * factor^k` cycles of
+/// backoff, capped at `cap`.
+///
+/// # Examples
+///
+/// ```
+/// use xui_kernel::RetryPolicy;
+///
+/// let p = RetryPolicy::paper();
+/// assert!(p.backoff(0) < p.backoff(3));
+/// assert!(p.backoff(60) <= p.cap);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum send attempts before giving up.
+    pub max_attempts: u32,
+    /// Backoff for the first failed attempt, in cycles.
+    pub base: u64,
+    /// Multiplier applied per subsequent failure.
+    pub factor: u64,
+    /// Upper bound on a single backoff, in cycles.
+    pub cap: u64,
+}
+
+impl RetryPolicy {
+    /// A plausible default: 5 attempts, 200-cycle base, doubling, capped
+    /// at 10k cycles (5 µs at 2 GHz).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { max_attempts: 5, base: 200, factor: 2, cap: 10_000 }
+    }
+
+    /// Backoff charged after failed attempt `attempt` (0-based).
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let mut cost = self.base;
+        for _ in 0..attempt {
+            cost = cost.saturating_mul(self.factor);
+            if cost >= self.cap {
+                return self.cap;
+            }
+        }
+        cost.min(self.cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_cap() {
+        let p = RetryPolicy { max_attempts: 8, base: 100, factor: 2, cap: 1_000 };
+        assert_eq!(p.backoff(0), 100);
+        assert_eq!(p.backoff(1), 200);
+        assert_eq!(p.backoff(2), 400);
+        assert_eq!(p.backoff(3), 800);
+        assert_eq!(p.backoff(4), 1_000, "capped");
+        assert_eq!(p.backoff(30), 1_000, "no overflow near the cap");
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: KernelError = XuiError::UnknownThread { thread: 7 }.into();
+        assert!(matches!(e, KernelError::Arch(XuiError::UnknownThread { thread: 7 })));
+        assert!(e.to_string().contains("architectural"));
+        let t = KernelError::ThreadTornDown { thread: 3 };
+        assert!(t.to_string().contains("torn down"));
+        let r = KernelError::SendRetriesExhausted { thread: 1, attempts: 5 };
+        assert!(r.to_string().contains("5 attempts"));
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod costs;
+pub mod error;
 pub mod os_timers;
 pub mod preempt;
 pub mod signals;
@@ -20,6 +21,7 @@ pub mod timer_core;
 pub mod uintr;
 
 pub use costs::OsCosts;
+pub use error::{KernelError, RetryPolicy};
 pub use preempt::PreemptMechanism;
 pub use timer_core::{TimeSource, TimerCoreSim};
-pub use uintr::UintrKernel;
+pub use uintr::{SendOutcome, UintrKernel};

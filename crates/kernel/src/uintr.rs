@@ -7,15 +7,21 @@
 //! accounting: *setup* goes through the kernel and costs syscalls, but
 //! the *data path* (`senduipi`, delivery, `uiret`, `set_timer`) never
 //! enters the kernel and charges nothing here.
+//!
+//! All entry points return typed [`KernelError`]s: architectural
+//! failures are wrapped, and the kernel itself rejects double handler
+//! registration and any operation on a torn-down thread. Senders that
+//! must survive transient delivery faults use
+//! [`UintrKernel::senduipi_with_retry`] with a [`RetryPolicy`].
 
 use serde::{Deserialize, Serialize};
 
 use xui_core::kb_timer::TimerMode;
 use xui_core::model::{CoreId, ProtocolModel, ThreadId};
 use xui_core::vectors::{UserVector, Vector};
-use xui_core::XuiError;
 
 use crate::costs::OsCosts;
+use crate::error::{KernelError, RetryPolicy};
 
 /// Per-syscall CPU costs (cycles @ 2 GHz): a kernel entry/exit plus the
 /// table/descriptor work each call performs.
@@ -29,6 +35,8 @@ pub struct SyscallCosts {
     pub enable_kb_timer: u64,
     /// Registering a forwarded device vector (§4.5).
     pub register_forwarding: u64,
+    /// `teardown_thread(...)`: tear down routes and free the UPID.
+    pub teardown_thread: u64,
 }
 
 impl SyscallCosts {
@@ -40,6 +48,7 @@ impl SyscallCosts {
             register_sender: 2_400,
             enable_kb_timer: 1_800,
             register_forwarding: 2_600,
+            teardown_thread: 2_200,
         }
     }
 }
@@ -64,6 +73,20 @@ pub struct UintrAccounting {
     pub switches: u64,
     /// User-level data-path operations that cost the kernel nothing.
     pub kernel_free_ops: u64,
+    /// Send attempts that hit a transient failure and were retried.
+    pub send_retries: u64,
+    /// Cycles spent backing off between retried sends (user-level spin,
+    /// not kernel time — tracked separately from `syscall_cycles`).
+    pub backoff_cycles: u64,
+}
+
+/// Outcome of a successful [`UintrKernel::senduipi_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendOutcome {
+    /// Attempts made, including the successful one (≥ 1).
+    pub attempts: u32,
+    /// Total backoff cycles spent before success.
+    pub backoff_cycles: u64,
 }
 
 /// The kernel interface over the architectural model.
@@ -85,7 +108,7 @@ pub struct UintrAccounting {
 /// k.senduipi(a, idx)?; // user level: charges no kernel cycles
 /// assert_eq!(k.run_pending(b)?.len(), 1);
 /// assert!(k.accounting().syscall_cycles > 0);
-/// # Ok::<(), xui_core::XuiError>(())
+/// # Ok::<(), xui_kernel::KernelError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct UintrKernel {
@@ -93,6 +116,15 @@ pub struct UintrKernel {
     costs: SyscallCosts,
     os: OsCosts,
     acct: UintrAccounting,
+    /// Per-thread: has `register_handler` run (and not been torn down)?
+    handler_registered: Vec<bool>,
+    /// Per-thread: has the thread been torn down?
+    torn_down: Vec<bool>,
+    /// Receiver behind each (sender, UITT index) route, for teardown
+    /// checking on the send path.
+    routes: Vec<(ThreadId, xui_core::uitt::UittIndex, ThreadId)>,
+    /// Kernel's own run-queue view: which thread occupies each core.
+    running: Vec<Option<ThreadId>>,
 }
 
 impl UintrKernel {
@@ -104,6 +136,10 @@ impl UintrKernel {
             costs: SyscallCosts::paper(),
             os: OsCosts::paper(),
             acct: UintrAccounting::default(),
+            handler_registered: Vec::new(),
+            torn_down: Vec::new(),
+            routes: Vec::new(),
+            running: vec![None; cores],
         }
     }
 
@@ -124,60 +160,91 @@ impl UintrKernel {
         self.acct.syscall_cycles += cost;
     }
 
+    fn check_live(&self, tid: ThreadId) -> Result<(), KernelError> {
+        if self.torn_down.get(tid.0).copied().unwrap_or(false) {
+            return Err(KernelError::ThreadTornDown { thread: tid.0 });
+        }
+        Ok(())
+    }
+
     /// Creates a thread (no syscall charged: part of thread spawn).
     pub fn create_thread(&mut self) -> ThreadId {
-        self.model.create_thread()
+        let tid = self.model.create_thread();
+        if self.handler_registered.len() <= tid.0 {
+            self.handler_registered.resize(tid.0 + 1, false);
+            self.torn_down.resize(tid.0 + 1, false);
+        }
+        tid
     }
 
     /// `register_handler(...)` system call.
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
-    pub fn register_handler(&mut self, tid: ThreadId, handler: u64) -> Result<(), XuiError> {
+    /// [`KernelError::HandlerAlreadyRegistered`] on a second call for
+    /// the same live thread, [`KernelError::ThreadTornDown`] after
+    /// teardown; architectural failures are wrapped.
+    pub fn register_handler(&mut self, tid: ThreadId, handler: u64) -> Result<(), KernelError> {
+        self.check_live(tid)?;
+        if self.handler_registered.get(tid.0).copied().unwrap_or(false) {
+            return Err(KernelError::HandlerAlreadyRegistered { thread: tid.0 });
+        }
         self.syscall(self.costs.register_handler);
-        self.model.register_handler(tid, handler).map(|_| ())
+        self.model.register_handler(tid, handler)?;
+        self.handler_registered[tid.0] = true;
+        Ok(())
     }
 
     /// `register_sender(...)` system call.
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
+    /// [`KernelError::ThreadTornDown`] if either side was torn down;
+    /// architectural failures (e.g. receiver has no handler) wrapped.
     pub fn register_sender(
         &mut self,
         sender: ThreadId,
         receiver: ThreadId,
         uv: UserVector,
-    ) -> Result<xui_core::uitt::UittIndex, XuiError> {
+    ) -> Result<xui_core::uitt::UittIndex, KernelError> {
+        self.check_live(sender)?;
+        self.check_live(receiver)?;
         self.syscall(self.costs.register_sender);
-        self.model.register_sender(sender, receiver, uv)
+        let idx = self.model.register_sender(sender, receiver, uv)?;
+        self.routes.push((sender, idx, receiver));
+        Ok(idx)
     }
 
     /// `enable_kb_timer()` system call (§4.3).
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
-    pub fn enable_kb_timer(&mut self, tid: ThreadId, uv: UserVector) -> Result<(), XuiError> {
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
+    pub fn enable_kb_timer(&mut self, tid: ThreadId, uv: UserVector) -> Result<(), KernelError> {
+        self.check_live(tid)?;
         self.syscall(self.costs.enable_kb_timer);
-        self.model.enable_kb_timer(tid, uv)
+        self.model.enable_kb_timer(tid, uv)?;
+        Ok(())
     }
 
     /// Device-interrupt forwarding registration (§4.5).
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
     pub fn register_forwarding(
         &mut self,
         tid: ThreadId,
         core: CoreId,
         vector: Vector,
         uv: UserVector,
-    ) -> Result<(), XuiError> {
+    ) -> Result<(), KernelError> {
+        self.check_live(tid)?;
         self.syscall(self.costs.register_forwarding);
-        self.model.register_forwarding(tid, core, vector, uv)
+        self.model.register_forwarding(tid, core, vector, uv)?;
+        Ok(())
     }
 
     /// Kernel context switch in: charges a kthread switch; the UIPI
@@ -186,11 +253,17 @@ impl UintrKernel {
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
-    pub fn schedule(&mut self, tid: ThreadId, core: CoreId) -> Result<(), XuiError> {
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
+    pub fn schedule(&mut self, tid: ThreadId, core: CoreId) -> Result<(), KernelError> {
+        self.check_live(tid)?;
         self.acct.switches += 1;
         self.acct.switch_cycles += self.os.kthread_switch;
-        self.model.schedule(tid, core)
+        self.model.schedule(tid, core)?;
+        if let Some(slot) = self.running.get_mut(core.0) {
+            *slot = Some(tid);
+        }
+        Ok(())
     }
 
     /// Kernel context switch out (sets SN, saves timer/forwarding
@@ -198,23 +271,106 @@ impl UintrKernel {
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
-    pub fn deschedule(&mut self, core: CoreId) -> Result<Option<ThreadId>, XuiError> {
-        self.model.deschedule(core)
+    /// Architectural failures wrapped.
+    pub fn deschedule(&mut self, core: CoreId) -> Result<Option<ThreadId>, KernelError> {
+        let out = self.model.deschedule(core)?;
+        if let Some(slot) = self.running.get_mut(core.0) {
+            *slot = None;
+        }
+        Ok(out)
+    }
+
+    /// Tears down a thread: removes it from its core (if running) and
+    /// invalidates every route to or from it. Subsequent operations on
+    /// the thread — including `senduipi` over a route that targets it —
+    /// fail with [`KernelError::ThreadTornDown`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTornDown`] if already torn down;
+    /// architectural failures wrapped.
+    pub fn teardown_thread(&mut self, tid: ThreadId) -> Result<(), KernelError> {
+        self.check_live(tid)?;
+        if tid.0 >= self.torn_down.len() {
+            return Err(KernelError::Arch(xui_core::XuiError::UnknownThread { thread: tid.0 }));
+        }
+        self.syscall(self.costs.teardown_thread);
+        if let Some(core) = self.running.iter().position(|&r| r == Some(tid)) {
+            self.model.deschedule(CoreId(core))?;
+            self.running[core] = None;
+        }
+        self.torn_down[tid.0] = true;
+        self.handler_registered[tid.0] = false;
+        Ok(())
+    }
+
+    /// Whether `tid` has been torn down.
+    #[must_use]
+    pub fn is_torn_down(&self, tid: ThreadId) -> bool {
+        self.torn_down.get(tid.0).copied().unwrap_or(false)
     }
 
     /// `senduipi` — pure user level, zero kernel cycles.
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
+    /// [`KernelError::ThreadTornDown`] if the sender, or the receiver
+    /// behind the route, was torn down; architectural failures wrapped.
     pub fn senduipi(
         &mut self,
         sender: ThreadId,
         index: xui_core::uitt::UittIndex,
-    ) -> Result<(), XuiError> {
+    ) -> Result<(), KernelError> {
+        self.check_live(sender)?;
+        if let Some(&(_, _, receiver)) =
+            self.routes.iter().find(|&&(s, i, _)| s == sender && i == index)
+        {
+            self.check_live(receiver)?;
+        }
         self.acct.kernel_free_ops += 1;
-        self.model.senduipi(sender, index)
+        self.model.senduipi(sender, index)?;
+        Ok(())
+    }
+
+    /// `senduipi` with retry/backoff against transient delivery faults.
+    ///
+    /// `transient_fault(attempt)` reports whether attempt `attempt`
+    /// (0-based) hits a transient failure — in production this would be
+    /// a NAK/timeout from the fabric; in tests and fault-injection
+    /// scenarios it is driven by a deterministic
+    /// [`FaultInjector`](https://docs.rs/xui-faults) schedule. Failed
+    /// attempts charge exponential backoff per `policy` into the
+    /// accounting; permanent (typed) errors abort immediately without
+    /// retrying.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::SendRetriesExhausted`] once `policy.max_attempts`
+    /// transient failures occur; teardown and architectural errors
+    /// propagate as in [`UintrKernel::senduipi`].
+    pub fn senduipi_with_retry(
+        &mut self,
+        sender: ThreadId,
+        index: xui_core::uitt::UittIndex,
+        policy: &RetryPolicy,
+        transient_fault: &mut dyn FnMut(u32) -> bool,
+    ) -> Result<SendOutcome, KernelError> {
+        let mut backoff_total = 0u64;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if transient_fault(attempt) {
+                let backoff = policy.backoff(attempt);
+                backoff_total += backoff;
+                self.acct.send_retries += 1;
+                self.acct.backoff_cycles += backoff;
+                continue;
+            }
+            self.senduipi(sender, index)?;
+            return Ok(SendOutcome { attempts: attempt + 1, backoff_cycles: backoff_total });
+        }
+        Err(KernelError::SendRetriesExhausted {
+            thread: sender.0,
+            attempts: policy.max_attempts.max(1),
+        })
     }
 
     /// `set_timer` — pure user level, zero kernel cycles (§4.3:
@@ -222,15 +378,18 @@ impl UintrKernel {
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
     pub fn set_timer(
         &mut self,
         tid: ThreadId,
         cycles: u64,
         mode: TimerMode,
-    ) -> Result<(), XuiError> {
+    ) -> Result<(), KernelError> {
+        self.check_live(tid)?;
         self.acct.kernel_free_ops += 1;
-        self.model.set_timer(tid, cycles, mode)
+        self.model.set_timer(tid, cycles, mode)?;
+        Ok(())
     }
 
     /// Advances time (timers may fire).
@@ -243,16 +402,19 @@ impl UintrKernel {
     ///
     /// # Errors
     ///
-    /// Propagates [`XuiError`] from the model.
-    pub fn run_pending(&mut self, tid: ThreadId) -> Result<Vec<UserVector>, XuiError> {
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
+    pub fn run_pending(&mut self, tid: ThreadId) -> Result<Vec<UserVector>, KernelError> {
+        self.check_live(tid)?;
         self.acct.kernel_free_ops += 1;
-        self.model.run_pending(tid)
+        Ok(self.model.run_pending(tid)?)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xui_core::XuiError;
 
     fn uv(raw: u8) -> UserVector {
         UserVector::new(raw).unwrap()
@@ -308,5 +470,135 @@ mod tests {
         k.register_forwarding(t, CoreId(0), Vector::new(8), uv(4)).unwrap();
         assert_eq!(k.accounting().syscalls, 2);
         assert!(k.accounting().syscall_cycles >= 5_000);
+    }
+
+    #[test]
+    fn send_to_unregistered_receiver_is_typed_not_a_panic() {
+        let mut k = UintrKernel::new(2);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        // No register_handler for b: registering the route fails with the
+        // wrapped architectural error.
+        let err = k.register_sender(a, b, uv(3)).unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::Arch(XuiError::HandlerNotRegistered { thread: b.0 })
+        );
+    }
+
+    #[test]
+    fn double_register_handler_is_rejected() {
+        let mut k = UintrKernel::new(1);
+        let t = k.create_thread();
+        k.register_handler(t, 0x1000).unwrap();
+        let err = k.register_handler(t, 0x2000).unwrap_err();
+        assert_eq!(err, KernelError::HandlerAlreadyRegistered { thread: t.0 });
+        // The first registration is untouched: the route still works.
+        let s = k.create_thread();
+        let idx = k.register_sender(s, t, uv(5)).unwrap();
+        k.schedule(s, CoreId(0)).unwrap();
+        k.senduipi(s, idx).unwrap();
+    }
+
+    #[test]
+    fn senduipi_after_teardown_is_typed_not_a_panic() {
+        let mut k = UintrKernel::new(2);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        k.register_handler(b, 0x4000).unwrap();
+        let idx = k.register_sender(a, b, uv(3)).unwrap();
+        k.schedule(a, CoreId(0)).unwrap();
+        k.senduipi(a, idx).unwrap(); // route live: fine
+
+        k.teardown_thread(b).unwrap();
+        assert!(k.is_torn_down(b));
+        let err = k.senduipi(a, idx).unwrap_err();
+        assert_eq!(err, KernelError::ThreadTornDown { thread: b.0 });
+        // Every other op on the torn-down thread also fails typed.
+        assert_eq!(
+            k.run_pending(b).unwrap_err(),
+            KernelError::ThreadTornDown { thread: b.0 }
+        );
+        assert_eq!(
+            k.register_handler(b, 0x5000).unwrap_err(),
+            KernelError::ThreadTornDown { thread: b.0 }
+        );
+        // Double teardown is also typed.
+        assert_eq!(
+            k.teardown_thread(b).unwrap_err(),
+            KernelError::ThreadTornDown { thread: b.0 }
+        );
+    }
+
+    #[test]
+    fn teardown_of_running_thread_frees_its_core() {
+        let mut k = UintrKernel::new(1);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        k.register_handler(a, 0x1).unwrap();
+        k.register_handler(b, 0x2).unwrap();
+        k.schedule(a, CoreId(0)).unwrap();
+        k.teardown_thread(a).unwrap();
+        // The core is free again: another thread can be scheduled there.
+        k.schedule(b, CoreId(0)).unwrap();
+        k.run_pending(b).unwrap();
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_faults_and_charges_backoff() {
+        let mut k = UintrKernel::new(2);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        k.register_handler(b, 0x4000).unwrap();
+        let idx = k.register_sender(a, b, uv(3)).unwrap();
+        k.schedule(a, CoreId(0)).unwrap();
+        k.schedule(b, CoreId(1)).unwrap();
+
+        let policy = RetryPolicy { max_attempts: 5, base: 100, factor: 2, cap: 10_000 };
+        // First two attempts fail transiently, third succeeds.
+        let out = k
+            .senduipi_with_retry(a, idx, &policy, &mut |attempt| attempt < 2)
+            .unwrap();
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.backoff_cycles, 100 + 200);
+        assert_eq!(k.accounting().send_retries, 2);
+        assert_eq!(k.accounting().backoff_cycles, 300);
+        assert_eq!(k.run_pending(b).unwrap(), vec![uv(3)]);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_typed_and_sends_nothing() {
+        let mut k = UintrKernel::new(2);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        k.register_handler(b, 0x4000).unwrap();
+        let idx = k.register_sender(a, b, uv(3)).unwrap();
+        k.schedule(a, CoreId(0)).unwrap();
+        k.schedule(b, CoreId(1)).unwrap();
+
+        let policy = RetryPolicy { max_attempts: 3, base: 100, factor: 2, cap: 10_000 };
+        let err = k
+            .senduipi_with_retry(a, idx, &policy, &mut |_| true)
+            .unwrap_err();
+        assert_eq!(err, KernelError::SendRetriesExhausted { thread: a.0, attempts: 3 });
+        assert_eq!(k.accounting().send_retries, 3);
+        assert_eq!(k.run_pending(b).unwrap(), vec![], "nothing was sent");
+    }
+
+    #[test]
+    fn retry_does_not_mask_permanent_errors() {
+        let mut k = UintrKernel::new(2);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        k.register_handler(b, 0x4000).unwrap();
+        let idx = k.register_sender(a, b, uv(3)).unwrap();
+        k.teardown_thread(b).unwrap();
+        // The transient predicate says "no fault", but the route is dead:
+        // the typed teardown error surfaces on the first attempt.
+        let err = k
+            .senduipi_with_retry(a, idx, &RetryPolicy::paper(), &mut |_| false)
+            .unwrap_err();
+        assert_eq!(err, KernelError::ThreadTornDown { thread: b.0 });
+        assert_eq!(k.accounting().send_retries, 0);
     }
 }

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use xui_telemetry::{Event, NullRecorder, Recorder};
 
 use xui_des::stats::{CycleAccount, Histogram, Summary};
+use xui_faults::{DegradeGuard, FaultInjector, FaultPlan, PostAction};
 
 use crate::lpm::Lpm;
 use crate::packet::{Packet, RxQueue, TxQueue};
@@ -103,11 +104,22 @@ pub struct L3fwdReport {
     pub free_fraction: f64,
     /// Achieved throughput in packets per second (2 GHz clock).
     pub throughput_pps: f64,
+    /// Wake interrupts lost or delayed by fault injection (zero in
+    /// unfaulted runs).
+    pub wake_faults: u64,
+    /// True if consecutive wake faults crossed the plan's degrade
+    /// threshold and the worker fell back to busy polling for the rest
+    /// of the run.
+    pub degraded_to_polling: bool,
 }
 
 struct QueueState {
     arrivals: Vec<Packet>,
     next: usize,
+    /// Arrivals below this index can no longer raise a wake interrupt
+    /// (their post was dropped by fault injection); the packets
+    /// themselves stay queued and ride along with a later wake.
+    wake_from: usize,
     ring: RxQueue,
     tx: TxQueue,
 }
@@ -120,8 +132,21 @@ impl QueueState {
         }
     }
 
-    fn next_arrival(&self) -> Option<u64> {
-        self.arrivals.get(self.next).map(|p| p.arrived_at)
+    fn next_wake(&self) -> Option<u64> {
+        self.arrivals.get(self.next.max(self.wake_from)).map(|p| p.arrived_at)
+    }
+}
+
+/// Applies the plan's ring-clamp ops (if any) to one RX ring.
+fn clamp_ring(
+    ring: &mut RxQueue,
+    qi: usize,
+    now: u64,
+    nominal: usize,
+    faults: &mut Option<&mut FaultInjector>,
+) {
+    if let Some(inj) = faults.as_deref_mut() {
+        ring.set_capacity(inj.ring_capacity(qi, now, nominal));
     }
 }
 
@@ -143,8 +168,49 @@ pub fn run_l3fwd(cfg: &L3fwdConfig) -> L3fwdReport {
 /// [`NullRecorder`] the function monomorphizes to the untraced loop,
 /// result-identical by test.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdReport {
+    run_l3fwd_impl(cfg, rec, None)
+}
+
+/// Runs the experiment under a fault plan: in [`IoMode::XuiInterrupt`]
+/// every wake interrupt passes through the plan's drop/delay ops and RX
+/// rings can be clamped mid-run; once the consecutive fault streak
+/// crosses `plan.degrade_threshold` the worker stops trusting the
+/// interrupt path and busy-polls the rings for the rest of the run —
+/// trading its free cycles for guaranteed forward progress instead of
+/// stranding packets forever.
+///
+/// # Panics
+///
+/// Panics if `cfg.nics == 0`.
+#[must_use]
+pub fn run_l3fwd_faulted(cfg: &L3fwdConfig, plan: &FaultPlan) -> L3fwdReport {
+    run_l3fwd_faulted_traced(cfg, plan, &mut NullRecorder)
+}
+
+/// [`run_l3fwd_faulted`] with telemetry: adds a `wake_fault` instant on
+/// the worker actor per injected fault and a `degrade_to_polling`
+/// instant when the fallback engages.
+///
+/// # Panics
+///
+/// Panics if `cfg.nics == 0`.
+#[must_use]
+pub fn run_l3fwd_faulted_traced<R: Recorder>(
+    cfg: &L3fwdConfig,
+    plan: &FaultPlan,
+    rec: &mut R,
+) -> L3fwdReport {
+    let mut inj = FaultInjector::new(plan);
+    run_l3fwd_impl(cfg, rec, Some(&mut inj))
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_l3fwd_impl<R: Recorder>(
+    cfg: &L3fwdConfig,
+    rec: &mut R,
+    mut faults: Option<&mut FaultInjector>,
+) -> L3fwdReport {
     assert!(cfg.nics > 0, "need at least one NIC");
     let routes = paper_route_table(cfg.seed);
     let mut lpm = Lpm::new();
@@ -170,6 +236,7 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
             .map(|arrivals| QueueState {
                 arrivals,
                 next: 0,
+                wake_from: 0,
                 ring: RxQueue::new(cfg.ring_size),
                 tx: TxQueue::new(cfg.ring_size, cfg.tx_wire_cycles),
             })
@@ -182,6 +249,7 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
                 QueueState {
                     arrivals: gen.generate_until(&mut rng, cfg.duration),
                     next: 0,
+                    wake_from: 0,
                     ring: RxQueue::new(cfg.ring_size),
                     tx: TxQueue::new(cfg.ring_size, cfg.tx_wire_cycles),
                 }
@@ -193,6 +261,10 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
     let mut account = CycleAccount::new();
     let mut forwarded = 0u64;
     let mut now = 0u64;
+    let mut wake_faults = 0u64;
+    let mut guard = faults
+        .as_ref()
+        .map(|inj| DegradeGuard::new(inj.plan().degrade_threshold));
 
     // Processes up to a burst from queue `qi` at the current time.
     // Returns packets forwarded. Non-empty bursts record a `fwd_burst`
@@ -231,6 +303,7 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
             let mut qi = 0usize;
             while now < cfg.duration {
                 let q = &mut queues[qi];
+                clamp_ring(&mut q.ring, qi, now, cfg.ring_size, &mut faults);
                 q.ingest(now);
                 now += cfg.poll_cost;
                 if q.ring.is_empty() {
@@ -257,16 +330,59 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
             }
         }
         IoMode::XuiInterrupt => {
-            // Idle until the next arrival anywhere, then handle.
-            while let Some(next) =
-                queues.iter().filter_map(QueueState::next_arrival).min()
+            // Idle until the next wake-eligible arrival anywhere, then
+            // handle.
+            while let Some((next, wq)) = queues
+                .iter()
+                .enumerate()
+                .filter_map(|(qi, q)| q.next_wake().map(|t| (t, qi)))
+                .min()
             {
                 if next >= cfg.duration {
                     break;
                 }
-                if next > now {
-                    account.add("free", next - now);
-                    now = next;
+                // Fault injection on the wake interrupt: a dropped post
+                // means only a *later* arrival can wake the worker (the
+                // stranded packets ride along with that wake); a delayed
+                // post wakes late. Crossing the consecutive-fault
+                // threshold abandons interrupts for busy polling below.
+                let mut wake_at = next;
+                if !guard.as_ref().is_some_and(DegradeGuard::degraded) {
+                    if let Some(inj) = faults.as_deref_mut() {
+                        match inj.on_post(next) {
+                            PostAction::Drop => {
+                                wake_faults += 1;
+                                rec.instant(next, cfg.nics as u32, "wake_fault");
+                                if guard.as_mut().is_some_and(DegradeGuard::fault) {
+                                    rec.instant(next, cfg.nics as u32, "degrade_to_polling");
+                                    break;
+                                }
+                                let q = &mut queues[wq];
+                                q.wake_from = q.next.max(q.wake_from) + 1;
+                                continue;
+                            }
+                            PostAction::Delay(by) => {
+                                wake_faults += 1;
+                                rec.instant(next, cfg.nics as u32, "wake_fault");
+                                if guard.as_mut().is_some_and(DegradeGuard::fault) {
+                                    rec.instant(next, cfg.nics as u32, "degrade_to_polling");
+                                    break;
+                                }
+                                wake_at = next + by;
+                            }
+                            // Duplicate wakes coalesce in the UIRR: the
+                            // handler drains everything on the first.
+                            PostAction::Deliver | PostAction::Duplicate => {
+                                if let Some(g) = guard.as_mut() {
+                                    g.ok();
+                                }
+                            }
+                        }
+                    }
+                }
+                if wake_at > now {
+                    account.add("free", wake_at - now);
+                    now = wake_at;
                 }
                 // Forwarded tracked interrupt wakes the thread.
                 rec.begin(now, cfg.nics as u32, "irq_handler");
@@ -278,6 +394,7 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
                 loop {
                     let mut drained_any = false;
                     for (qi, q) in queues.iter_mut().enumerate() {
+                        clamp_ring(&mut q.ring, qi, now, cfg.ring_size, &mut faults);
                         q.ingest(now);
                         now += cfg.poll_cost;
                         account.add("interrupt", cfg.poll_cost);
@@ -297,6 +414,7 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
                                 break;
                             }
                             drained_any = true;
+                            clamp_ring(&mut q.ring, qi, now, cfg.ring_size, &mut faults);
                             q.ingest(now);
                         }
                     }
@@ -311,7 +429,40 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
                     break;
                 }
             }
-            if now < cfg.duration {
+            if guard.as_ref().is_some_and(DegradeGuard::degraded) {
+                // Graceful fallback: the interrupt fabric proved
+                // unreliable, so busy-poll the rings for the rest of the
+                // run (the DPDK baseline) — free cycles are sacrificed,
+                // but no packet is stranded waiting for a wake that will
+                // never come.
+                let mut qi = 0usize;
+                while now < cfg.duration {
+                    let q = &mut queues[qi];
+                    clamp_ring(&mut q.ring, qi, now, cfg.ring_size, &mut faults);
+                    q.ingest(now);
+                    now += cfg.poll_cost;
+                    if q.ring.is_empty() {
+                        account.add("polling", cfg.poll_cost);
+                    } else {
+                        account.add("networking", cfg.poll_cost);
+                        forwarded += process_burst(
+                            q,
+                            qi as u32,
+                            &mut now,
+                            &mut latency,
+                            &mut account,
+                            &lpm,
+                            cfg,
+                            rec,
+                        );
+                    }
+                    qi = (qi + 1) % cfg.nics;
+                }
+                let spent = account.total();
+                if spent < cfg.duration {
+                    account.add("polling", cfg.duration - spent);
+                }
+            } else if now < cfg.duration {
                 account.add("free", cfg.duration - now);
             }
         }
@@ -335,6 +486,8 @@ pub fn run_l3fwd_traced<R: Recorder>(cfg: &L3fwdConfig, rec: &mut R) -> L3fwdRep
         account,
         free_fraction,
         throughput_pps: forwarded as f64 / seconds,
+        wake_faults,
+        degraded_to_polling: guard.as_ref().is_some_and(DegradeGuard::degraded),
     }
 }
 
@@ -442,6 +595,114 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "irq_handler"));
         let doc = xui_telemetry::chrome::trace_json(&events);
         xui_telemetry::chrome::validate(&doc).expect("balanced l3fwd trace");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    fn cfg(load: f64, mode: IoMode) -> L3fwdConfig {
+        let mut cfg = L3fwdConfig::paper(2, load, mode);
+        cfg.duration = 8_000_000; // 4 ms
+        cfg
+    }
+
+    #[test]
+    fn empty_plan_is_result_identical_to_unfaulted() {
+        let cfg = cfg(0.4, IoMode::XuiInterrupt);
+        let clean = run_l3fwd(&cfg);
+        let faulted = run_l3fwd_faulted(&cfg, &FaultPlan::named("empty"));
+        assert_eq!(faulted.forwarded, clean.forwarded);
+        assert_eq!(faulted.latency.p99, clean.latency.p99);
+        assert_eq!(faulted.account, clean.account);
+        assert_eq!(faulted.wake_faults, 0);
+        assert!(!faulted.degraded_to_polling);
+    }
+
+    #[test]
+    fn dropped_wakes_raise_latency_but_packets_survive() {
+        let cfg = cfg(0.4, IoMode::XuiInterrupt);
+        let clean = run_l3fwd(&cfg);
+        let plan = FaultPlan::named("drop-half-wakes").drop_every(2, 1);
+        let r = run_l3fwd_faulted(&cfg, &plan);
+        assert!(r.wake_faults > 100, "faults counted: {}", r.wake_faults);
+        assert!(!r.degraded_to_polling);
+        // Stranded packets ride along with the next delivered wake:
+        // throughput holds, latency pays.
+        assert!(r.forwarded as f64 > clean.forwarded as f64 * 0.95);
+        assert!(
+            r.latency.p99 >= clean.latency.p99,
+            "lost wakes cannot shorten tails: {} vs {}",
+            r.latency.p99,
+            clean.latency.p99
+        );
+    }
+
+    #[test]
+    fn dead_interrupt_path_degrades_to_polling_and_keeps_forwarding() {
+        let cfg = cfg(0.4, IoMode::XuiInterrupt);
+        // Every wake is lost. Without the degrade guard nothing is ever
+        // forwarded; with it, polling takes over after 8 lost wakes.
+        let stranded =
+            run_l3fwd_faulted(&cfg, &FaultPlan::named("dead-irq").drop_every(1, 1));
+        assert_eq!(stranded.forwarded, 0, "no wake, no forwarding");
+        assert!(!stranded.degraded_to_polling);
+
+        let plan = FaultPlan::named("dead-irq-guarded").drop_every(1, 1).degrade_after(8);
+        let rescued = run_l3fwd_faulted(&cfg, &plan);
+        assert!(rescued.degraded_to_polling, "guard must trip");
+        assert_eq!(rescued.wake_faults, 8, "exactly the streak before the trip");
+        let clean = run_l3fwd(&cfg);
+        assert!(
+            rescued.forwarded as f64 > clean.forwarded as f64 * 0.9,
+            "polling fallback recovers throughput: {} vs {}",
+            rescued.forwarded,
+            clean.forwarded
+        );
+        assert!(rescued.free_fraction < 0.05, "polling burns the core");
+    }
+
+    #[test]
+    fn delayed_wakes_defer_detection() {
+        let cfg = cfg(0.3, IoMode::XuiInterrupt);
+        let clean = run_l3fwd(&cfg);
+        let plan = FaultPlan::named("late-wakes").delay_every(1, 1, 20_000);
+        let r = run_l3fwd_faulted(&cfg, &plan);
+        assert!(r.wake_faults > 0);
+        assert!(
+            r.latency.p50 > clean.latency.p50 + 10_000,
+            "every wake 10 µs late: {} vs {}",
+            r.latency.p50,
+            clean.latency.p50
+        );
+    }
+
+    #[test]
+    fn ring_clamp_overflows_and_drops() {
+        let cfg = cfg(0.5, IoMode::Polling);
+        let clean = run_l3fwd(&cfg);
+        assert_eq!(clean.drops, 0, "baseline has headroom at 50% load");
+        let plan = FaultPlan::named("tiny-rings").clamp_ring(
+            usize::MAX,
+            1_000_000,
+            7_000_000,
+            2,
+        );
+        let r = run_l3fwd_faulted(&cfg, &plan);
+        assert!(r.drops > 0, "2-descriptor rings must overflow");
+        assert!(r.forwarded < clean.forwarded);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let cfg = cfg(0.4, IoMode::XuiInterrupt);
+        let plan = FaultPlan::named("mix").seed(3).drop_every(5, 2).delay_every(7, 1, 5_000);
+        let a = run_l3fwd_faulted(&cfg, &plan);
+        let b = run_l3fwd_faulted(&cfg, &plan);
+        assert_eq!(a.forwarded, b.forwarded);
+        assert_eq!(a.wake_faults, b.wake_faults);
+        assert_eq!(a.latency.p99, b.latency.p99);
     }
 }
 

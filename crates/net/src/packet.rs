@@ -88,6 +88,20 @@ impl RxQueue {
     pub fn received(&self) -> u64 {
         self.received
     }
+
+    /// Descriptor count the ring currently accepts.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reprograms the descriptor count (fault injection shrinks rings
+    /// mid-run; restoring the nominal value re-enlarges). Packets
+    /// already queued beyond a smaller capacity stay queued — only new
+    /// DMA pushes see the clamp.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
 }
 
 /// A NIC transmit descriptor ring: the driver enqueues routed packets,
@@ -197,6 +211,21 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.drops(), 1);
         assert_eq!(q.received(), 2);
+    }
+
+    #[test]
+    fn capacity_clamp_drops_new_pushes_only() {
+        let mut q = RxQueue::new(4);
+        q.push(pkt(1));
+        q.push(pkt(2));
+        assert_eq!(q.capacity(), 4);
+        q.set_capacity(1);
+        assert_eq!(q.len(), 2, "already-queued packets survive the clamp");
+        q.push(pkt(3));
+        assert_eq!(q.drops(), 1, "clamped ring rejects new DMA");
+        q.set_capacity(4);
+        q.push(pkt(4));
+        assert_eq!(q.len(), 3, "restored capacity accepts again");
     }
 
     #[test]

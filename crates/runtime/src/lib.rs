@@ -12,6 +12,6 @@ pub mod server;
 pub mod stealing;
 pub mod uthread;
 
-pub use server::{run_server, ServerConfig, ServerReport};
+pub use server::{run_server, run_server_faulted, ServerConfig, ServerReport};
 pub use stealing::StealQueues;
 pub use uthread::{Uthread, UthreadId};

@@ -20,6 +20,7 @@ use xui_telemetry::{Event, NullRecorder, Recorder};
 use xui_core::CostModel;
 use xui_des::dist::PoissonProcess;
 use xui_des::stats::{Histogram, Summary};
+use xui_faults::{DegradeGuard, FaultInjector, FaultPlan, PostAction};
 use xui_kernel::{OsCosts, PreemptMechanism};
 use xui_workloads::rocksdb::{RequestClass, RocksDbModel};
 
@@ -86,6 +87,13 @@ pub struct ServerReport {
     pub achieved_rps: f64,
     /// Whether the run kept up with offered load (queue did not blow up).
     pub stable: bool,
+    /// Preemption-timer fires lost, delayed or stalled by fault
+    /// injection (zero in unfaulted runs).
+    pub timer_faults: u64,
+    /// True if consecutive timer faults crossed the plan's degrade
+    /// threshold and the runtime fell back to safepoint polling for the
+    /// rest of the run.
+    pub degraded_to_polling: bool,
 }
 
 impl ServerReport {
@@ -143,8 +151,40 @@ pub fn run_server(cfg: &ServerConfig) -> ServerReport {
 /// With [`NullRecorder`] the instrumentation monomorphizes away and the
 /// function is the untraced simulation, result-identical by test.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_server_traced<R: Recorder>(cfg: &ServerConfig, rec: &mut R) -> ServerReport {
+    run_server_impl(cfg, rec, None)
+}
+
+/// Runs the server under a fault plan: preemption-timer fires pass
+/// through the plan's drop/delay/stall ops, and once the consecutive
+/// fault streak crosses `plan.degrade_threshold` the runtime stops
+/// trusting the interrupt path and falls back to safepoint polling
+/// (fires keep the quantum cadence but bypass the injector), keeping
+/// the run live instead of losing preemption entirely.
+#[must_use]
+pub fn run_server_faulted(cfg: &ServerConfig, plan: &FaultPlan) -> ServerReport {
+    run_server_faulted_traced(cfg, plan, &mut NullRecorder)
+}
+
+/// [`run_server_faulted`] with telemetry: adds a `timer_fault` instant
+/// per injected fault and a `degrade_to_polling` instant at the moment
+/// the fallback engages.
+#[must_use]
+pub fn run_server_faulted_traced<R: Recorder>(
+    cfg: &ServerConfig,
+    plan: &FaultPlan,
+    rec: &mut R,
+) -> ServerReport {
+    let mut inj = FaultInjector::new(plan);
+    run_server_impl(cfg, rec, Some(&mut inj))
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_server_impl<R: Recorder>(
+    cfg: &ServerConfig,
+    rec: &mut R,
+    mut faults: Option<&mut FaultInjector>,
+) -> ServerReport {
     let hw = CostModel::paper();
     let os = OsCosts::paper();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -168,6 +208,10 @@ pub fn run_server_traced<R: Recorder>(cfg: &ServerConfig, rec: &mut R) -> Server
     let mut completed_scans = 0u64;
     let mut preemptions = 0u64;
     let mut fires_without_switch = 0u64;
+    let mut timer_faults = 0u64;
+    let mut guard = faults
+        .as_ref()
+        .map(|inj| DegradeGuard::new(inj.plan().degrade_threshold));
 
     // Prime the event queue.
     let first = arrivals.next_arrival(&mut rng);
@@ -238,6 +282,47 @@ pub fn run_server_traced<R: Recorder>(cfg: &ServerConfig, rec: &mut R) -> Server
                 dispatch(worker, t, &mut workers, &mut queue, &mut heap, &mut seq, &threads, rec);
             }
             Ev::Fire { worker } => {
+                // Fault injection on the interrupt path: the fire may be
+                // stalled (timer core), dropped or delayed (the notify
+                // post). Once the consecutive-fault streak crosses the
+                // plan threshold the worker degrades to safepoint
+                // polling — fires keep their cadence but no longer
+                // touch the (faulty) interrupt fabric.
+                if let Some(inj) = faults.as_deref_mut() {
+                    let degraded = guard.as_ref().is_some_and(DegradeGuard::degraded);
+                    if !degraded {
+                        let slipped = inj.timer_fire_at(t);
+                        let resched = if slipped > t {
+                            Some(slipped)
+                        } else {
+                            match inj.on_post(t) {
+                                PostAction::Drop => Some(t + cfg.quantum),
+                                PostAction::Delay(by) => Some(t + by.max(1)),
+                                // Duplicate fires coalesce in the UIRR:
+                                // a second post of the same vector is a
+                                // no-op, so both deliver exactly once.
+                                PostAction::Deliver | PostAction::Duplicate => None,
+                            }
+                        };
+                        if let Some(mut at) = resched {
+                            timer_faults += 1;
+                            rec.instant(t, worker as u32, "timer_fault");
+                            if guard.as_mut().is_some_and(DegradeGuard::fault) {
+                                // Fallback engages now: resume the plain
+                                // quantum cadence immediately.
+                                rec.instant(t, worker as u32, "degrade_to_polling");
+                                at = t + cfg.quantum;
+                            }
+                            if at < cfg.duration.saturating_add(cfg.quantum * 4) {
+                                push(&mut heap, &mut seq, at, Ev::Fire { worker });
+                            }
+                            continue;
+                        }
+                        if let Some(g) = guard.as_mut() {
+                            g.ok();
+                        }
+                    }
+                }
                 // The periodic preemption timer (KB_Timer or SW timer
                 // core) fires every quantum of wall-clock time.
                 if t < cfg.duration.saturating_add(cfg.quantum * 4) {
@@ -335,6 +420,8 @@ pub fn run_server_traced<R: Recorder>(cfg: &ServerConfig, rec: &mut R) -> Server
         busy_fraction: (total_busy as f64 / span as f64).min(1.0),
         achieved_rps,
         stable,
+        timer_faults,
+        degraded_to_polling: guard.as_ref().is_some_and(DegradeGuard::degraded),
     }
 }
 
@@ -507,6 +594,86 @@ mod tests {
         let two = run_server(&cfg);
         assert!(two.busy_fraction < one.busy_fraction);
         assert!(two.stable);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    fn cfg(rps: f64) -> ServerConfig {
+        let mut cfg = ServerConfig::paper(PreemptMechanism::XuiKbTimer, rps);
+        cfg.duration = 60_000_000; // 30 ms
+        cfg
+    }
+
+    #[test]
+    fn empty_plan_is_result_identical_to_unfaulted() {
+        let cfg = cfg(80_000.0);
+        let clean = run_server(&cfg);
+        let faulted = run_server_faulted(&cfg, &FaultPlan::named("empty"));
+        assert_eq!(faulted.completed_gets, clean.completed_gets);
+        assert_eq!(faulted.preemptions, clean.preemptions);
+        assert_eq!(faulted.get_latency.p999, clean.get_latency.p999);
+        assert_eq!(faulted.timer_faults, 0);
+        assert!(!faulted.degraded_to_polling);
+    }
+
+    #[test]
+    fn dropped_fires_hurt_tails_but_do_not_panic() {
+        let cfg = cfg(100_000.0);
+        let clean = run_server(&cfg);
+        // Drop two of every three timer fires; threshold never trips.
+        let plan = FaultPlan::named("drop-fires").drop_every(3, 1).drop_every(3, 2);
+        let r = run_server_faulted(&cfg, &plan);
+        assert!(r.timer_faults > 100, "faults counted: {}", r.timer_faults);
+        assert!(!r.degraded_to_polling, "threshold u32::MAX never trips");
+        assert!(
+            r.preemptions < clean.preemptions,
+            "lost fires preempt less: {} vs {}",
+            r.preemptions,
+            clean.preemptions
+        );
+        assert!(r.completed_gets > 0, "run stays live");
+    }
+
+    #[test]
+    fn persistent_faults_degrade_to_polling_and_stay_live() {
+        let cfg = cfg(100_000.0);
+        // Every fire faults: without fallback there would be no
+        // preemption at all. The guard trips after 8 consecutive faults
+        // and safepoint polling restores the quantum cadence.
+        let plan = FaultPlan::named("dead-timer").drop_every(1, 1).degrade_after(8);
+        let r = run_server_faulted(&cfg, &plan);
+        assert!(r.degraded_to_polling, "guard must trip");
+        assert_eq!(r.timer_faults, 8, "exactly the streak before the trip");
+        assert!(r.preemptions > 100, "polling fallback still preempts");
+        assert!(r.stable, "fallback keeps the server ahead of load");
+    }
+
+    #[test]
+    fn stalled_timer_slips_fires_deterministically() {
+        let cfg = cfg(80_000.0);
+        let plan = FaultPlan::named("stall").stall_timer(5_000_000, 15_000_000);
+        let a = run_server_faulted(&cfg, &plan);
+        let b = run_server_faulted(&cfg, &plan);
+        assert!(a.timer_faults > 0, "in-window fires stall");
+        assert_eq!(a.timer_faults, b.timer_faults);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.get_latency.p999, b.get_latency.p999);
+    }
+
+    #[test]
+    fn faulted_trace_records_fault_instants() {
+        let mut c = cfg(80_000.0);
+        c.duration = 10_000_000;
+        let plan = FaultPlan::named("dead-timer").drop_every(1, 1).degrade_after(4);
+        let mut rec = xui_telemetry::RingRecorder::new(1 << 20);
+        let r = run_server_faulted_traced(&c, &plan, &mut rec);
+        let events = rec.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count() as u64;
+        assert_eq!(count("timer_fault"), r.timer_faults);
+        assert_eq!(count("degrade_to_polling"), 1);
     }
 }
 
