@@ -1,0 +1,113 @@
+//! Differential schedule fuzzer: replays seeded schedules through the
+//! SDM-style reference oracle (`xui-oracle`) and through the protocol,
+//! kernel, and cycle-level models, reporting any divergence as a shrunk
+//! JSON reproducer.
+//!
+//! Schedules run on the deterministic sweep pool: seeds derive only from
+//! the base seed and the point index, and results are reassembled in
+//! point order, so stdout and `results/oracle_fuzz.json` are
+//! byte-identical for any `XUI_BENCH_THREADS`. The process exits
+//! non-zero if any schedule diverges — CI runs a fixed smoke corpus on
+//! exactly this property.
+//!
+//! Flags: `--full N` (full-alphabet schedules, default 10000), `--sim N`
+//! (sends-only schedules also replayed through the cycle-level
+//! simulator, default 1000), `--seed S` (base seed, default frozen).
+
+use serde::Serialize;
+
+use xui_bench::{banner, run_sweep, save_json, Sweep, Table};
+use xui_oracle::{fuzz_one, reproducer_json, Reproducer};
+
+/// Frozen default base seed for the fuzz corpus.
+const DEFAULT_SEED: u64 = 0x0D1F_F0A2_ACE5_EED5;
+
+#[derive(Clone, Copy)]
+struct Point {
+    sim_class: bool,
+    index: u64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    base_seed: u64,
+    full_schedules: u64,
+    sim_schedules: u64,
+    divergences: Vec<Reproducer>,
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}
+
+fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let full = arg_u64("--full", 10_000);
+    let sim = arg_u64("--sim", 1_000);
+    let base_seed = arg_u64("--seed", DEFAULT_SEED);
+
+    banner(
+        "Oracle fuzz",
+        "Differential schedule fuzzing against the reference oracle",
+        "§3.3 SENDUIPI/notification, §4.3 KB_Timer, §4.5 forwarding: the \
+         flat pseudocode oracle arbitrates the protocol, kernel, and \
+         cycle-level models",
+    );
+    println!(
+        "  corpus: {full} full-alphabet + {sim} sim-class schedules, base seed {base_seed:#x}\n"
+    );
+
+    let points: Vec<Point> = (0..full)
+        .map(|index| Point { sim_class: false, index })
+        .chain((0..sim).map(|index| Point { sim_class: true, index }))
+        .collect();
+
+    let results = run_sweep(
+        "oracle_fuzz",
+        Sweep::new(points).base_seed(base_seed),
+        |p, ctx| fuzz_one(ctx.seed.wrapping_add(p.index), p.sim_class),
+    );
+    let full_div = results[..full as usize].iter().flatten().count();
+    let sim_div = results[full as usize..].iter().flatten().count();
+    let divergences: Vec<Reproducer> = results.into_iter().flatten().collect();
+
+    let mut table = Table::new(vec!["class", "schedules", "divergences"]);
+    table.row(vec!["full".to_string(), full.to_string(), full_div.to_string()]);
+    table.row(vec!["sim".to_string(), sim.to_string(), sim_div.to_string()]);
+    table.row(vec![
+        "total".to_string(),
+        (full + sim).to_string(),
+        divergences.len().to_string(),
+    ]);
+    table.print();
+
+    let summary = Summary {
+        base_seed,
+        full_schedules: full,
+        sim_schedules: sim,
+        divergences: divergences.clone(),
+    };
+    save_json("oracle_fuzz", &summary);
+
+    if divergences.is_empty() {
+        println!("\n  all {} schedules agree across oracle, protocol, kernel, and sim", full + sim);
+    } else {
+        for r in &divergences {
+            eprintln!("\n--- divergence ({}) ---\n{}", r.divergence.model, reproducer_json(r));
+        }
+        eprintln!("\n  {} divergence(s) found", divergences.len());
+        std::process::exit(1);
+    }
+}

@@ -475,6 +475,36 @@ impl ProtocolModel {
         Ok(delivered)
     }
 
+    /// The `clui` instruction on `tid`: clears UIF, masking user-interrupt
+    /// delivery until `stui` (§3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownThread`] for a bad id.
+    pub fn clui(&mut self, tid: ThreadId) -> Result<(), XuiError> {
+        self.thread_mut(tid)?.receiver.uif.clui();
+        Ok(())
+    }
+
+    /// The `stui` instruction on `tid`: sets UIF, re-enabling delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownThread`] for a bad id.
+    pub fn stui(&mut self, tid: ThreadId) -> Result<(), XuiError> {
+        self.thread_mut(tid)?.receiver.uif.stui();
+        Ok(())
+    }
+
+    /// The `testui` instruction: reads `tid`'s user-interrupt flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownThread`] for a bad id.
+    pub fn testui(&self, tid: ThreadId) -> Result<bool, XuiError> {
+        Ok(self.thread(tid)?.receiver.uif.testui())
+    }
+
     /// All vectors ever delivered to `tid`, in order.
     ///
     /// # Errors

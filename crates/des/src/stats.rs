@@ -140,6 +140,11 @@ impl Histogram {
     /// The value at the given percentile (0–100), with ≤1.6% relative
     /// error. Returns 0 for an empty histogram.
     ///
+    /// The edges are exact: `percentile(0.0)` returns [`Histogram::min`]
+    /// and `percentile(100.0)` returns [`Histogram::max`], bit-for-bit —
+    /// summaries feed the results JSON figures are reconstructed from,
+    /// so the extremes must not pick up log-bucket rounding.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
@@ -148,6 +153,12 @@ impl Histogram {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
         if self.count == 0 {
             return 0;
+        }
+        if p == 0.0 {
+            return self.min();
+        }
+        if p == 100.0 {
+            return self.max();
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut cumulative = 0u64;
@@ -322,6 +333,17 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edges_ignore_bucket_rounding() {
+        // 130 lands in a log bucket whose upper bound is 131; p0 used to
+        // report that bound instead of the recorded minimum.
+        let mut h = Histogram::new();
+        h.record(130);
+        h.record(1000);
+        assert_eq!(h.percentile(0.0), 130);
+        assert_eq!(h.percentile(100.0), 1000);
+    }
+
+    #[test]
     fn single_value_dominates_every_percentile() {
         let mut h = Histogram::new();
         h.record(123_456);
@@ -416,8 +438,28 @@ mod proptests {
                 prop_assert!(q >= last);
                 last = q;
             }
-            prop_assert!(h.percentile(0.0) >= h.min());
-            prop_assert!(h.percentile(100.0) <= h.max());
+            prop_assert_eq!(h.percentile(0.0), h.min());
+            prop_assert_eq!(h.percentile(100.0), h.max());
+        }
+
+        /// The percentile edges are *exact* for arbitrary data: p0 is the
+        /// recorded minimum and p100 the recorded maximum, bit-for-bit,
+        /// with no log-bucket rounding. Summaries feed the results JSON
+        /// the figures are reconstructed from, so the extremes must not
+        /// drift to a bucket boundary (e.g. {130, 1000} once reported
+        /// p0 = 131, the upper bound of 130's bucket).
+        #[test]
+        fn percentile_edges_are_exact(values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let min = *values.iter().min().unwrap();
+            let max = *values.iter().max().unwrap();
+            prop_assert_eq!(h.percentile(0.0), min);
+            prop_assert_eq!(h.percentile(100.0), max);
+            prop_assert_eq!(h.min(), min);
+            prop_assert_eq!(h.max(), max);
         }
 
         /// Mean is exact regardless of bucketing.

@@ -147,6 +147,11 @@ impl TimerCoreSim {
 
     /// Largest number of receivers this configuration can notify without
     /// overrunning its interval.
+    ///
+    /// A degenerate cost model where notifying a receiver is free
+    /// (`senduipi + spin_loop_per_receiver == 0`) supports unboundedly
+    /// many receivers, reported as `usize::MAX` rather than dividing by
+    /// zero.
     #[must_use]
     pub fn max_receivers(&self) -> usize {
         let time_cost = match self.source {
@@ -159,6 +164,9 @@ impl TimerCoreSim {
             return 0;
         }
         let per_receiver = self.hw.senduipi + self.os.spin_loop_per_receiver;
+        if per_receiver == 0 {
+            return usize::MAX;
+        }
         ((self.interval - time_cost) / per_receiver) as usize
     }
 }
@@ -187,6 +195,31 @@ mod tests {
         assert_eq!(ok.late_ticks, 0, "22 receivers fit");
         let over = TimerCoreSim::new(TimeSource::RdtscSpin, FIVE_US, 23).run(10_000);
         assert!(over.late_ticks > 0, "23 receivers overrun");
+    }
+
+    #[test]
+    fn zero_cost_model_reports_unbounded_receivers_without_panicking() {
+        // A degenerate cost model: notifying a receiver costs nothing.
+        // max_receivers used to divide by zero here.
+        let mut sim = TimerCoreSim::new(TimeSource::RdtscSpin, FIVE_US, 4);
+        sim.hw.senduipi = 0;
+        sim.os.spin_loop_per_receiver = 0;
+        assert_eq!(sim.max_receivers(), usize::MAX);
+        // The tick loop is equally happy: zero work, never late.
+        let r = sim.run(1_000);
+        assert_eq!(r.late_ticks, 0);
+        assert_eq!(r.busy_fraction, 0.0);
+
+        // Same degenerate costs with an OS time source: the time cost
+        // still bounds nothing receiver-wise, so the answer is MAX as
+        // long as the tick itself fits the interval.
+        let mut os_sim = TimerCoreSim::new(TimeSource::Setitimer, FIVE_US, 4);
+        os_sim.hw.senduipi = 0;
+        os_sim.os.spin_loop_per_receiver = 0;
+        assert_eq!(os_sim.max_receivers(), usize::MAX);
+        // And when even the time cost overruns the interval, zero.
+        os_sim.interval = 1;
+        assert_eq!(os_sim.max_receivers(), 0);
     }
 
     #[test]

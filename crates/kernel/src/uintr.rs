@@ -392,6 +392,47 @@ impl UintrKernel {
         Ok(())
     }
 
+    /// `clui` — pure user level, zero kernel cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
+    pub fn clui(&mut self, tid: ThreadId) -> Result<(), KernelError> {
+        self.check_live(tid)?;
+        self.acct.kernel_free_ops += 1;
+        self.model.clui(tid)?;
+        Ok(())
+    }
+
+    /// `stui` — pure user level, zero kernel cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTornDown`] after teardown; architectural
+    /// failures wrapped.
+    pub fn stui(&mut self, tid: ThreadId) -> Result<(), KernelError> {
+        self.check_live(tid)?;
+        self.acct.kernel_free_ops += 1;
+        self.model.stui(tid)?;
+        Ok(())
+    }
+
+    /// A device interrupt arriving at `core` (§4.5): pure hardware
+    /// path, charges nothing — the whole point of forwarding is that
+    /// the kernel is not involved once the route is registered.
+    ///
+    /// # Errors
+    ///
+    /// Architectural failures wrapped.
+    pub fn device_interrupt(
+        &mut self,
+        core: CoreId,
+        vector: Vector,
+    ) -> Result<xui_core::forwarding::ForwardDecision, KernelError> {
+        Ok(self.model.device_interrupt(core, vector)?)
+    }
+
     /// Advances time (timers may fire).
     pub fn advance_time(&mut self, to: u64) {
         self.model.advance_time(to);

@@ -1,0 +1,465 @@
+//! The reference interpreter: SDM-style pseudocode for the UIPI/xUI
+//! protocol, executed over one flat state struct.
+//!
+//! This module is deliberately unsophisticated. There is no caching, no
+//! batching, no shared abstraction with the three production models —
+//! just plain fields mirroring Table 1 and §3.3/§4.3/§4.5 of the paper,
+//! and one big `match` per event. Every transition is written out the
+//! way the SDM would spell it, so a reader can check each arm against
+//! the paper's pseudocode line by line. The differential driver
+//! ([`crate::diff`]) replays the same events through `ProtocolModel`,
+//! `UintrKernel` and the cycle-level simulator and diffs the outcomes.
+//!
+//! The oracle models the fixed scenario every generated schedule uses:
+//! one sender thread pinned to core 0, one receiver thread that may be
+//! scheduled on, descheduled from, and migrated between cores
+//! `1..cores`, an optional per-core KB_Timer multiplexed for the
+//! receiver, and a set of forwarded device-interrupt lines registered
+//! on every core.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::{Event, ForwardLine, Schedule};
+
+/// Armed KB_Timer state, the oracle's rendering of `kb_timer_state_MSR`
+/// (§4.3): an absolute deadline, the period (0 for one-shot), and the
+/// assigned user vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimerState {
+    /// Absolute deadline in cycles.
+    pub deadline: u64,
+    /// Period for periodic mode; 0 means one-shot.
+    pub period: u64,
+    /// Vector delivered on expiry.
+    pub vector: u8,
+}
+
+/// What a replayed schedule observably did: the full delivery log plus
+/// the final descriptor state after quiescing. Every model must produce
+/// the same value for the same schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Every vector delivered to the receiver's handler, in order.
+    pub delivered: Vec<u8>,
+    /// Final UPID `ON` bit.
+    pub on: bool,
+    /// Final UPID `SN` bit.
+    pub sn: bool,
+    /// Final UPID `PIR` bitmap.
+    pub pir: u64,
+}
+
+/// The flat reference state: the receiver's UPID (Table 1), its
+/// core-resident delivery state, the parked DUPID, the multiplexed
+/// KB_Timer, and the forwarding lines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Oracle {
+    /// Number of cores; core 0 belongs to the sender.
+    pub cores: u8,
+    /// UPID.ON — outstanding notification (Table 1, bit 0).
+    pub on: bool,
+    /// UPID.SN — suppress notification (Table 1, bit 1).
+    pub sn: bool,
+    /// UPID.NDST — notification destination core (Table 1, 63:32).
+    pub ndst: u8,
+    /// UPID.PIR — posted-interrupt requests, one bit per user vector.
+    pub pir: u64,
+    /// The receiving core's UIRR register (moves with the thread).
+    pub uirr: u64,
+    /// The user-interrupt flag (STUI/CLUI).
+    pub uif: bool,
+    /// The DUPID where slow-path forwarded interrupts park (§4.5).
+    pub dupid: u64,
+    /// Which core the receiver currently occupies, if any.
+    pub running_on: Option<u8>,
+    /// KB_Timer feature vector, if the kernel enabled it (§4.3).
+    pub timer_vector: Option<u8>,
+    /// The live (in-context) armed timer.
+    pub armed: Option<TimerState>,
+    /// Timer state saved by the kernel while the receiver is out.
+    pub saved_timer: Option<TimerState>,
+    /// Forwarded device lines, registered identically on every core.
+    pub forwarded: Vec<ForwardLine>,
+    /// Current time in cycles.
+    pub now: u64,
+    /// Delivery log.
+    pub delivered: Vec<u8>,
+}
+
+impl Oracle {
+    /// Builds the oracle in the post-setup state of `schedule`:
+    /// handler registered (UIF set by `stui`), SN set because the
+    /// receiver is not yet scheduled, timer enabled if requested,
+    /// forwarding lines registered.
+    #[must_use]
+    pub fn new(schedule: &Schedule) -> Self {
+        Self {
+            cores: schedule.cores,
+            on: false,
+            sn: true, // register_handler starts SN set: thread not running
+            ndst: 0,
+            pir: 0,
+            uirr: 0,
+            uif: true, // register_handler ends with stui
+            dupid: 0,
+            running_on: None,
+            timer_vector: schedule.timer_vector,
+            armed: None,
+            saved_timer: None,
+            forwarded: schedule.forwarded.clone(),
+            now: 0,
+            delivered: Vec::new(),
+        }
+    }
+
+    /// SDM §3.3 *notification processing*, spelled out: clear `ON`,
+    /// drain `PIR` into `UIRR`.
+    fn notification_processing(&mut self) {
+        self.on = false;
+        self.uirr |= self.pir;
+        self.pir = 0;
+    }
+
+    /// SDM §3.3 SENDUIPI steps (1)–(4), spelled out:
+    /// 1. read the UPID through the UITT entry;
+    /// 2. post the vector: `PIR |= 1 << uv`;
+    /// 3. if `SN` or `ON`, stop — suppressed or already notified;
+    /// 4. set `ON` and send the notification IPI to `NDST`.
+    ///
+    /// Untimed, the IPI "arrives" at once: if the receiver is in
+    /// context on the `NDST` core, notification processing runs.
+    fn senduipi(&mut self, uv: u8) {
+        self.pir |= 1u64 << (uv & 63);
+        if self.sn || self.on {
+            return;
+        }
+        self.on = true;
+        if self.running_on == Some(self.ndst) {
+            self.notification_processing();
+        }
+    }
+
+    /// The SENDUIPI-racing-context-switch window: the sender posts into
+    /// `PIR` and reads a stale `SN = 0`, the kernel then suspends the
+    /// receiver (`SN := 1`), and the sender's notification IPI lands on
+    /// a core that no longer runs the thread. The IPI is absorbed by
+    /// the kernel; `ON` stays set, the vector stays posted, and the
+    /// resume-time repost recovers it. If the receiver is not running,
+    /// there is no switch to race and this is a plain suppressed send.
+    fn senduipi_preempted(&mut self, uv: u8) {
+        if self.running_on.is_none() {
+            self.senduipi(uv);
+            return;
+        }
+        self.pir |= 1u64 << (uv & 63);
+        let fire_ipi = !self.sn && !self.on;
+        self.context_switch_out();
+        if fire_ipi {
+            // The stale-snapshot IPI: ON is set, but nobody is home.
+            self.on = true;
+        }
+    }
+
+    /// Kernel context-switch-in (§3.2, §4.3, §4.5): clear `SN` and
+    /// `ON`, rewrite `NDST`, repost `PIR` and the DUPID into the UIRR,
+    /// restore the saved KB_Timer and the forwarded-active bits.
+    fn context_switch_in(&mut self, core: u8) {
+        if self.running_on.is_some() || core == 0 || core >= self.cores {
+            return; // already in context, or not a receiver core
+        }
+        self.running_on = Some(core);
+        self.ndst = core;
+        self.sn = false;
+        self.on = false;
+        self.uirr |= self.pir;
+        self.pir = 0;
+        self.uirr |= self.dupid;
+        self.dupid = 0;
+        if self.timer_vector.is_some() {
+            self.armed = self.saved_timer.take();
+        }
+    }
+
+    /// Kernel context-switch-out: set `SN`, save the KB_Timer state,
+    /// deactivate the forwarded lines (they fall back to the slow
+    /// path, §4.5).
+    fn context_switch_out(&mut self) {
+        if self.running_on.is_none() {
+            return;
+        }
+        self.running_on = None;
+        self.sn = true;
+        self.saved_timer = self.armed.take();
+    }
+
+    /// §3.3 step (5) user-interrupt delivery, looped to quiescence the
+    /// way a handler that ends in `uiret` runs: while `UIF` is set and
+    /// `UIRR` is non-empty, deliver the highest pending vector (which
+    /// clears `UIF` for the handler's duration), log it, and `uiret`
+    /// (which restores `UIF`).
+    fn deliver_pending(&mut self) {
+        if self.running_on.is_none() {
+            return;
+        }
+        while self.uif && self.uirr != 0 {
+            let v = 63 - self.uirr.leading_zeros() as u8;
+            self.uirr &= !(1u64 << v);
+            self.uif = false; // delivery masks
+            self.delivered.push(v);
+            self.uif = true; // uiret unmasks
+        }
+    }
+
+    /// `set_timer(cycles, mode)` (§4.3): only legal in context with the
+    /// feature enabled; periodic measures from now, one-shot takes an
+    /// absolute deadline.
+    fn set_timer(&mut self, cycles: u64, periodic: bool) {
+        let Some(vector) = self.timer_vector else { return };
+        if self.running_on.is_none() {
+            return;
+        }
+        self.armed = Some(if periodic {
+            TimerState {
+                deadline: self.now.saturating_add(cycles),
+                period: cycles.max(1),
+                vector,
+            }
+        } else {
+            TimerState { deadline: cycles, period: 0, vector }
+        });
+    }
+
+    /// Advance time and poll the KB_Timer once: at most one firing per
+    /// poll (missed periods coalesce onto the arming grid, like the
+    /// APIC timer), and only while the owner is in context.
+    fn advance_time(&mut self, dt: u64) {
+        self.now = self.now.saturating_add(dt);
+        if self.running_on.is_none() {
+            return;
+        }
+        let Some(t) = self.armed else { return };
+        if self.now < t.deadline {
+            return;
+        }
+        self.uirr |= 1u64 << (t.vector & 63);
+        // Periodic timers re-arm on the original grid, coalescing every
+        // missed period into the one firing above; `checked_div` is
+        // `None` exactly for one-shot timers (period 0), which disarm.
+        match (self.now - t.deadline).checked_div(t.period) {
+            Some(missed) => {
+                self.armed = Some(TimerState {
+                    deadline: t.deadline + (missed + 1) * t.period,
+                    ..t
+                });
+            }
+            None => self.armed = None,
+        }
+    }
+
+    /// A device interrupt arrives on forwarding line `line` at `core`
+    /// (§4.5): fast path straight into the UIRR when the registered
+    /// thread is the one running there; slow path parks in the DUPID
+    /// otherwise. An unregistered line is a legacy interrupt the OS
+    /// handles — invisible to user interrupts.
+    fn device_interrupt(&mut self, line: u8, core: u8) {
+        if core >= self.cores {
+            return;
+        }
+        let Some(fwd) = self.forwarded.get(line as usize) else {
+            return; // legacy: not a forwarded vector
+        };
+        let bit = 1u64 << (fwd.uv & 63);
+        if self.running_on == Some(core) {
+            self.uirr |= bit; // fast path
+        } else {
+            self.dupid |= bit; // slow path
+        }
+    }
+
+    /// Interprets one event: the single flat dispatch the whole oracle
+    /// reduces to.
+    pub fn step(&mut self, event: &Event) {
+        match *event {
+            Event::Send { uv } => self.senduipi(uv),
+            Event::SendPreempted { uv } => self.senduipi_preempted(uv),
+            Event::Schedule { core } => self.context_switch_in(core),
+            Event::Deschedule => self.context_switch_out(),
+            Event::Deliver => self.deliver_pending(),
+            Event::Clui => self.uif = false,
+            Event::Stui => self.uif = true,
+            Event::SetTimer { cycles, periodic } => self.set_timer(u64::from(cycles), periodic),
+            Event::AdvanceTime { dt } => self.advance_time(u64::from(dt)),
+            Event::DeviceIrq { line, core } => self.device_interrupt(line, core),
+        }
+    }
+
+    /// Runs a whole schedule: every event in order, then the quiesce
+    /// sequence every replay shares — resume the receiver (reposting
+    /// anything parked), unmask, drain.
+    #[must_use]
+    pub fn run(schedule: &Schedule) -> Outcome {
+        let mut oracle = Self::new(schedule);
+        for ev in &schedule.events {
+            oracle.step(ev);
+        }
+        oracle.quiesce();
+        oracle.outcome()
+    }
+
+    /// The shared end-of-schedule quiesce: schedule onto core 1 if out
+    /// of context, `stui`, drain.
+    pub fn quiesce(&mut self) {
+        if self.running_on.is_none() {
+            self.context_switch_in(1);
+        }
+        self.uif = true;
+        self.deliver_pending();
+    }
+
+    /// The observable outcome so far.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        Outcome {
+            delivered: self.delivered.clone(),
+            on: self.on,
+            sn: self.sn,
+            pir: self.pir,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_schedule(events: Vec<Event>) -> Schedule {
+        Schedule {
+            seed: 0,
+            cores: 3,
+            send_vectors: (0..8).collect(),
+            timer_vector: Some(1),
+            forwarded: vec![
+                ForwardLine { vector: 8, uv: 10 },
+                ForwardLine { vector: 9, uv: 11 },
+            ],
+            events,
+        }
+    }
+
+    #[test]
+    fn suppressed_send_parks_and_resume_reposts() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::Send { uv: 5 },
+            Event::Schedule { core: 1 },
+            Event::Deliver,
+        ]));
+        assert_eq!(out.delivered, vec![5]);
+        assert_eq!(out.pir, 0);
+        assert!(!out.on && !out.sn);
+    }
+
+    #[test]
+    fn batch_delivers_highest_vector_first() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::Send { uv: 3 },
+            Event::Send { uv: 9 },
+            Event::Send { uv: 3 },
+            Event::Schedule { core: 2 },
+            Event::Deliver,
+        ]));
+        assert_eq!(out.delivered, vec![9, 3], "coalesced, highest first");
+    }
+
+    #[test]
+    fn clui_masks_until_stui() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::Schedule { core: 1 },
+            Event::Clui,
+            Event::Send { uv: 4 },
+            Event::Deliver, // masked: nothing delivered
+            Event::Stui,
+            Event::Deliver,
+        ]));
+        assert_eq!(out.delivered, vec![4]);
+    }
+
+    #[test]
+    fn preempted_send_leaves_on_and_sn_and_self_heals() {
+        let sched = base_schedule(vec![
+            Event::Schedule { core: 1 },
+            Event::SendPreempted { uv: 7 },
+        ]);
+        let mut oracle = Oracle::new(&sched);
+        for ev in &sched.events {
+            oracle.step(ev);
+        }
+        // The race window: IPI issued, nobody home.
+        assert!(oracle.on && oracle.sn);
+        assert_eq!(oracle.pir, 1 << 7);
+        oracle.quiesce();
+        let out = oracle.outcome();
+        assert_eq!(out.delivered, vec![7], "resume repost recovers");
+        assert!(!out.on && !out.sn);
+        assert_eq!(out.pir, 0);
+    }
+
+    #[test]
+    fn second_send_while_on_set_does_not_renotify() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::Schedule { core: 1 },
+            Event::SendPreempted { uv: 2 }, // leaves ON set, receiver out
+            Event::Send { uv: 6 },          // ON set: post only
+            Event::Schedule { core: 2 },    // migration target
+            Event::Deliver,
+        ]));
+        assert_eq!(out.delivered, vec![6, 2], "both recovered, highest first");
+    }
+
+    #[test]
+    fn timer_fires_only_in_context_and_multiplexes() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::Schedule { core: 1 },
+            Event::SetTimer { cycles: 1_000, periodic: true },
+            Event::AdvanceTime { dt: 1_000 },
+            Event::Deliver, // fires: uv 1
+            Event::Deschedule,
+            Event::AdvanceTime { dt: 5_000 }, // out of context: no firing
+            Event::Schedule { core: 1 },
+            Event::Deliver, // nothing pending yet
+            Event::AdvanceTime { dt: 100 },
+            Event::Deliver, // restored timer fires once (coalesced)
+        ]));
+        assert_eq!(out.delivered, vec![1, 1]);
+    }
+
+    #[test]
+    fn forwarding_fast_slow_and_legacy_paths() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::DeviceIrq { line: 0, core: 1 }, // out of context: DUPID
+            Event::Schedule { core: 1 },
+            Event::Deliver, // resume reposts uv 10
+            Event::DeviceIrq { line: 1, core: 1 }, // fast path
+            Event::Deliver,
+            Event::DeviceIrq { line: 0, core: 2 }, // wrong core: slow path
+            Event::DeviceIrq { line: 9, core: 1 }, // unregistered: legacy
+            Event::Deliver,
+        ]));
+        assert_eq!(out.delivered, vec![10, 11], "line 0 at core 2 still parked");
+    }
+
+    #[test]
+    fn one_shot_timer_takes_absolute_deadline_and_disarms() {
+        let out = Oracle::run(&base_schedule(vec![
+            Event::Schedule { core: 1 },
+            Event::AdvanceTime { dt: 500 },
+            Event::SetTimer { cycles: 700, periodic: false },
+            Event::AdvanceTime { dt: 100 },
+            Event::Deliver, // 600 < 700: nothing
+            Event::AdvanceTime { dt: 100 },
+            Event::Deliver, // 700: fires
+            Event::AdvanceTime { dt: 10_000 },
+            Event::Deliver, // disarmed: nothing
+        ]));
+        assert_eq!(out.delivered, vec![1]);
+    }
+}

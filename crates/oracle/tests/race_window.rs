@@ -1,0 +1,81 @@
+//! Satellite: the SENDUIPI-racing-context-switch window (§3.3), checked
+//! property-style against the kernel model.
+//!
+//! The window: a sender snapshots the UPID, posts PIR, and issues the
+//! notification IPI — but between the post and the IPI the kernel sets
+//! SN and rewrites NDST. The IPI then lands on a core that no longer
+//! runs the receiver, leaving ON=1 *and* SN=1 with bits parked in PIR.
+//! Correct behavior is self-healing: the next schedule-in clears ON/SN
+//! and reposts PIR, so nothing is lost and nothing is delivered twice.
+//!
+//! The oracle models the window natively ([`Event::SendPreempted`]);
+//! the untimed protocol/kernel models reach the same observable state
+//! via deschedule-then-send (their `senduipi` is atomic — see
+//! `docs/ORACLE.md`). The property: for *any* interleaving of racing
+//! sends, plain sends, context switches and drains, all models agree on
+//! the delivered log and the final descriptor state.
+
+use proptest::prelude::*;
+
+use xui_oracle::{check, Event, Oracle, Schedule};
+
+/// Four fixed user-vector lanes, spread across the priority range.
+const LANES: [u8; 4] = [3, 9, 17, 33];
+
+fn schedule_from(steps: &[(u8, u8)]) -> Schedule {
+    let events = steps
+        .iter()
+        .map(|&(code, lane)| {
+            let uv = LANES[usize::from(lane) % LANES.len()];
+            match code {
+                0 | 1 => Event::SendPreempted { uv },
+                2 => Event::Send { uv },
+                3 => Event::Schedule { core: 1 },
+                4 => Event::Deliver,
+                _ => Event::Deschedule,
+            }
+        })
+        .collect();
+    Schedule {
+        seed: 0,
+        cores: 2,
+        send_vectors: LANES.to_vec(),
+        timer_vector: None,
+        forwarded: Vec::new(),
+        events,
+    }
+}
+
+proptest! {
+    /// Any interleaving of racing sends with context switches agrees
+    /// across the oracle, the protocol model, and the kernel model.
+    #[test]
+    fn racing_sends_agree_with_the_kernel_model(
+        steps in proptest::collection::vec((0u8..6, 0u8..4), 1..48)
+    ) {
+        let s = schedule_from(&steps);
+        let divergence = check(&s);
+        prop_assert!(divergence.is_none(), "divergence: {divergence:?}");
+    }
+
+    /// The window itself is visible in the oracle: a send that races a
+    /// switch-out strands ON=1, SN=1 with the vector parked in PIR, and
+    /// the next schedule-in self-heals (ON/SN cleared, PIR reposted and
+    /// deliverable exactly once).
+    #[test]
+    fn the_race_window_strands_on_and_sn_then_self_heals(lane in 0u8..4) {
+        let uv = LANES[usize::from(lane)];
+        let s = schedule_from(&[]);
+        let mut o = Oracle::new(&s);
+        o.step(&Event::Schedule { core: 1 });
+        o.step(&Event::SendPreempted { uv });
+        prop_assert!(o.on, "IPI was issued before SN was observed");
+        prop_assert!(o.sn, "kernel set SN during the window");
+        prop_assert_eq!(o.pir, 1u64 << (uv & 63), "vector parked in PIR");
+
+        o.step(&Event::Schedule { core: 1 });
+        prop_assert!(!o.on && !o.sn, "schedule-in heals the descriptor");
+        o.step(&Event::Deliver);
+        prop_assert_eq!(o.delivered.as_slice(), &[uv][..], "delivered exactly once");
+    }
+}

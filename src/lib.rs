@@ -6,6 +6,7 @@ pub use xui_des as des;
 pub use xui_faults as faults;
 pub use xui_kernel as kernel;
 pub use xui_net as net;
+pub use xui_oracle as oracle;
 pub use xui_runtime as runtime;
 pub use xui_sim as sim;
 pub use xui_telemetry as telemetry;

@@ -65,10 +65,14 @@ fn receiver_per_event_costs_match_figure4() {
     let mut uipi_sum = 0.0;
     let mut tracked_sum = 0.0;
     let mut kb_sum = 0.0;
+    // Workload sizes are the smallest that keep the per-event averages
+    // comfortably inside the tolerances below: the interrupt cadence
+    // (period) is what calibration measures, so runs only need enough
+    // events to amortize warmup, not the paper's full durations.
     let workloads = [
-        fib(60_000, Instrument::None),
-        linpack(40_000, Instrument::None),
-        memops(40_000, Instrument::None),
+        fib(20_000, Instrument::None),
+        linpack(14_000, Instrument::None),
+        memops(14_000, Instrument::None),
     ];
     for w in &workloads {
         let base = run_workload(SystemConfig::uipi(), w, IrqSource::None, max);
@@ -91,6 +95,11 @@ fn receiver_per_event_costs_match_figure4() {
     }
     let n = workloads.len() as f64;
     let (uipi, tracked, kb) = (uipi_sum / n, tracked_sum / n, kb_sum / n);
+    eprintln!(
+        "figure-4 per-event: uipi {uipi:.0} (paper {}), tracked {tracked:.0} (paper {}), \
+         kb {kb:.0} (paper {})",
+        model.uipi_receiver_sim, model.tracked_ipi_receiver, model.tracked_direct_receiver
+    );
     assert!(
         within(uipi, model.uipi_receiver_sim as f64, 0.20),
         "UIPI per-event {uipi:.0} vs paper {}",
@@ -140,7 +149,9 @@ fn clui_stui_costs_match_table2() {
 fn five_microsecond_interval_overheads_match_figure4() {
     // Paper: 6.86% (UIPI) → 1.06% (KB_Timer + tracking) at a 5 µs
     // interval, a ~6.9× reduction.
-    let w = fib(100_000, Instrument::None);
+    // Size chosen like figure-4's above: long enough that the overhead
+    // percentages sit mid-band, far smaller than the paper's wall time.
+    let w = fib(36_000, Instrument::None);
     let max = 2_000_000_000;
     let base = run_workload(SystemConfig::uipi(), &w, IrqSource::None, max);
     let uipi = run_workload(
@@ -152,6 +163,7 @@ fn five_microsecond_interval_overheads_match_figure4() {
     let kb = run_workload(SystemConfig::xui(), &w, IrqSource::KbTimer { period: 10_000 }, max);
     let uipi_ovh = uipi.overhead_pct(&base);
     let kb_ovh = kb.overhead_pct(&base);
+    eprintln!("5µs overheads: uipi {uipi_ovh:.2}%, kb {kb_ovh:.2}%, reduction {:.1}×", uipi_ovh / kb_ovh);
     assert!((5.0..9.0).contains(&uipi_ovh), "UIPI overhead {uipi_ovh:.2}%");
     assert!((0.5..2.0).contains(&kb_ovh), "KB overhead {kb_ovh:.2}%");
     let reduction = uipi_ovh / kb_ovh;
