@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod sweep;
 pub mod timeline;
 
@@ -18,8 +19,37 @@ use std::sync::Mutex;
 
 use serde::Serialize;
 
+pub use cli::{CliError, CliSpec, Parsed};
 pub use sweep::{Sweep, SweepCtx};
 pub use timeline::{reconstruct_fig2, Fig2Reconstruction};
+
+/// Options shared by every sweep-driven experiment: parsed once from the
+/// command line (see [`CliSpec::bench`]) or filled in programmatically by
+/// the scenario runner — never sniffed from `std::env::args` mid-run.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOpts {
+    /// Time the sweep serial vs parallel and record
+    /// `results/BENCH_sweep.json`.
+    pub bench_meta: bool,
+    /// Explicit worker-thread override (else `XUI_BENCH_THREADS`/host).
+    pub threads: Option<usize>,
+    /// Where to write a Chrome trace JSON, for experiments that support it.
+    pub trace: Option<PathBuf>,
+    /// Save a merged metrics snapshot under `results/`.
+    pub metrics: bool,
+}
+
+impl BenchOpts {
+    /// Builds options from the shared flags of a [`CliSpec::bench`] parse.
+    pub fn from_parsed(p: &Parsed) -> Result<Self, CliError> {
+        Ok(Self {
+            bench_meta: p.flag("--bench-meta"),
+            threads: p.opt_usize("--threads")?,
+            trace: p.opt("--trace").map(PathBuf::from),
+            metrics: p.flag("--metrics"),
+        })
+    }
+}
 
 /// A simple aligned table printer for experiment output.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +110,14 @@ pub fn banner(id: &str, title: &str, paper_ref: &str) {
     println!("    paper reference: {paper_ref}\n");
 }
 
+/// Renders a result exactly as [`save_json`] would write it (pretty JSON).
+/// The scenario golden tests compare these bytes without touching
+/// `results/`.
+#[must_use]
+pub fn render_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_default()
+}
+
 /// Saves a serializable result as `results/<id>.json` (best effort).
 pub fn save_json<T: Serialize>(id: &str, value: &T) {
     let dir = PathBuf::from("results");
@@ -87,7 +125,8 @@ pub fn save_json<T: Serialize>(id: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{id}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(value) {
+    let json = render_json(value);
+    if !json.is_empty() {
         let _ = fs::write(&path, json);
         println!("\n    [saved {}]", path.display());
     }
@@ -130,32 +169,30 @@ pub struct BenchMeta {
 /// process, so binaries with several sweeps report whole-binary totals.
 static BENCH_META: Mutex<Option<BenchMeta>> = Mutex::new(None);
 
-/// Whether this process was invoked with `--bench-meta`.
-#[must_use]
-pub fn bench_meta_enabled() -> bool {
-    std::env::args().any(|a| a == "--bench-meta")
-}
-
-/// Runs a figure binary's sweep.
+/// Runs a figure binary's sweep under explicit [`BenchOpts`].
 ///
 /// Normally this is just [`Sweep::run`]: evaluate every point on the
-/// worker pool, return results in point order. With `--bench-meta` on the
-/// command line, the sweep is executed twice — once with 1 worker, once
-/// with the parallel pool — the two result sets are checked for
-/// byte-identical serialization, and cumulative wall-clock numbers are
-/// written to `results/BENCH_sweep.json`.
-pub fn run_sweep<P, R, F>(bin: &str, s: Sweep<P>, f: F) -> Vec<R>
+/// worker pool, return results in point order. With `bench_meta` set, the
+/// sweep is executed twice — once with 1 worker, once with the parallel
+/// pool — the two result sets are checked for byte-identical
+/// serialization, and cumulative wall-clock numbers are written to
+/// `results/BENCH_sweep.json`.
+pub fn run_sweep<P, R, F>(bin: &str, s: Sweep<P>, opts: &BenchOpts, f: F) -> Vec<R>
 where
     P: Sync,
     R: Send + Serialize,
     F: Fn(&P, SweepCtx) -> R + Sync,
 {
-    if !bench_meta_enabled() {
+    let s = match opts.threads {
+        Some(n) => s.threads(n),
+        None => s,
+    };
+    if !opts.bench_meta {
         return s.run(f);
     }
 
     let (serial, serial_stats) = s.run_with(1, &f);
-    let threads = sweep::worker_threads(None);
+    let threads = sweep::worker_threads(opts.threads);
     let (parallel, parallel_stats) = s.run_with(threads, &f);
     let identical = serde_json::to_string(&serial).ok() == serde_json::to_string(&parallel).ok();
 
@@ -218,29 +255,6 @@ pub fn record_telemetry_overhead(bin: &str, null_ms: f64, ring_ms: f64) {
         None
     };
     save_json("BENCH_sweep", &*meta);
-}
-
-/// The path given with `--trace <path>` on the command line, if any.
-/// Figure binaries that support tracing write a Chrome trace JSON there.
-#[must_use]
-pub fn trace_path() -> Option<PathBuf> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            return args.next().map(PathBuf::from);
-        }
-        if let Some(rest) = a.strip_prefix("--trace=") {
-            return Some(PathBuf::from(rest));
-        }
-    }
-    None
-}
-
-/// Whether this process was invoked with `--metrics`: figure binaries
-/// that support it then save a merged metrics snapshot under `results/`.
-#[must_use]
-pub fn metrics_enabled() -> bool {
-    std::env::args().any(|a| a == "--metrics")
 }
 
 /// Writes a single-group Chrome trace to `path` (best effort, with a

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `ablation_multiworker` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("ablation_multiworker");
+}

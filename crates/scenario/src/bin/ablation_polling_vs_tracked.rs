@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `ablation_polling_vs_tracked` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("ablation_polling_vs_tracked");
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `faults_scenarios` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("faults_scenarios");
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig2_timeline` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig2_timeline");
+}

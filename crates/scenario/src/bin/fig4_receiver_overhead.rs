@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig4_receiver_overhead` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig4_receiver_overhead");
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig5_safepoints` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig5_safepoints");
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig6_timer_core` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig6_timer_core");
+}

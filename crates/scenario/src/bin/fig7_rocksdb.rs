@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig7_rocksdb` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig7_rocksdb");
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig8_l3fwd` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig8_l3fwd");
+}

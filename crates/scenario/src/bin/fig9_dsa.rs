@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `fig9_dsa` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("fig9_dsa");
+}

@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `oracle_fuzz` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("oracle_fuzz");
+}

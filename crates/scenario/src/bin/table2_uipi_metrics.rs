@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `table2_uipi_metrics` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("table2_uipi_metrics");
+}

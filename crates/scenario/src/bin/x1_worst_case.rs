@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `x1_worst_case` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("x1_worst_case");
+}

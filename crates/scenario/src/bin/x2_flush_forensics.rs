@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `x2_flush_forensics` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("x2_flush_forensics");
+}

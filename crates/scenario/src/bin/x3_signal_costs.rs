@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `x3_signal_costs` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("x3_signal_costs");
+}

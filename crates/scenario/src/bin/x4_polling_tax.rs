@@ -1,0 +1,5 @@
+//! Thin wrapper: runs the `x4_polling_tax` scenario preset (see `xui-scenario`).
+
+fn main() {
+    xui_scenario::cli_main("x4_polling_tax");
+}

@@ -1,0 +1,78 @@
+//! The entry point shared by every per-experiment wrapper binary: look
+//! the preset up in the registry, parse the shared bench flags (plus the
+//! fuzzer's corpus overrides), run the scenario, and exit with the
+//! conventional status (0 pass, 1 experiment failure, 2 usage/config
+//! error).
+
+use xui_bench::{BenchOpts, CliSpec};
+
+use crate::runner::{self, RunOptions};
+use crate::spec::Experiment;
+use crate::{registry, spec::Scenario};
+
+/// Exits with status 2 after printing `err` and the usage text.
+fn usage_exit(err: impl std::fmt::Display, spec: &CliSpec) -> ! {
+    eprintln!("error: {err}\n\n{}", spec.usage());
+    std::process::exit(2);
+}
+
+/// Builds the flag spec for a scenario: the shared bench flags, plus the
+/// corpus options when the scenario is the oracle fuzzer.
+pub(crate) fn cli_spec(sc: &Scenario) -> CliSpec {
+    let spec = CliSpec::bench(sc.name.clone(), sc.title.clone());
+    if matches!(sc.experiment, Experiment::OracleFuzz { .. }) {
+        spec.option("--full", "N", "full-alphabet schedules (default 10000)")
+            .option("--sim", "N", "sim-class schedules, also replayed on the cycle sim (default 1000)")
+            .option("--seed", "S", "base seed (default frozen)")
+    } else {
+        spec
+    }
+}
+
+/// Applies `--full`/`--sim`/`--seed` overrides to an oracle scenario.
+pub(crate) fn apply_oracle_overrides(
+    sc: &mut Scenario,
+    parsed: &xui_bench::Parsed,
+) -> Result<(), xui_bench::CliError> {
+    if let Experiment::OracleFuzz { full, sim } = &mut sc.experiment {
+        if let Some(n) = parsed.opt_u64("--full")? {
+            *full = n;
+        }
+        if let Some(n) = parsed.opt_u64("--sim")? {
+            *sim = n;
+        }
+    }
+    if let Some(s) = parsed.opt_u64("--seed")? {
+        sc.base_seed = Some(s);
+    }
+    Ok(())
+}
+
+/// Runs the named registry preset as a standalone binary would: parse
+/// the process arguments, execute, save artifacts under `results/`, and
+/// exit. Never returns.
+pub fn cli_main(name: &str) -> ! {
+    let Some(mut sc) = registry::find(name) else {
+        eprintln!("error: unknown scenario `{name}` (see `xui list`)");
+        std::process::exit(2);
+    };
+    let spec = cli_spec(&sc);
+    let parsed = spec.parse_or_exit();
+    let bench = match BenchOpts::from_parsed(&parsed) {
+        Ok(b) => b,
+        Err(e) => usage_exit(e, &spec),
+    };
+    if matches!(sc.experiment, Experiment::OracleFuzz { .. }) {
+        if let Err(e) = apply_oracle_overrides(&mut sc, &parsed) {
+            usage_exit(e, &spec);
+        }
+    }
+    match runner::run(&sc, &RunOptions { bench, save: true }) {
+        Ok(report) if report.passed => std::process::exit(0),
+        Ok(_) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment implementations, one module per paper figure / table /
+//! extension. Each is a direct port of the former `xui-bench` binary of
+//! the same name: identical sweep structure, identical stdout, and
+//! byte-identical JSON artifacts — the only change is that parameters
+//! arrive from a [`crate::spec::Experiment`] value instead of constants
+//! compiled into a binary.
+
+pub(crate) mod ablations;
+pub(crate) mod faults;
+pub(crate) mod fig2;
+pub(crate) mod fig4;
+pub(crate) mod fig5;
+pub(crate) mod fig6;
+pub(crate) mod fig7;
+pub(crate) mod fig8;
+pub(crate) mod fig9;
+pub(crate) mod oracle;
+pub(crate) mod table2;
+pub(crate) mod x1;
+pub(crate) mod x2;
+pub(crate) mod x3;
+pub(crate) mod x4;

@@ -1,0 +1,25 @@
+//! # xui-scenario
+//!
+//! The declarative scenario layer: one composition path for every
+//! experiment in the reproduction. A [`Scenario`](spec::Scenario) is a
+//! serde-serializable spec — topology, workload, delivery strategy,
+//! optional fault plan, telemetry capabilities, and execution backend —
+//! that [`runner::run`] lowers onto the simulation crates. The
+//! [`registry`] names a preset for every paper figure/table, extension
+//! experiment, and ablation; the per-experiment binaries in `src/bin/`
+//! are thin wrappers over [`cli_main`], and the `xui` CLI at the
+//! workspace root drives the same path for both presets and scenario
+//! files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cli;
+mod experiments;
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use cli::cli_main;
+pub use runner::{run, Artifact, RunOptions, RunReport};
+pub use spec::{Backend, DsaMode, Experiment, NamedWorkload, Scenario, TelemetryCaps, Topology};

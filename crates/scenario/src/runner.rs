@@ -1,0 +1,212 @@
+//! Executes a [`Scenario`]: validates it, checks the telemetry request
+//! against the scenario's capabilities, prints the banner, dispatches to
+//! the experiment implementation, and collects every JSON artifact the
+//! run produces (optionally also saving them under `results/`, exactly
+//! like the per-experiment binaries always have).
+
+use serde::Serialize;
+
+use xui_bench::{banner, render_json, save_json, BenchOpts};
+
+use crate::experiments;
+use crate::spec::{Experiment, Scenario};
+
+/// How to execute a scenario: the shared sweep options (threads, trace,
+/// metrics, bench-meta) plus whether artifacts are written to
+/// `results/`. The binaries save; the golden tests run in-memory.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Sweep options shared with the former binaries.
+    pub bench: BenchOpts,
+    /// Write every artifact to `results/<id>.json` as well.
+    pub save: bool,
+}
+
+/// One JSON result produced by a run, rendered exactly as
+/// `results/<id>.json` would be written.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Result id (`results/<id>.json` stem).
+    pub id: String,
+    /// Pretty-printed JSON bytes.
+    pub json: String,
+}
+
+/// Everything a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// JSON artifacts in emission order.
+    pub artifacts: Vec<Artifact>,
+    /// Whether the experiment's own pass criterion held (always true
+    /// for measurement scenarios; the faults suite and the oracle
+    /// fuzzer can fail).
+    pub passed: bool,
+}
+
+impl RunReport {
+    /// The JSON of the artifact with the given id, if produced.
+    #[must_use]
+    pub fn artifact(&self, id: &str) -> Option<&str> {
+        self.artifacts.iter().find(|a| a.id == id).map(|a| a.json.as_str())
+    }
+}
+
+/// Collects artifacts during a run; shared with the experiment modules.
+pub(crate) struct Sink {
+    save: bool,
+    artifacts: Vec<Artifact>,
+}
+
+impl Sink {
+    /// Renders `value` and records it under `id`; also writes
+    /// `results/<id>.json` when saving is on.
+    pub(crate) fn emit<T: Serialize>(&mut self, id: &str, value: &T) {
+        let json = render_json(value);
+        if self.save {
+            save_json(id, value);
+        }
+        self.artifacts.push(Artifact { id: id.to_string(), json });
+    }
+}
+
+/// Runs a scenario. Errors are configuration problems (invalid spec, an
+/// unsupported telemetry request); an experiment that executes but
+/// fails its own criterion returns `Ok` with `passed == false`.
+pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
+    sc.validate()?;
+    if opts.bench.trace.is_some() && !sc.telemetry.trace {
+        return Err(format!("scenario `{}` does not support --trace", sc.name));
+    }
+    if opts.bench.metrics && !sc.telemetry.metrics {
+        return Err(format!("scenario `{}` does not support --metrics", sc.name));
+    }
+
+    banner(&sc.heading, &sc.title, &sc.paper_ref);
+
+    let mut sink = Sink { save: opts.save, artifacts: Vec::new() };
+    let bench = &opts.bench;
+    let passed = match &sc.experiment {
+        Experiment::Fig2Timeline { sender_countdown, receiver_countdown, max_cycles } => {
+            experiments::fig2::run(
+                *sender_countdown,
+                *receiver_countdown,
+                *max_cycles,
+                bench,
+                &mut sink,
+            );
+            true
+        }
+        Experiment::Fig4ReceiverOverhead { benchmarks, period, send_latency, max_cycles } => {
+            experiments::fig4::run(benchmarks, *period, *send_latency, *max_cycles, bench, &mut sink);
+            true
+        }
+        Experiment::Fig5Safepoints { benchmarks, quanta_us, max_cycles } => {
+            experiments::fig5::run(benchmarks, quanta_us, *max_cycles, bench, &mut sink);
+            true
+        }
+        Experiment::Fig6TimerCore { intervals_us, receiver_counts, ticks } => {
+            experiments::fig6::run(intervals_us, receiver_counts, *ticks, bench, &mut sink);
+            true
+        }
+        Experiment::Fig7Rocksdb { loads_krps, mechanisms, slo_us } => {
+            experiments::fig7::run(
+                loads_krps,
+                mechanisms,
+                *slo_us,
+                sc.faults.as_ref(),
+                bench,
+                &mut sink,
+            );
+            true
+        }
+        Experiment::Fig8L3fwd { loads, nic_counts, modes } => {
+            experiments::fig8::run(loads, nic_counts, modes, sc.faults.as_ref(), bench, &mut sink);
+            true
+        }
+        Experiment::Fig9Dsa { kinds, noise_levels_pct, modes } => {
+            experiments::fig9::run(kinds, noise_levels_pct, modes, bench, &mut sink);
+            true
+        }
+        Experiment::Table2UipiMetrics { send_iters, uif_iters } => {
+            experiments::table2::run(*send_iters, *uif_iters, bench, &mut sink);
+            true
+        }
+        Experiment::X1WorstCase { chain_lens, nodes, iters, device_period, typical, max_cycles } => {
+            experiments::x1::run(
+                chain_lens,
+                *nodes,
+                *iters,
+                *device_period,
+                typical,
+                *max_cycles,
+                bench,
+                &mut sink,
+            );
+            true
+        }
+        Experiment::X2FlushForensics {
+            chase_nodes,
+            chase_iters,
+            timer_period,
+            squash_workload,
+            squash_periods,
+            max_cycles,
+        } => {
+            experiments::x2::run(
+                chase_nodes,
+                *chase_iters,
+                *timer_period,
+                squash_workload,
+                squash_periods,
+                *max_cycles,
+                bench,
+                &mut sink,
+            );
+            true
+        }
+        Experiment::X3SignalCosts { signals, signal_spacing, cs_iters, cs_body_len } => {
+            experiments::x3::run(*signals, *signal_spacing, *cs_iters, *cs_body_len, bench, &mut sink);
+            true
+        }
+        Experiment::X4PollingTax { benchmarks, tight_iters, max_cycles } => {
+            experiments::x4::run(benchmarks, *tight_iters, *max_cycles, bench, &mut sink);
+            true
+        }
+        Experiment::AblationMultiworker { per_worker_krps, worker_counts, duration } => {
+            experiments::ablations::multiworker(
+                *per_worker_krps,
+                worker_counts,
+                *duration,
+                bench,
+                &mut sink,
+            );
+            true
+        }
+        Experiment::AblationPolling { benchmarks, periods, max_cycles } => {
+            experiments::ablations::polling_vs_tracked(
+                benchmarks, periods, *max_cycles, bench, &mut sink,
+            );
+            true
+        }
+        Experiment::AblationStrategies { benchmarks, strategies, period, max_cycles } => {
+            experiments::ablations::strategies(
+                benchmarks, strategies, *period, *max_cycles, bench, &mut sink,
+            );
+            true
+        }
+        Experiment::AblationWindow { workload, scales, period, max_cycles } => {
+            experiments::ablations::window(workload, scales, *period, *max_cycles, bench, &mut sink);
+            true
+        }
+        Experiment::FaultsSuite { scenarios } => {
+            experiments::faults::run(scenarios, bench, &mut sink)
+        }
+        Experiment::OracleFuzz { full, sim } => {
+            experiments::oracle::run(*full, *sim, sc.base_seed, bench, &mut sink)
+        }
+    };
+
+    Ok(RunReport { scenario: sc.name.clone(), artifacts: sink.artifacts, passed })
+}

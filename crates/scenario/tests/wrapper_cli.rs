@@ -1,0 +1,48 @@
+//! The per-experiment wrapper binaries share the strict CLI: misspelled
+//! flags must exit non-zero with usage (the pre-refactor binaries
+//! silently ignored them), and `--help` must print the scenario's flags.
+
+use std::process::Command;
+
+fn fig6() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fig6_timer_core"))
+}
+
+#[test]
+fn misspelled_flag_exits_2_with_usage() {
+    let out = fig6().arg("--bench-mata").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag `--bench-mata`"), "stderr: {stderr}");
+    assert!(stderr.contains("usage: fig6_timer_core"), "stderr: {stderr}");
+}
+
+#[test]
+fn trace_without_value_exits_2() {
+    let out = fig6().arg("--trace").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}
+
+#[test]
+fn help_prints_usage_and_exits_0() {
+    let out = fig6().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--bench-meta", "--metrics", "--trace <PATH>", "--threads <N>"] {
+        assert!(stdout.contains(needle), "help missing {needle}: {stdout}");
+    }
+}
+
+#[test]
+fn oracle_wrapper_declares_corpus_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_oracle_fuzz"))
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--full <N>", "--sim <N>", "--seed <S>"] {
+        assert!(stdout.contains(needle), "help missing {needle}: {stdout}");
+    }
+}

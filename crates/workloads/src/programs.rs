@@ -4,7 +4,9 @@
 //! worst-case experiment — all parameterized by an instrumentation mode
 //! (none / Concord-style polling / hardware safepoints).
 
-use xui_sim::isa::{Pc, Program, Reg};
+use serde::{Deserialize, Serialize};
+
+use xui_sim::isa::{AluKind, Inst, Op, Operand, Pc, Program, Reg};
 use xui_sim::System;
 
 use crate::builder::{regs, ProgramBuilder};
@@ -24,7 +26,7 @@ pub const POLL_FLAG_ADDR: u64 = 0x4000_0000;
 /// Preemption-check instrumentation inserted at loop back-edges — the
 /// moral equivalent of a Concord compiler pass (§6.1 "Hardware safepoints
 /// vs. polling-based preemption").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Instrument {
     /// No instrumentation (interrupts may arrive anywhere).
     None,
@@ -306,6 +308,265 @@ pub fn sp_dependent_chain(chain_len: usize, nodes: usize, iters: u64) -> Workloa
     }
 }
 
+// ---------------------------------------------------------------------------
+// Named raw-program constructors
+// ---------------------------------------------------------------------------
+//
+// The figure binaries used to inline these little spin/send/halt programs
+// with copy-pasted instruction sequences; they live here once, under
+// names, so the scenario presets (and the binaries' tests) compose them.
+
+/// A sender that spins `countdown` iterations and then issues one
+/// `SENDUIPI` to connection index 0 — the fig2 / Table 2 "one-send"
+/// program.
+#[must_use]
+pub fn countdown_sender(countdown: u64) -> Program {
+    Program::new(
+        "one-send",
+        vec![
+            Inst::new(Op::Li { dst: Reg(2), imm: countdown }),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(2),
+                src: Reg(2),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(2), target: 1 }),
+            Inst::new(Op::SendUipi { index: 0 }),
+            Inst::new(Op::Halt),
+        ],
+    )
+}
+
+/// A receiver that spins `countdown` iterations and halts. With
+/// `with_handler`, the standard two-instruction handler (`r20 += 1;
+/// uiret`) follows the halt — its entry PC is [`SPIN_HANDLER_PC`].
+#[must_use]
+pub fn spin_receiver(countdown: u64, with_handler: bool) -> Program {
+    let mut code = vec![
+        Inst::new(Op::Li { dst: Reg(1), imm: countdown }),
+        Inst::new(Op::Alu {
+            kind: AluKind::Sub,
+            dst: Reg(1),
+            src: Reg(1),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+        Inst::new(Op::Halt),
+    ];
+    if with_handler {
+        code.push(Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(20),
+            src: Reg(20),
+            op2: Operand::Imm(1),
+        }));
+        code.push(Inst::new(Op::Uiret));
+    }
+    Program::new("spin", code)
+}
+
+/// Handler entry PC of [`spin_receiver`] with a handler: the instruction
+/// right after its `Halt`.
+pub const SPIN_HANDLER_PC: Pc = 4;
+
+/// The Table 2 SENDUIPI cost loop: `sends` iterations each issuing one
+/// `SENDUIPI` (or a `Nop` for the baseline).
+#[must_use]
+pub fn send_loop(sends: u64, with_send: bool) -> Program {
+    let mut code = vec![Inst::new(Op::Li { dst: Reg(1), imm: sends })];
+    if with_send {
+        code.push(Inst::new(Op::SendUipi { index: 0 }));
+    } else {
+        code.push(Inst::new(Op::Nop));
+    }
+    code.extend([
+        Inst::new(Op::Alu {
+            kind: AluKind::Sub,
+            dst: Reg(1),
+            src: Reg(1),
+            op2: Operand::Imm(1),
+        }),
+        Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+        Inst::new(Op::Halt),
+    ]);
+    Program::new(if with_send { "send-loop" } else { "base-loop" }, code)
+}
+
+/// The Table 2 CLUI/STUI cost loop: `n` iterations each executing `op`
+/// (default `Nop` for the baseline).
+#[must_use]
+pub fn uif_loop(n: u64, op: Option<Op>) -> Program {
+    Program::new(
+        "uif-loop",
+        vec![
+            Inst::new(Op::Li { dst: Reg(1), imm: n }),
+            Inst::new(op.unwrap_or(Op::Nop)),
+            Inst::new(Op::Alu {
+                kind: AluKind::Sub,
+                dst: Reg(1),
+                src: Reg(1),
+                op2: Operand::Imm(1),
+            }),
+            Inst::new(Op::Bnez { src: Reg(1), target: 1 }),
+            Inst::new(Op::Halt),
+        ],
+    )
+}
+
+/// The §4.1 malloc-like hot loop: `iters` iterations of a `body_len`-add
+/// dependent critical section, optionally protected by a `clui`/`stui`
+/// pair (unprotected runs execute `Nop`s in those slots).
+#[must_use]
+pub fn critical_section_loop(iters: u64, protected: bool, body_len: usize) -> Program {
+    let mut code = vec![Inst::new(Op::Li { dst: Reg(1), imm: iters })];
+    let top = code.len();
+    code.push(Inst::new(if protected { Op::Clui } else { Op::Nop }));
+    for _ in 0..body_len {
+        code.push(Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(3),
+            src: Reg(3),
+            op2: Operand::Imm(1),
+        }));
+    }
+    code.push(Inst::new(if protected { Op::Stui } else { Op::Nop }));
+    code.push(Inst::new(Op::Alu {
+        kind: AluKind::Sub,
+        dst: Reg(1),
+        src: Reg(1),
+        op2: Operand::Imm(1),
+    }));
+    code.push(Inst::new(Op::Bnez { src: Reg(1), target: top }));
+    code.push(Inst::new(Op::Halt));
+    Program::new(if protected { "protected" } else { "plain" }, code)
+}
+
+/// The §2 polling-tax worst case: a tight loop already saturating the
+/// 6-wide front-end, optionally with a load+branch preemption check per
+/// iteration (every inserted instruction displaces real work). The flag
+/// address is [`POLL_FLAG_ADDR`].
+#[must_use]
+pub fn tight_loop(iters: u64, polled: bool) -> Program {
+    let mut code = vec![
+        Inst::new(Op::Li { dst: Reg(1), imm: iters }),
+        Inst::new(Op::Li { dst: Reg(9), imm: POLL_FLAG_ADDR }),
+    ];
+    let top = code.len();
+    // Four independent adds: the loop runs at the machine's width limit.
+    for r in 2u8..6 {
+        code.push(Inst::new(Op::Alu {
+            kind: AluKind::Add,
+            dst: Reg(r),
+            src: Reg(r),
+            op2: Operand::Imm(1),
+        }));
+    }
+    code.push(Inst::new(Op::Alu {
+        kind: AluKind::Sub,
+        dst: Reg(1),
+        src: Reg(1),
+        op2: Operand::Imm(1),
+    }));
+    if polled {
+        // The inserted check: load flag, branch if set.
+        code.push(Inst::new(Op::Load { dst: Reg(8), base: Reg(9), offset: 0 }));
+        code.push(Inst::new(Op::Bnez { src: Reg(8), target: top }));
+    }
+    code.push(Inst::new(Op::Bnez { src: Reg(1), target: top }));
+    code.push(Inst::new(Op::Halt));
+    Program::new(if polled { "tight-polled" } else { "tight" }, code)
+}
+
+// ---------------------------------------------------------------------------
+// Declarative workload specs
+// ---------------------------------------------------------------------------
+
+/// A serializable description of one benchmark workload — the data form
+/// of the builder functions above, used by scenario files so a workload
+/// choice can live in JSON instead of a recompiled binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// [`fib`].
+    Fib {
+        /// Loop iterations.
+        iters: u64,
+    },
+    /// [`linpack`].
+    Linpack {
+        /// Loop iterations.
+        iters: u64,
+    },
+    /// [`memops`].
+    Memops {
+        /// Loop iterations.
+        iters: u64,
+    },
+    /// [`matmul`].
+    Matmul {
+        /// Loop iterations.
+        iters: u64,
+        /// Extra handler instructions (user-level context-switch model).
+        handler_work: usize,
+    },
+    /// [`base64`].
+    Base64 {
+        /// Loop iterations.
+        iters: u64,
+        /// Extra handler instructions (user-level context-switch model).
+        handler_work: usize,
+    },
+    /// [`pointer_chase`].
+    PointerChase {
+        /// Ring size in cache lines.
+        nodes: usize,
+        /// Loop iterations.
+        iters: u64,
+    },
+    /// [`sp_dependent_chain`].
+    SpDependentChain {
+        /// Loads in the SP-feeding chain.
+        chain_len: usize,
+        /// Ring size in cache lines.
+        nodes: usize,
+        /// Loop iterations.
+        iters: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// The benchmark's short name, as printed in figure tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Fib { .. } => "fib",
+            Self::Linpack { .. } => "linpack",
+            Self::Memops { .. } => "memops",
+            Self::Matmul { .. } => "matmul",
+            Self::Base64 { .. } => "base64",
+            Self::PointerChase { .. } => "pointer_chase",
+            Self::SpDependentChain { .. } => "sp_chain",
+        }
+    }
+
+    /// Builds the described workload with the given instrumentation.
+    /// (`SpDependentChain` ignores the instrument, like its builder.)
+    #[must_use]
+    pub fn build(&self, instrument: Instrument) -> Workload {
+        match *self {
+            Self::Fib { iters } => fib(iters, instrument),
+            Self::Linpack { iters } => linpack(iters, instrument),
+            Self::Memops { iters } => memops(iters, instrument),
+            Self::Matmul { iters, handler_work } => matmul(iters, instrument, handler_work),
+            Self::Base64 { iters, handler_work } => base64(iters, instrument, handler_work),
+            Self::PointerChase { nodes, iters } => pointer_chase(nodes, iters, instrument),
+            Self::SpDependentChain { chain_len, nodes, iters } => {
+                sp_dependent_chain(chain_len, nodes, iters)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use xui_sim::config::SystemConfig;
@@ -390,6 +651,90 @@ mod tests {
             (c1 - c0).abs() / c0 < 0.01,
             "safepoints are ~free with no pending interrupt: {c0} vs {c1}"
         );
+    }
+
+    #[test]
+    fn named_constructors_have_expected_instruction_counts() {
+        // The named programs are used as micro-benchmark baselines: an
+        // accidental extra instruction shifts every measured delta, so
+        // the exact counts are pinned here.
+        assert_eq!(countdown_sender(3_000).code.len(), 5);
+        assert_eq!(spin_receiver(500_000, false).code.len(), 4);
+        assert_eq!(spin_receiver(500_000, true).code.len(), 6);
+        assert_eq!(send_loop(2_000, true).code.len(), 5);
+        assert_eq!(send_loop(2_000, false).code.len(), 5);
+        assert_eq!(uif_loop(10_000, None).code.len(), 5);
+        assert_eq!(uif_loop(10_000, Some(Op::Clui)).code.len(), 5);
+        // 1 li + clui/nop + body + stui/nop + sub + bnez + halt.
+        assert_eq!(critical_section_loop(100, true, 480).code.len(), 480 + 6);
+        assert_eq!(critical_section_loop(100, false, 480).code.len(), 480 + 6);
+        // 2 li + 4 adds + sub + [load + bnez] + bnez + halt.
+        assert_eq!(tight_loop(100, false).code.len(), 9);
+        assert_eq!(tight_loop(100, true).code.len(), 11);
+    }
+
+    #[test]
+    fn paired_programs_differ_only_in_the_measured_instruction() {
+        // Baseline/measured pairs must be the same length (the Nop slot
+        // trick), so the per-iteration delta isolates one instruction.
+        assert_eq!(
+            send_loop(100, true).code.len(),
+            send_loop(100, false).code.len()
+        );
+        assert_eq!(
+            uif_loop(100, Some(Op::Stui)).code.len(),
+            uif_loop(100, None).code.len()
+        );
+        assert_eq!(
+            critical_section_loop(100, true, 8).code.len(),
+            critical_section_loop(100, false, 8).code.len()
+        );
+    }
+
+    #[test]
+    fn spin_receiver_handler_pc_points_past_halt() {
+        let p = spin_receiver(1_000, true);
+        assert!(matches!(p.code[SPIN_HANDLER_PC].op, Op::Alu { .. }));
+        assert!(matches!(p.code[3].op, Op::Halt));
+    }
+
+    #[test]
+    fn workload_specs_build_their_named_workloads() {
+        let specs = [
+            WorkloadSpec::Fib { iters: 1_000 },
+            WorkloadSpec::Linpack { iters: 1_000 },
+            WorkloadSpec::Memops { iters: 1_000 },
+            WorkloadSpec::Matmul { iters: 1_000, handler_work: 50 },
+            WorkloadSpec::Base64 { iters: 500, handler_work: 0 },
+            WorkloadSpec::PointerChase { nodes: 256, iters: 500 },
+            WorkloadSpec::SpDependentChain { chain_len: 8, nodes: 4_096, iters: 100 },
+        ];
+        for spec in specs {
+            let w = spec.build(Instrument::None);
+            let direct = match spec {
+                WorkloadSpec::Fib { iters } => fib(iters, Instrument::None),
+                WorkloadSpec::Linpack { iters } => linpack(iters, Instrument::None),
+                WorkloadSpec::Memops { iters } => memops(iters, Instrument::None),
+                WorkloadSpec::Matmul { iters, handler_work } => {
+                    matmul(iters, Instrument::None, handler_work)
+                }
+                WorkloadSpec::Base64 { iters, handler_work } => {
+                    base64(iters, Instrument::None, handler_work)
+                }
+                WorkloadSpec::PointerChase { nodes, iters } => {
+                    pointer_chase(nodes, iters, Instrument::None)
+                }
+                WorkloadSpec::SpDependentChain { chain_len, nodes, iters } => {
+                    sp_dependent_chain(chain_len, nodes, iters)
+                }
+            };
+            assert_eq!(w.program.code.len(), direct.program.code.len(), "{}", spec.name());
+            assert_eq!(w.handler_pc, direct.handler_pc);
+        }
+        // Specs round-trip through the serde value tree.
+        let spec = WorkloadSpec::Matmul { iters: 7, handler_work: 3 };
+        let v = serde::Serialize::to_value(&spec);
+        assert_eq!(<WorkloadSpec as serde::Deserialize>::from_value(&v), Ok(spec));
     }
 
     #[test]

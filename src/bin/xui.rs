@@ -1,0 +1,140 @@
+//! `xui` — the single front door to every experiment in the
+//! reproduction.
+//!
+//! ```text
+//! xui list                        # every registered scenario
+//! xui show <name>                 # print a preset as scenario JSON
+//! xui run <name|path.json> [...]  # run a preset or a scenario file
+//! ```
+//!
+//! `run` accepts the shared bench flags (`--threads`, `--trace`,
+//! `--metrics`, `--bench-meta`), `--faults <plan.json>` for the
+//! fault-capable scenarios, and the fuzzer's corpus overrides
+//! (`--full`/`--sim`/`--seed`). Exit status: 0 pass, 1 experiment
+//! failure, 2 usage/config error.
+
+use std::path::Path;
+use std::process::exit;
+
+use xui_bench::{BenchOpts, CliSpec, Table};
+use xui_scenario::spec::Experiment;
+use xui_scenario::{registry, runner, RunOptions, Scenario};
+
+fn cli_spec() -> CliSpec {
+    CliSpec::bench("xui", "declarative scenario runner for the xUI reproduction")
+        .positional("command", "list | show | run", true)
+        .positional("scenario", "preset name or scenario JSON file (show/run)", false)
+        .option("--faults", "PLAN", "run with a fault plan JSON file (fig7/fig8 scenarios)")
+        .option("--full", "N", "oracle_fuzz: full-alphabet schedules (default 10000)")
+        .option("--sim", "N", "oracle_fuzz: sim-class schedules (default 1000)")
+        .option("--seed", "S", "oracle_fuzz: base seed (default frozen)")
+}
+
+fn usage_exit(err: impl std::fmt::Display, spec: &CliSpec) -> ! {
+    eprintln!("error: {err}\n\n{}", spec.usage());
+    exit(2);
+}
+
+fn list() {
+    let mut t = Table::new(vec!["scenario", "backend", "title"]);
+    for sc in registry::all() {
+        t.row(vec![sc.name.clone(), sc.backend.name().to_string(), sc.title.clone()]);
+    }
+    t.print();
+}
+
+/// Loads `arg` as a scenario: a file path (anything that exists or looks
+/// like a path) is parsed as scenario JSON; otherwise it names a preset.
+fn load_scenario(arg: &str) -> Result<Scenario, String> {
+    let looks_like_path =
+        arg.ends_with(".json") || arg.contains('/') || Path::new(arg).exists();
+    if looks_like_path {
+        let text = std::fs::read_to_string(arg)
+            .map_err(|e| format!("cannot read scenario file `{arg}`: {e}"))?;
+        Scenario::from_json(&text).map_err(|e| format!("invalid scenario file `{arg}`: {e}"))
+    } else {
+        registry::find(arg)
+            .ok_or_else(|| format!("unknown scenario `{arg}` (see `xui list`)"))
+    }
+}
+
+fn main() {
+    let spec = cli_spec();
+    let parsed = spec.parse_or_exit();
+    let command = &parsed.positionals()[0];
+    let scenario_arg = parsed.positionals().get(1);
+
+    match command.as_str() {
+        "list" => list(),
+        "show" => {
+            let Some(arg) = scenario_arg else {
+                usage_exit("`xui show` needs a scenario name or file", &spec);
+            };
+            match load_scenario(arg) {
+                Ok(sc) => println!("{}", sc.to_json()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2);
+                }
+            }
+        }
+        "run" => {
+            let Some(arg) = scenario_arg else {
+                usage_exit("`xui run` needs a scenario name or file", &spec);
+            };
+            let mut sc = match load_scenario(arg) {
+                Ok(sc) => sc,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2);
+                }
+            };
+            let bench = match BenchOpts::from_parsed(&parsed) {
+                Ok(b) => b,
+                Err(e) => usage_exit(e, &spec),
+            };
+            if let Some(path) = parsed.opt("--faults") {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read fault plan `{path}`: {e}");
+                        exit(2);
+                    }
+                };
+                match serde_json::from_str(&text) {
+                    Ok(plan) => sc.faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("error: invalid fault plan `{path}`: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            let overrides = (|| -> Result<(), xui_bench::CliError> {
+                if let Experiment::OracleFuzz { full, sim } = &mut sc.experiment {
+                    if let Some(n) = parsed.opt_u64("--full")? {
+                        *full = n;
+                    }
+                    if let Some(n) = parsed.opt_u64("--sim")? {
+                        *sim = n;
+                    }
+                }
+                if let Some(s) = parsed.opt_u64("--seed")? {
+                    sc.base_seed = Some(s);
+                }
+                Ok(())
+            })();
+            if let Err(e) = overrides {
+                usage_exit(e, &spec);
+            }
+            match runner::run(&sc, &RunOptions { bench, save: true }) {
+                Ok(report) if report.passed => {}
+                Ok(_) => exit(1),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2);
+                }
+            }
+        }
+        other => usage_exit(format!("unknown command `{other}`"), &spec),
+    }
+}

@@ -1,16 +1,20 @@
 //! Offline stand-in for `serde`.
 //!
-//! Instead of serde's visitor-based `Serializer` machinery, this crate
-//! serializes through an owned JSON-like value tree ([`Value`]): the
-//! [`Serialize`] trait converts any supported type into a `Value`, and
-//! `serde_json` (the sibling stub) renders that tree. The `derive`
-//! feature re-exports hand-rolled `#[derive(Serialize)]` /
+//! Instead of serde's visitor-based `Serializer`/`Deserializer`
+//! machinery, this crate moves data through an owned JSON-like value
+//! tree ([`Value`]): the [`Serialize`] trait converts any supported type
+//! into a `Value`, the [`Deserialize`] trait converts a `Value` back,
+//! and `serde_json` (the sibling stub) renders/parses that tree. The
+//! `derive` feature re-exports hand-rolled `#[derive(Serialize)]` /
 //! `#[derive(Deserialize)]` macros from `serde_derive`.
 //!
 //! The enum representation matches serde's default externally-tagged
 //! form: unit variants serialize as `"Name"`, newtype variants as
 //! `{"Name": value}`, tuple variants as `{"Name": [..]}`, and struct
-//! variants as `{"Name": {..}}`.
+//! variants as `{"Name": {..}}`. Deserialization accepts exactly that
+//! shape back, treats a missing object key as `null` (so `Option`
+//! fields default to `None`), and ignores unknown keys — the behavior
+//! the scenario files under `xui run <path.json>` rely on.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -234,6 +238,347 @@ impl Serialize for Value {
     }
 }
 
+/// Deserialization error: a message plus a reverse path of field/index
+/// accesses, rendered like `scenario.experiment[2].period: expected an
+/// unsigned integer, found "fast"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    /// What went wrong.
+    pub message: String,
+    /// Reverse access path (innermost first); rendered outermost-first.
+    path: Vec<String>,
+}
+
+impl DeError {
+    /// Creates an error with a bare message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into(), path: Vec::new() }
+    }
+
+    /// A type-mismatch error: `expected <what>, found <found>`.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", describe(found)))
+    }
+
+    /// A missing-required-field error.
+    #[must_use]
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::new(format!("missing required field `{field}` of {ty}"))
+    }
+
+    /// An unknown-enum-variant error.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Self::new(format!("unknown variant `{variant}` of {ty}"))
+    }
+
+    /// Wraps the error with a field-access path segment.
+    #[must_use]
+    pub fn in_field(mut self, field: &str) -> Self {
+        self.path.push(field.to_string());
+        self
+    }
+
+    /// Wraps the error with an array-index path segment.
+    #[must_use]
+    pub fn at_index(mut self, index: usize) -> Self {
+        self.path.push(format!("[{index}]"));
+        self
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, seg) in self.path.iter().rev().enumerate() {
+            if i > 0 && !seg.starts_with('[') {
+                f.write_str(".")?;
+            }
+            f.write_str(seg)?;
+        }
+        if !self.path.is_empty() {
+            f.write_str(": ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// One-word description of a value's shape, for error messages.
+fn describe(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => format!("boolean {b}"),
+        Value::UInt(n) => format!("integer {n}"),
+        Value::Int(n) => format!("integer {n}"),
+        Value::Float(f) => format!("number {f}"),
+        Value::Str(s) => format!("{s:?}"),
+        Value::Array(_) => "an array".to_string(),
+        Value::Object(_) => "an object".to_string(),
+    }
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts a value tree back into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the mismatch (with an access
+    /// path) when the tree does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts `field` from an object value, treating a missing key as
+/// `null` (so `Option` fields deserialize to `None`). Used by the
+/// derived `Deserialize` impls.
+///
+/// # Errors
+///
+/// Returns an error if `v` is not an object, or if the field's value
+/// (or `null`, when absent) does not deserialize; the error names `ty`
+/// and `field`.
+pub fn field<T: Deserialize>(v: &Value, ty: &str, field: &str) -> Result<T, DeError> {
+    let Value::Object(entries) = v else {
+        return Err(DeError::expected("an object", v));
+    };
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, fv)) => T::from_value(fv).map_err(|e| e.in_field(field)),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::missing_field(ty, field)),
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = match v {
+                    Value::UInt(n) => i128::try_from(*n)
+                        .map_err(|_| DeError::expected("a smaller integer", v))?,
+                    Value::Int(n) => *n,
+                    _ => return Err(DeError::expected("an unsigned integer", v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::expected(concat!("a ", stringify!($t)), v))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) => u128::try_from(*n)
+                .map_err(|_| DeError::expected("an unsigned integer", v)),
+            _ => Err(DeError::expected("an unsigned integer", v)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i128::try_from(*n)
+                        .map_err(|_| DeError::expected("a smaller integer", v))?,
+                    _ => return Err(DeError::expected("an integer", v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::expected(concat!("an ", stringify!($t)), v))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            // `serde_json` renders non-finite floats as `null`.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("a number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("a boolean", v)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("one char"))
+            }
+            _ => Err(DeError::expected("a single-character string", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("a string", v)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+fn elements<T: Deserialize>(v: &Value) -> Result<Vec<T>, DeError> {
+    let Value::Array(items) = v else {
+        return Err(DeError::expected("an array", v));
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| T::from_value(item).map_err(|e| e.at_index(i)))
+        .collect()
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        elements(v)
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        elements(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = elements(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected an array of {N} elements, found {got}")))
+    }
+}
+
+/// Reconstructs a map key from its rendered string form (the inverse of
+/// serialization's `key_string` for string and integer keys).
+fn key_value(k: &str) -> Value {
+    if let Ok(n) = k.parse::<u128>() {
+        return Value::UInt(n);
+    }
+    if let Ok(n) = k.parse::<i128>() {
+        return Value::Int(n);
+    }
+    Value::Str(k.to_string())
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(entries) = v else {
+            return Err(DeError::expected("an object", v));
+        };
+        entries
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&key_value(k)).map_err(|e| e.in_field(k))?;
+                let value = V::from_value(val).map_err(|e| e.in_field(k))?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Object(entries) = v else {
+            return Err(DeError::expected("an object", v));
+        };
+        entries
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&key_value(k)).map_err(|e| e.in_field(k))?;
+                let value = V::from_value(val).map_err(|e| e.in_field(k))?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let Value::Array(items) = v else {
+                    return Err(DeError::expected("an array (tuple)", v));
+                };
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected a tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n]).map_err(|e| e.at_index($n))?,)+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +590,46 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("x".to_value(), Value::Str("x".into()));
         assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(i32::from_value(&Value::Int(-3)), Ok(-3));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(f64::from_value(&Value::UInt(2)), Ok(2.0));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(String::from_value(&Value::Str("x".into())), Ok("x".into()));
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::UInt(4)), Ok(Some(4)));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()), Ok(v));
+        let t = (1u32, "a".to_string());
+        assert_eq!(<(u32, String)>::from_value(&t.to_value()), Ok(t));
+        let mut m = BTreeMap::new();
+        m.insert(7u64, "seven".to_string());
+        assert_eq!(BTreeMap::<u64, String>::from_value(&m.to_value()), Ok(m));
+        let a = [1u64, 2];
+        assert_eq!(<[u64; 2]>::from_value(&a.to_value()), Ok(a));
+    }
+
+    #[test]
+    fn errors_carry_paths() {
+        let v = Value::Array(vec![Value::UInt(1), Value::Str("x".into())]);
+        let err = Vec::<u64>::from_value(&v).unwrap_err();
+        assert_eq!(err.to_string(), "[1]: expected an unsigned integer, found \"x\"");
+        let obj = Value::Object(vec![("inner".into(), v)]);
+        let err = field::<Vec<u64>>(&obj, "Outer", "inner").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "inner[1]: expected an unsigned integer, found \"x\""
+        );
+        let err = field::<u64>(&obj, "Outer", "absent").unwrap_err();
+        assert_eq!(err.to_string(), "missing required field `absent` of Outer");
     }
 
     #[test]

@@ -4,28 +4,44 @@
 //!
 //! Supported shapes — everything this workspace derives on:
 //! named-field structs, tuple structs (newtype and wider), unit structs,
-//! and enums with unit / tuple / struct variants. Generic types are not
-//! supported and produce a compile error.
+//! and enums with unit / tuple / struct variants. Plain type parameters
+//! get a `Serialize` / `Deserialize` bound; lifetimes are not supported.
 //!
-//! `Deserialize` is accepted but expands to nothing: no code in this
-//! workspace deserializes (results are write-only JSON artifacts).
+//! `Deserialize` mirrors the `Serialize` shape exactly (externally tagged
+//! enums, transparent newtypes, named structs as objects), reading back
+//! the [`serde::Value`] tree via `::serde::Deserialize::from_value`.
+//! Field types are never parsed: generated code leans on inference from
+//! struct-literal / constructor position.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (value-tree flavor).
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    expand(input).parse().expect("serde_derive: generated code must parse")
+    expand_ser(parse(input))
+        .parse()
+        .expect("serde_derive: generated code must parse")
 }
 
-/// Accepted for compatibility; expands to nothing (nothing in this
-/// workspace deserializes).
+/// Derives `serde::Deserialize` (value-tree flavor), the exact inverse of
+/// the derived `Serialize` shape.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand_de(parse(input))
+        .parse()
+        .expect("serde_derive: generated code must parse")
 }
 
-fn expand(input: TokenStream) -> String {
+/// The parts of a `struct`/`enum` item both derives need.
+struct Parsed {
+    kind: String,
+    name: String,
+    params: Vec<String>,
+    /// The `{...}` / `(...)` body group, if any (unit structs have none).
+    body: Option<TokenTree>,
+}
+
+fn parse(input: TokenStream) -> Parsed {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
@@ -55,8 +71,8 @@ fn expand(input: TokenStream) -> String {
     };
 
     // Parse an optional plain type-parameter list `<T, U, ...>` (bounds are
-    // tolerated and replaced by a `Serialize` bound; lifetimes/consts are
-    // not supported — nothing in this workspace uses them with derives).
+    // tolerated and replaced by the trait bound; lifetimes/consts are not
+    // supported — nothing in this workspace uses them with derives).
     let mut i = i + 2;
     let mut params: Vec<String> = Vec::new();
     if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
@@ -85,7 +101,12 @@ fn expand(input: TokenStream) -> String {
             i += 1;
         }
     }
-    let (impl_generics, ty_generics) = if params.is_empty() {
+
+    Parsed { kind, name, params, body: tokens.get(i).cloned() }
+}
+
+fn generics(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
         (String::new(), String::new())
     } else {
         (
@@ -93,16 +114,25 @@ fn expand(input: TokenStream) -> String {
                 "<{}>",
                 params
                     .iter()
-                    .map(|p| format!("{p}: ::serde::Serialize"))
+                    .map(|p| format!("{p}: {bound}"))
                     .collect::<Vec<_>>()
                     .join(", ")
             ),
             format!("<{}>", params.join(", ")),
         )
-    };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn expand_ser(parsed: Parsed) -> String {
+    let Parsed { kind, name, params, body } = parsed;
+    let (impl_generics, ty_generics) = generics(&params, "::serde::Serialize");
 
     let body = match kind.as_str() {
-        "struct" => match tokens.get(i) {
+        "struct" => match &body {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 named_struct_body(&field_names(g.stream()))
             }
@@ -112,7 +142,7 @@ fn expand(input: TokenStream) -> String {
             _ => "::serde::Value::Null".to_string(), // unit struct
         },
         "enum" => {
-            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+            let Some(TokenTree::Group(g)) = &body else {
                 panic!("serde_derive: malformed enum {name}");
             };
             enum_body(&name, g.stream())
@@ -279,4 +309,149 @@ fn enum_body(name: &str, stream: TokenStream) -> String {
         }
     }
     format!("match self {{\n{arms}\n}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn expand_de(parsed: Parsed) -> String {
+    let Parsed { kind, name, params, body } = parsed;
+    let (impl_generics, ty_generics) = generics(&params, "::serde::Deserialize");
+
+    let body = match kind.as_str() {
+        "struct" => match &body {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                de_named_struct_body(&name, &field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                de_tuple_struct_body(&name, count_fields(g.stream()))
+            }
+            // Unit struct: serialized as `null`; accept it back.
+            _ => format!(
+                "match __v {{\n\
+                   ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                   __other => ::std::result::Result::Err(::serde::DeError::expected(\"null (unit struct {name})\", __other)),\n\
+                 }}"
+            ),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = &body else {
+                panic!("serde_derive: malformed enum {name}");
+            };
+            de_enum_body(&name, g.stream())
+        }
+        other => panic!("serde_derive: cannot derive Deserialize for {other}"),
+    };
+
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `Ok(Name { f: ::serde::field(__v, "Name", "f")?, ... })` — field types
+/// are inferred from struct-literal position, so they are never parsed.
+fn de_named_fields_expr(ctor: &str, ty_label: &str, fields: &[String], src: &str) -> String {
+    let mut s = format!("::std::result::Result::Ok({ctor} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::field({src}, \"{ty_label}\", \"{f}\")?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn de_named_struct_body(name: &str, fields: &[String]) -> String {
+    de_named_fields_expr(name, name, fields, "__v")
+}
+
+/// `Ok(Name(from_value(&items[0])?, ...))` from a `Value::Array` (or
+/// transparently from the whole value for newtypes).
+fn de_tuple_ctor_expr(ctor: &str, ty_label: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({ctor}(\
+               ::serde::Deserialize::from_value({src})?\
+             ))"
+        );
+    }
+    let mut s = format!(
+        "match {src} {{\n\
+           ::serde::Value::Array(__items) if __items.len() == {n} => \
+             ::std::result::Result::Ok({ctor}(\n"
+    );
+    for k in 0..n {
+        s.push_str(&format!(
+            "::serde::Deserialize::from_value(&__items[{k}])\
+               .map_err(|__e| __e.at_index({k}))?,\n"
+        ));
+    }
+    s.push_str(&format!(
+        ")),\n\
+         __other => ::std::result::Result::Err(\
+           ::serde::DeError::expected(\"an array of {n} elements ({ty_label})\", __other)),\n\
+         }}"
+    ));
+    s
+}
+
+fn de_tuple_struct_body(name: &str, n: usize) -> String {
+    de_tuple_ctor_expr(name, name, n, "__v")
+}
+
+fn de_enum_body(name: &str, stream: TokenStream) -> String {
+    // Externally tagged: unit variants arrive as `"Name"`, data-carrying
+    // variants as a single-key object `{"Name": <payload>}`.
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for chunk in split_top_level(stream) {
+        let i = skip_attrs_and_vis(&chunk);
+        let vname = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let ctor = format!("{name}::{vname}");
+        let ty_label = format!("{name}::{vname}");
+        match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = field_names(g.stream());
+                let expr = de_named_fields_expr(&ctor, &ty_label, &fields, "__inner");
+                tagged_arms.push_str(&format!("\"{vname}\" => {expr},\n"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n_fields = count_fields(g.stream());
+                let expr = de_tuple_ctor_expr(&ctor, &ty_label, n_fields, "__inner");
+                tagged_arms.push_str(&format!("\"{vname}\" => {expr},\n"));
+            }
+            _ => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({ctor}),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+           ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+             {unit_arms}\
+             __other => ::std::result::Result::Err(\
+               ::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+           }},\n\
+           ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+             let (__tag, __inner) = &__entries[0];\n\
+             match __tag.as_str() {{\n\
+               {tagged_arms}\
+               __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+             }}.map_err(|__e| __e.in_field(__tag))\n\
+           }}\n\
+           __other => ::std::result::Result::Err(\
+             ::serde::DeError::expected(\"a {name} variant (string or single-key object)\", __other)),\n\
+         }}"
+    )
 }

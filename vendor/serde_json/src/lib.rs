@@ -1,12 +1,15 @@
 //! Offline stand-in for `serde_json`: renders the [`serde::Value`] tree
-//! produced by the sibling `serde` stub as JSON text. Serialization only —
-//! nothing in this workspace parses JSON.
+//! produced by the sibling `serde` stub as JSON text, and parses JSON
+//! text back into that tree ([`from_str`] / [`value_from_str`]).
+//! Everything rendered by [`to_string`] / [`to_string_pretty`] parses
+//! back to the same `Value` (non-finite floats excepted: they render as
+//! `null`, as in real serde_json).
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The value-tree design cannot actually fail, but
-/// the type is kept so call sites using `?` / `Result` keep compiling.
+/// Serialization/parse error. Parse errors carry the byte offset of the
+/// problem; deserialization errors carry the `serde::DeError` path.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -124,6 +127,271 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Parses JSON text and deserializes it into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = value_from_str(s)?;
+    T::from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text into a [`Value`] tree. Object keys keep their
+/// textual order (the `Value` object representation is insertion-ordered).
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent JSON parser over raw bytes (UTF-8 input; multi-byte
+/// characters only ever appear inside strings, which are re-validated
+/// when sliced back out).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    /// Consumes `word` if it is next (used for `true`/`false`/`null`).
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.slice_utf8(start, self.pos)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.slice_utf8(start, self.pos)?);
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    return self.string_rest(out);
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Continues a string after the first escape (keeps the common
+    /// escape-free path a single slice copy).
+    fn string_rest(&mut self, mut out: String) -> Result<String, Error> {
+        let mut start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.slice_utf8(start, self.pos)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.slice_utf8(start, self.pos)?);
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    start = self.pos;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn slice_utf8(&self, start: usize, end: usize) -> Result<&'a str, Error> {
+        std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error(format!("invalid UTF-8 in string at byte {start}")))
+    }
+
+    /// Parses the character after a `\`.
+    fn escape(&mut self) -> Result<char, Error> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{08}',
+            b'f' => '\u{0C}',
+            b'u' => {
+                let hi = self.hex4()?;
+                // Surrogate pair: a leading surrogate must be followed by
+                // `\uXXXX` carrying the trailing surrogate.
+                if (0xD800..0xDC00).contains(&hi) {
+                    if !(self.literal("\\u")) {
+                        return Err(self.err("unpaired surrogate in \\u escape"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid trailing surrogate in \\u escape"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code)
+                        .ok_or_else(|| self.err("invalid surrogate pair in \\u escape"))?
+                } else {
+                    char::from_u32(hi)
+                        .ok_or_else(|| self.err("invalid \\u escape"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape character")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut n = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            n = n * 16 + d;
+            self.pos += 1;
+        }
+        Ok(n)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("expected digit"));
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = self.slice_utf8(start, self.pos)?;
+        if !is_float {
+            // Integers keep full 128-bit precision, mirroring how the
+            // `Value` tree stores them; overflow falls back to float.
+            if negative {
+                if let Ok(n) = text.parse::<i128>() {
+                    return Ok(Value::Int(n));
+                }
+            } else if let Ok(n) = text.parse::<u128>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +427,73 @@ mod tests {
             to_string(&"a\"b\\c\nd").unwrap(),
             r#""a\"b\\c\nd""#
         );
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(value_from_str("null").unwrap(), Value::Null);
+        assert_eq!(value_from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(value_from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(value_from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(value_from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(value_from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(
+            value_from_str("\"a\\n\\u0041\"").unwrap(),
+            Value::Str("a\nA".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            value_from_str("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn parses_containers_preserving_key_order() {
+        let v = value_from_str(r#" { "b" : [1, -2, null] , "a" : {} } "#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "b".into(),
+                    Value::Array(vec![Value::UInt(1), Value::Int(-2), Value::Null])
+                ),
+                ("a".into(), Value::Object(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("{").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("{\"a\" 1}").is_err());
+        assert!(value_from_str("1 2").is_err());
+        assert!(value_from_str("\"\\ud83d\"").is_err());
+        assert!(value_from_str("nul").is_err());
+    }
+
+    #[test]
+    fn rendered_output_parses_back() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("fig6".into())),
+            ("rows".into(), Value::Array(vec![Value::Float(0.5), Value::UInt(7)])),
+            ("neg".into(), Value::Int(-9)),
+            ("esc".into(), Value::Str("a\"b\\c\nd\u{1F600}".into())),
+        ]);
+        assert_eq!(value_from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(value_from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn from_str_deserializes_typed() {
+        let pairs: Vec<(String, u64)> =
+            from_str(r#"[["a", 1], ["b", 2]]"#).unwrap();
+        assert_eq!(pairs, vec![("a".into(), 1), ("b".into(), 2)]);
+        let opt: Option<f64> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+        let err = from_str::<Vec<u64>>("[1, \"x\"]").unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
     }
 }
