@@ -160,9 +160,13 @@ pub struct BenchMeta {
     pub telemetry_null_ms: Option<f64>,
     /// Same point run with an active `RingRecorder`, milliseconds.
     pub telemetry_ring_ms: Option<f64>,
-    /// Ring-vs-null overhead in percent
-    /// (`(ring - null) / null * 100`).
-    pub telemetry_overhead_pct: Option<f64>,
+    /// Wall-clock ratio of the ring run to the null run
+    /// (`ring_ms / null_ms`): 1.0 means free, 7.0 means the traced run
+    /// costs 7× the untraced one. This replaces the earlier
+    /// `telemetry_overhead_pct` field, which printed the same
+    /// measurement as a percentage and was routinely misread as a
+    /// per-event overhead (a 7× ratio showed up as "604%").
+    pub telemetry_ring_vs_null_ratio: Option<f64>,
 }
 
 /// Accumulates `--bench-meta` timings across every `run_sweep` call in the
@@ -209,7 +213,7 @@ where
         identical: true,
         telemetry_null_ms: None,
         telemetry_ring_ms: None,
-        telemetry_overhead_pct: None,
+        telemetry_ring_vs_null_ratio: None,
     });
     meta.points += serial_stats.points;
     meta.serial_ms += serial_stats.elapsed.as_secs_f64() * 1e3;
@@ -220,7 +224,7 @@ where
         1.0
     };
     meta.identical &= identical;
-    save_json("BENCH_sweep", &*meta);
+    merge_bench_sweep(meta.to_value());
 
     parallel
 }
@@ -245,16 +249,74 @@ pub fn record_telemetry_overhead(bin: &str, null_ms: f64, ring_ms: f64) {
         identical: true,
         telemetry_null_ms: None,
         telemetry_ring_ms: None,
-        telemetry_overhead_pct: None,
+        telemetry_ring_vs_null_ratio: None,
     });
     meta.telemetry_null_ms = Some(null_ms);
     meta.telemetry_ring_ms = Some(ring_ms);
-    meta.telemetry_overhead_pct = if null_ms > 0.0 {
-        Some((ring_ms - null_ms) / null_ms * 100.0)
-    } else {
-        None
+    meta.telemetry_ring_vs_null_ratio =
+        if null_ms > 0.0 { Some(ring_ms / null_ms) } else { None };
+    merge_bench_sweep(meta.to_value());
+}
+
+/// One point of the DES capacity benchmark (`des_capacity`): a given
+/// queue implementation loaded with `pending` events and drained under
+/// a hold-model workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct CapacityRow {
+    /// Queue implementation (`heap` or `tiered`).
+    pub queue: String,
+    /// Pending events pre-loaded before the drain.
+    pub pending: u64,
+    /// Events executed during the timed drain.
+    pub executed: u64,
+    /// Wall-clock of the pre-load phase, milliseconds.
+    pub load_ms: f64,
+    /// Wall-clock of the timed drain, milliseconds.
+    pub run_ms: f64,
+    /// Drain throughput in events per second.
+    pub events_per_sec: f64,
+    /// Queue tier the engine finished in (`heap` or `calendar`).
+    pub final_tier: String,
+    /// This row's `events_per_sec` over the heap baseline's at the same
+    /// pending count (1.0 for the baseline itself).
+    pub speedup_vs_heap: f64,
+}
+
+/// Records the DES capacity rows into `results/BENCH_sweep.json`,
+/// preserving whatever `--bench-meta` record another binary already
+/// wrote there (and vice versa — the sweep-meta writers keep these
+/// rows).
+pub fn record_des_capacity(rows: &[CapacityRow]) {
+    merge_bench_sweep(serde::Value::Object(vec![(
+        "des_capacity".to_string(),
+        rows.to_value(),
+    )]));
+}
+
+/// Merges `patch`'s top-level keys into `results/BENCH_sweep.json`.
+/// The file is shared by several writers in different processes (sweep
+/// meta from any `--bench-meta` run, telemetry timing from fig6, the
+/// `des_capacity` rows), so a plain overwrite would drop the other
+/// writers' sections.
+fn merge_bench_sweep(patch: serde::Value) {
+    use serde::Value;
+    let path = PathBuf::from("results").join("BENCH_sweep.json");
+    let mut entries = match fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::value_from_str(&text).ok())
+    {
+        Some(Value::Object(entries)) => entries,
+        _ => Vec::new(),
     };
-    save_json("BENCH_sweep", &*meta);
+    if let Value::Object(patch) = patch {
+        for (key, val) in patch {
+            match entries.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = val,
+                None => entries.push((key, val)),
+            }
+        }
+    }
+    save_json("BENCH_sweep", &Value::Object(entries));
 }
 
 /// Writes a single-group Chrome trace to `path` (best effort, with a

@@ -237,6 +237,19 @@ impl PoissonProcess {
         self.next += self.gap.sample(rng).max(1e-9);
         self.next.round() as u64
     }
+
+    /// Pre-draws the next `n` arrival times, appending them to `out`
+    /// (non-decreasing). Draw-for-draw identical to `n` calls of
+    /// [`next_arrival`](Self::next_arrival) — batching changes *when*
+    /// the randomness is consumed, never *what* is drawn — so open-loop
+    /// generators can amortize one engine event per batch instead of
+    /// one per packet without perturbing seeded reproducibility.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize, out: &mut Vec<u64>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_arrival(rng));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +339,19 @@ mod tests {
             (observed_rate - 1.0 / 200.0).abs() / (1.0 / 200.0) < 0.05,
             "rate={observed_rate}"
         );
+    }
+
+    #[test]
+    fn fill_matches_one_by_one_draws() {
+        let mut batched = PoissonProcess::with_rate(1.0 / 350.0);
+        let mut serial = batched;
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut out = Vec::new();
+        batched.fill(&mut rng_a, 1000, &mut out);
+        batched.fill(&mut rng_a, 500, &mut out);
+        let want: Vec<u64> = (0..1500).map(|_| serial.next_arrival(&mut rng_b)).collect();
+        assert_eq!(out, want);
     }
 
     #[test]

@@ -7,16 +7,25 @@
 //! # Hot-path layout
 //!
 //! Event actions live in a slab (`Vec<Slot>` plus a free list); the
-//! binary heap orders small `Copy` keys only. This keeps heap sift
-//! operations move-cheap (16–24 bytes per element instead of a fat
-//! struct with a boxed closure) and makes cancellation O(1): the slot is
-//! freed **eagerly** — the action is dropped and the slot returned to the
-//! free list immediately — while the heap entry remains as a tombstone,
-//! detected by generation mismatch when it surfaces. No `HashSet` of
-//! cancelled ids is consulted on the pop path.
+//! event queue orders small `Copy` keys only. This keeps key moves
+//! cheap (24 bytes per element instead of a fat struct with a boxed
+//! closure) and makes cancellation O(1): the slot is freed **eagerly** —
+//! the action is dropped and the slot returned to the free list
+//! immediately — while the queue entry remains as a tombstone, detected
+//! by generation mismatch when it surfaces. No `HashSet` of cancelled
+//! ids is consulted on the pop path.
+//!
+//! The queue itself is tiered (see [`crate::calendar`]): a binary heap
+//! below [`DEFAULT_ACTIVATION`] pending keys — so small simulations run
+//! the code path they always did — and a calendar wheel with an
+//! overflow ladder above it, giving O(1) amortized enqueue/dequeue for
+//! the bulk timer churn of datacenter-scale workloads. Keys are totally
+//! ordered by (time, seq), so the tier in use can never change the
+//! execution order: results are byte-identical across [`QueueKind`]s.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::calendar::{QueueKey, TieredQueue};
+
+pub use crate::calendar::{QueueKind, DEFAULT_ACTIVATION};
 
 /// Simulation time in ticks. Experiments in this workspace interpret ticks
 /// as CPU cycles at 2 GHz (2000 ticks = 1 µs), matching the paper's
@@ -83,17 +92,6 @@ struct Slot<S> {
     action: Option<Action<S>>,
 }
 
-/// Heap ordering key: `Copy`, 24 bytes, ordered by (time, seq). `seq` is
-/// unique per scheduled event, so slot/gen never influence ordering; they
-/// only locate the slab entry when the key surfaces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct HeapKey {
-    time: SimTime,
-    seq: u64,
-    slot: u32,
-    gen: u32,
-}
-
 /// The event engine: a clock plus a priority queue of pending events.
 ///
 /// The engine is generic over a world state `S`; each event receives
@@ -118,7 +116,7 @@ struct HeapKey {
 pub struct Engine<S> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<HeapKey>>,
+    queue: TieredQueue,
     slots: Vec<Slot<S>>,
     free: Vec<u32>,
     /// Scheduled, not-yet-run, not-cancelled events.
@@ -144,19 +142,59 @@ impl<S> std::fmt::Debug for Engine<S> {
 }
 
 impl<S> Engine<S> {
-    /// Creates an engine at time 0 with no events.
+    /// Creates an engine at time 0 with no events, using the default
+    /// tiered queue ([`QueueKind::Tiered`]).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::default())
+    }
+
+    /// Creates an engine with an explicit [`QueueKind`]. Execution order
+    /// — and therefore every simulation result — is identical across
+    /// kinds; only the queue-maintenance cost differs. `QueueKind::Heap`
+    /// exists as the baseline for capacity benchmarks.
+    #[must_use]
+    pub fn with_queue(kind: QueueKind) -> Self {
         Self {
             now: 0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: TieredQueue::new(kind),
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
             executed: 0,
             probe: None,
         }
+    }
+
+    /// The [`QueueKind`] this engine was built with.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// The queue tier currently ordering events: `"heap"` (below the
+    /// activation threshold, or after a pathological-distribution
+    /// fallback) or `"calendar"`.
+    #[must_use]
+    pub fn queue_tier(&self) -> &'static str {
+        self.queue.tier()
+    }
+
+    /// Cumulative queue-maintenance work in key touches (pushes, sort
+    /// and rebuild moves, bucket-activation scans). A diagnostic for
+    /// tests and benchmarks: e.g. a far-future timer parked in the
+    /// overflow ladder must not add a scan per executed event.
+    #[must_use]
+    pub fn queue_work(&self) -> u64 {
+        self.queue.work()
+    }
+
+    /// Overrides the heap→calendar activation threshold (default
+    /// [`DEFAULT_ACTIVATION`] stored keys). Mainly for tests and
+    /// benchmarks: 0 engages the calendar from the first event.
+    pub fn set_queue_activation(&mut self, keys: usize) {
+        self.queue.set_activation(keys);
     }
 
     /// Installs an [`EngineProbe`]; replaces any existing probe.
@@ -230,12 +268,12 @@ impl<S> Engine<S> {
             }
         };
         let gen = self.slots[slot as usize].gen;
-        self.heap.push(Reverse(HeapKey {
+        self.queue.push(QueueKey {
             time,
             seq: self.seq,
             slot,
             gen,
-        }));
+        });
         self.seq += 1;
         self.live += 1;
         if let Some(probe) = &mut self.probe {
@@ -273,9 +311,9 @@ impl<S> Engine<S> {
         }
     }
 
-    /// Takes the action for a surfaced heap key, freeing its slot; `None`
-    /// if the key is a tombstone (its event was cancelled).
-    fn claim(&mut self, key: HeapKey) -> Option<Action<S>> {
+    /// Takes the action for a surfaced queue key, freeing its slot;
+    /// `None` if the key is a tombstone (its event was cancelled).
+    fn claim(&mut self, key: QueueKey) -> Option<Action<S>> {
         let entry = &mut self.slots[key.slot as usize];
         if entry.gen != key.gen {
             return None;
@@ -289,11 +327,11 @@ impl<S> Engine<S> {
 
     /// Runs one event; returns `false` if no live event remains.
     pub fn step(&mut self, state: &mut S) -> bool {
-        while let Some(Reverse(key)) = self.heap.pop() {
+        while let Some(key) = self.queue.pop() {
             let Some(action) = self.claim(key) else {
                 continue; // tombstone
             };
-            debug_assert!(key.time >= self.now, "heap returned out-of-order event");
+            debug_assert!(key.time >= self.now, "queue returned out-of-order event");
             self.now = key.time;
             self.executed += 1;
             if let Some(probe) = &mut self.probe {
@@ -306,14 +344,14 @@ impl<S> Engine<S> {
     }
 
     /// Time of the next live event, discarding any tombstones on top of
-    /// the heap along the way.
+    /// the queue along the way.
     fn next_event_time(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse(key)) = self.heap.peek() {
+        while let Some(key) = self.queue.peek() {
             let entry = &self.slots[key.slot as usize];
             if entry.gen == key.gen && entry.action.is_some() {
                 return Some(key.time);
             }
-            self.heap.pop();
+            self.queue.pop();
         }
         None
     }
@@ -535,6 +573,55 @@ mod tests {
     }
 
     #[test]
+    fn queue_kinds_are_observably_identical_on_a_small_run() {
+        let run = |kind: QueueKind| {
+            let mut engine: Engine<Vec<u64>> = Engine::with_queue(kind);
+            engine.set_queue_activation(0);
+            let mut log = Vec::new();
+            let cancel = engine.schedule_at(7, |s: &mut Vec<u64>, _: &mut Engine<_>| s.push(7));
+            for t in [3u64, 9, 3, 1] {
+                engine.schedule_at(t, move |s: &mut Vec<u64>, _: &mut Engine<_>| s.push(t));
+            }
+            engine.cancel(cancel);
+            engine.run_until(&mut log, 3);
+            engine.schedule_in(0, |s: &mut Vec<u64>, _: &mut Engine<_>| s.push(100));
+            engine.run(&mut log);
+            (log, engine.now(), engine.executed())
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Tiered));
+    }
+
+    #[test]
+    fn calendar_engine_does_not_scan_far_future_event_per_step() {
+        // The run_until horizon fast path: a timer parked ~10^12 ticks
+        // out must sit untouched in the overflow ladder while thousands
+        // of near events churn — not be re-examined on every step.
+        let mut engine: Engine<u64> = Engine::new();
+        engine.set_queue_activation(0);
+        engine.schedule_at(1_000_000_000_000, |s: &mut u64, _: &mut Engine<u64>| *s += 1);
+        fn tick(count: &mut u64, engine: &mut Engine<u64>) {
+            *count += 1;
+            if *count < 4096 {
+                engine.schedule_in(100, tick);
+            }
+        }
+        engine.schedule_at(1, tick);
+        let mut count = 0u64;
+        // Step through many horizons, like a polling co-simulation loop.
+        for h in 1..=1024u64 {
+            engine.run_until(&mut count, h * 500);
+        }
+        assert_eq!(count, 4096);
+        assert_eq!(engine.queue_tier(), "calendar");
+        assert_eq!(engine.pending(), 1, "the far-future timer survives");
+        // Work is key touches: each of the ~4k events costs O(1)
+        // amortized. If the far event were scanned per step or per
+        // horizon, work would be ~4096 * 4096.
+        let work = engine.queue_work();
+        assert!(work < 4096 * 16, "queue work blew up: {work}");
+    }
+
+    #[test]
     fn stale_id_after_execution_is_inert() {
         let mut engine: Engine<u64> = Engine::new();
         let id = engine.schedule_at(1, |s: &mut u64, _: &mut Engine<u64>| *s += 1);
@@ -572,6 +659,66 @@ mod proptests {
                 times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
             expected.sort_by_key(|&(t, i)| (t, i));
             prop_assert_eq!(log, expected);
+        }
+    }
+
+    /// Interprets a random op tape against an engine and returns every
+    /// observable: fired tags in order, clock, executed count, pending.
+    ///
+    /// Ops: 0 = schedule near (within ~1k ticks), 1 = schedule far
+    /// (up to ~10^9 ticks out — lands in the calendar's overflow
+    /// ladder), 2 = cancel a random outstanding id (tombstones inside
+    /// and outside the active bucket horizon), 3 = run_until a horizon.
+    fn replay_ops(
+        kind: QueueKind,
+        activation: usize,
+        ops: &[(u8, u64)],
+    ) -> (Vec<u64>, SimTime, u64, usize) {
+        let mut engine: Engine<Vec<u64>> = Engine::with_queue(kind);
+        engine.set_queue_activation(activation);
+        let mut log = Vec::new();
+        let mut tag = 0u64;
+        let mut ids: Vec<EventId> = Vec::new();
+        for &(op, a) in ops {
+            match op % 4 {
+                0 | 1 => {
+                    let span = if op % 4 == 0 { 1_000 } else { 1_000_000_000 };
+                    let t = engine.now().saturating_add(a % span);
+                    let my_tag = tag;
+                    tag += 1;
+                    ids.push(engine.schedule_at(t, move |s: &mut Vec<u64>, _: &mut Engine<_>| {
+                        s.push(my_tag);
+                    }));
+                }
+                2 => {
+                    if !ids.is_empty() {
+                        let id = ids.remove(a as usize % ids.len());
+                        engine.cancel(id); // may already be stale — same both sides
+                    }
+                }
+                _ => {
+                    let horizon = engine.now().saturating_add(a % 100_000);
+                    engine.run_until(&mut log, horizon);
+                }
+            }
+        }
+        engine.run(&mut log);
+        (log, engine.now(), engine.executed(), engine.pending())
+    }
+
+    proptest! {
+        /// The tentpole invariant: the calendar-tier engine is
+        /// observably identical to the plain binary-heap engine under
+        /// arbitrary schedule/cancel/run_until interleavings.
+        #[test]
+        fn calendar_and_heap_engines_are_equivalent(
+            ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..250),
+        ) {
+            let heap = replay_ops(QueueKind::Heap, 0, &ops);
+            // Activation 0: pure calendar path from the first event.
+            prop_assert_eq!(&replay_ops(QueueKind::Tiered, 0, &ops), &heap);
+            // A mid-tape threshold: upgrade happens somewhere inside the run.
+            prop_assert_eq!(&replay_ops(QueueKind::Tiered, 16, &ops), &heap);
         }
     }
 

@@ -36,9 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod dist;
 pub mod engine;
 pub mod stats;
 
-pub use engine::{Engine, EventId, SimTime};
+pub use engine::{Engine, EventId, QueueKind, SimTime};
 pub use stats::{CycleAccount, Histogram, Summary};

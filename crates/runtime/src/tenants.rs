@@ -1,0 +1,619 @@
+//! A datacenter-scale extension of the §5.3 runtime model: N tenant
+//! runtimes multiplexed onto shared cores, each driven by the
+//! aggregated open-loop stream of a large modeled client population.
+//!
+//! Two things distinguish this from the single-tenant server of
+//! [`crate::server`]:
+//!
+//! - **KB_Timer multiplexing (§4.3).** Every core carries *one*
+//!   preemption time source shared by all tenants resident on it — for
+//!   xUI that is the core's own KB_Timer, which the kernel already
+//!   multiplexes across contexts, so tenancy adds no timer hardware and
+//!   no timer cores; for UIPI it is the dedicated software-timer core
+//!   posting to whichever tenant currently runs. The per-fire cost
+//!   charged to the running tenant is the mechanism's, once per fire,
+//!   regardless of how many tenants share the core.
+//! - **Batched arrival generation.** Each tenant's million-client
+//!   stream is pre-drawn in chunks ([`ArrivalBatcher`]); one engine
+//!   event loads a whole batch into the tenant's arrival buffer and
+//!   matured arrivals are admitted at dispatch points, so the event
+//!   engine pays one schedule per *batch*, not one per packet. Idle
+//!   cores arm a single cancellable wake event at the next buffered
+//!   arrival — cancellations exercise the engine's tombstone path.
+//!
+//! Unlike the server model's inline event heap, this model runs on
+//! [`xui_des::Engine`] — it is the first consumer of the tiered
+//! calendar queue at workload scale, and its reports expose the
+//! engine's executed-event and queue-tier diagnostics.
+//!
+//! Per-tenant accounting flows through the telemetry metrics registry:
+//! every tenant owns a scoped [`MetricsShard`] (counters `arrivals`,
+//! `completed`, `preemptions`; histogram `sojourn_cycles`), merged
+//! deterministically into one [`Registry`] snapshot after the run.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use xui_core::CostModel;
+use xui_des::stats::Summary;
+use xui_des::{Engine, EventId};
+use xui_kernel::{OsCosts, PreemptMechanism};
+use xui_telemetry::{MetricsShard, MetricsSnapshot, Registry};
+use xui_workloads::openloop::{ArrivalBatcher, ClientPopulation};
+use xui_workloads::rocksdb::RocksDbModel;
+
+use crate::uthread::{Uthread, UthreadId};
+
+/// Configuration of a multi-tenant run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantConfig {
+    /// Number of tenant runtimes (round-robin over `cores`).
+    pub tenants: usize,
+    /// Number of shared application cores.
+    pub cores: usize,
+    /// Per-tenant client population (aggregated into one Poisson
+    /// stream per tenant).
+    pub population: ClientPopulation,
+    /// Preemption mechanism shared by every core.
+    pub mechanism: PreemptMechanism,
+    /// Preemption quantum in cycles (paper: 10 000 = 5 µs).
+    pub quantum: u64,
+    /// Simulated duration in cycles.
+    pub duration: u64,
+    /// Arrivals pre-drawn per batch event.
+    pub arrival_batch: usize,
+    /// RNG seed (tenant streams are derived sub-seeds).
+    pub seed: u64,
+    /// Service-time model.
+    pub model: RocksDbModel,
+}
+
+impl MultiTenantConfig {
+    /// Paper-flavoured defaults: 5 µs quantum, bimodal RocksDB service,
+    /// 1024-arrival batches, 50 ms horizon.
+    #[must_use]
+    pub fn paper(
+        tenants: usize,
+        cores: usize,
+        population: ClientPopulation,
+        mechanism: PreemptMechanism,
+    ) -> Self {
+        Self {
+            tenants,
+            cores,
+            population,
+            mechanism,
+            quantum: 10_000,
+            duration: 100_000_000, // 50 ms
+            arrival_batch: 1024,
+            seed: 42,
+            model: RocksDbModel::paper(),
+        }
+    }
+}
+
+/// Per-tenant results (derived from the tenant's metrics shard).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantSummary {
+    /// Requests admitted within the horizon.
+    pub arrivals: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Preemptions suffered by this tenant's requests.
+    pub preemptions: u64,
+    /// Sojourn-time summary in cycles (all request classes).
+    pub sojourn: Summary,
+}
+
+/// Results of a multi-tenant run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiTenantReport {
+    /// Per-tenant summaries, tenant-index order.
+    pub tenants: Vec<TenantSummary>,
+    /// Total completed requests.
+    pub completed: u64,
+    /// Requests still queued/running at the horizon.
+    pub unfinished: u64,
+    /// Total preemptions.
+    pub preemptions: u64,
+    /// Timer fires that did not switch.
+    pub fires_without_switch: u64,
+    /// Arrival batches loaded (engine events spent on arrivals).
+    pub arrival_batches: u64,
+    /// Idle-core wake events armed.
+    pub idle_wakes: u64,
+    /// Timer fire events executed (quantum ticks across all cores).
+    pub timer_fires: u64,
+    /// Events the DES engine executed end to end.
+    pub engine_events: u64,
+    /// Peak pending events observed in the engine.
+    pub peak_pending: usize,
+    /// Queue tier the engine finished in (`"heap"` or `"calendar"`).
+    pub queue_tier: String,
+    /// Mean core busy fraction (service + mechanism overhead).
+    pub busy_fraction: f64,
+    /// Achieved throughput in requests/second.
+    pub achieved_rps: f64,
+    /// Max/min ratio of per-tenant p99 sojourn (1.0 = perfectly fair).
+    pub fairness_p99: f64,
+    /// Whether every tenant kept up with its offered load.
+    pub stable: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    tid: usize,
+    /// Service accrues after this time (skips overhead windows).
+    progress_from: u64,
+    /// Dispatch time, for quantum accounting.
+    started_at: u64,
+}
+
+struct Tenant {
+    batcher: ArrivalBatcher,
+    rng: StdRng,
+    /// Pre-drawn arrival times not yet admitted (ascending).
+    future: VecDeque<u64>,
+    /// Scoped metrics shard: the tenant's system of record.
+    metrics: MetricsShard,
+    more_batches: bool,
+}
+
+struct Core {
+    /// Tenant indices resident on this core.
+    tenants: Vec<usize>,
+    /// FIFO run queue of thread ids.
+    queue: VecDeque<usize>,
+    running: Option<Running>,
+    epoch: u64,
+    busy: u64,
+    wake: Option<EventId>,
+}
+
+struct World {
+    cfg: MultiTenantConfig,
+    hw: CostModel,
+    os: OsCosts,
+    tenants: Vec<Tenant>,
+    cores: Vec<Core>,
+    threads: Vec<Uthread>,
+    thread_tenant: Vec<u32>,
+    preemptions: u64,
+    fires_without_switch: u64,
+    arrival_batches: u64,
+    idle_wakes: u64,
+    timer_fires: u64,
+    peak_pending: usize,
+}
+
+/// SplitMix64: derives independent per-tenant sub-seeds.
+fn sub_seed(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the multi-tenant simulation; drops the metrics snapshot.
+#[must_use]
+pub fn run_multi_tenant(cfg: &MultiTenantConfig) -> MultiTenantReport {
+    run_multi_tenant_metrics(cfg).0
+}
+
+/// Runs the multi-tenant simulation and returns the merged metrics
+/// registry snapshot alongside the report (one scoped shard per tenant,
+/// merged in tenant order — deterministic for any worker count).
+///
+/// # Panics
+///
+/// Panics if the configuration has zero tenants, cores, or batch size.
+#[must_use]
+pub fn run_multi_tenant_metrics(cfg: &MultiTenantConfig) -> (MultiTenantReport, MetricsSnapshot) {
+    assert!(cfg.tenants > 0, "at least one tenant");
+    assert!(cfg.cores > 0, "at least one core");
+
+    let mut world = World {
+        cfg: cfg.clone(),
+        hw: CostModel::paper(),
+        os: OsCosts::paper(),
+        tenants: (0..cfg.tenants)
+            .map(|i| Tenant {
+                batcher: ArrivalBatcher::new(cfg.population, cfg.arrival_batch),
+                rng: StdRng::seed_from_u64(sub_seed(cfg.seed, i as u64 + 1)),
+                future: VecDeque::new(),
+                metrics: MetricsShard::scoped(&format!("tenant{i}")),
+                more_batches: true,
+            })
+            .collect(),
+        cores: (0..cfg.cores)
+            .map(|c| Core {
+                tenants: (0..cfg.tenants).filter(|t| t % cfg.cores == c).collect(),
+                queue: VecDeque::new(),
+                running: None,
+                epoch: 0,
+                busy: 0,
+                wake: None,
+            })
+            .collect(),
+        threads: Vec::new(),
+        thread_tenant: Vec::new(),
+        preemptions: 0,
+        fires_without_switch: 0,
+        arrival_batches: 0,
+        idle_wakes: 0,
+        timer_fires: 0,
+        peak_pending: 0,
+    };
+
+    let mut engine: Engine<World> = Engine::new();
+    for t in 0..cfg.tenants {
+        engine.schedule_at(0, move |w: &mut World, eng: &mut Engine<World>| {
+            load_batch(t, w, eng);
+        });
+    }
+    if !matches!(cfg.mechanism, PreemptMechanism::None) {
+        for c in 0..cfg.cores {
+            engine.schedule_at(cfg.quantum, move |w: &mut World, eng: &mut Engine<World>| {
+                timer_fire(c, w, eng);
+            });
+        }
+    }
+    engine.run_until(&mut world, cfg.duration);
+
+    let unfinished = world.cores.iter().map(|c| c.queue.len()).sum::<usize>() as u64
+        + world.cores.iter().filter(|c| c.running.is_some()).count() as u64;
+    let tenants: Vec<TenantSummary> = world
+        .tenants
+        .iter()
+        .map(|t| TenantSummary {
+            arrivals: t.metrics.counter_value("arrivals"),
+            completed: t.metrics.counter_value("completed"),
+            preemptions: t.metrics.counter_value("preemptions"),
+            sojourn: t
+                .metrics
+                .histogram("sojourn_cycles")
+                .map(xui_des::stats::Histogram::summary)
+                .unwrap_or_else(|| xui_des::stats::Histogram::new().summary()),
+        })
+        .collect();
+    let completed: u64 = tenants.iter().map(|t| t.completed).sum();
+    let total_busy: u64 = world.cores.iter().map(|c| c.busy).sum();
+    let span = cfg.duration.max(1) * cfg.cores as u64;
+    let p99s: Vec<u64> = tenants
+        .iter()
+        .filter(|t| t.completed > 0)
+        .map(|t| t.sojourn.p99.max(1))
+        .collect();
+    let fairness_p99 = match (p99s.iter().max(), p99s.iter().min()) {
+        (Some(&max), Some(&min)) => max as f64 / min as f64,
+        _ => 1.0,
+    };
+
+    let mut registry = Registry::new();
+    for t in world.tenants {
+        registry.push_shard(t.metrics);
+    }
+    let snapshot = registry.snapshot();
+
+    let report = MultiTenantReport {
+        tenants,
+        completed,
+        unfinished,
+        preemptions: world.preemptions,
+        fires_without_switch: world.fires_without_switch,
+        arrival_batches: world.arrival_batches,
+        idle_wakes: world.idle_wakes,
+        timer_fires: world.timer_fires,
+        engine_events: engine.executed(),
+        peak_pending: world.peak_pending,
+        queue_tier: engine.queue_tier().to_string(),
+        busy_fraction: (total_busy as f64 / span as f64).min(1.0),
+        achieved_rps: completed as f64 / (cfg.duration.max(1) as f64 / 2e9),
+        fairness_p99,
+        stable: unfinished <= 2 + completed / 500,
+    };
+    (report, snapshot)
+}
+
+/// Loads the tenant's next pre-drawn batch into its arrival buffer and
+/// schedules the following load at this batch's last arrival — one
+/// engine event per `arrival_batch` arrivals.
+fn load_batch(t: usize, w: &mut World, eng: &mut Engine<World>) {
+    w.arrival_batches += 1;
+    w.peak_pending = w.peak_pending.max(eng.pending());
+    let tenant = &mut w.tenants[t];
+    let times = tenant.batcher.draw(&mut tenant.rng);
+    let last = times.last().copied().unwrap_or(0);
+    tenant.future.extend(times.iter().copied());
+    if last < w.cfg.duration {
+        eng.schedule_at(last.max(eng.now() + 1), move |w: &mut World, eng: &mut Engine<World>| {
+            load_batch(t, w, eng);
+        });
+    } else {
+        tenant.more_batches = false;
+    }
+    let core = t % w.cfg.cores;
+    if w.cores[core].running.is_none() {
+        dispatch(core, eng.now(), w, eng);
+    }
+}
+
+/// Admits every buffered arrival that has matured on this core's
+/// resident tenants: samples service, creates the uthread, queues it.
+fn admit_matured(core: usize, now: u64, w: &mut World) {
+    for i in 0..w.cores[core].tenants.len() {
+        let t = w.cores[core].tenants[i];
+        let tenant = &mut w.tenants[t];
+        while tenant.future.front().is_some_and(|&at| at <= now) {
+            let arrived = tenant.future.pop_front().unwrap_or(now);
+            let (class, service) = w.cfg.model.sample(&mut tenant.rng);
+            tenant.metrics.inc("arrivals", 1);
+            let tid = w.threads.len();
+            w.threads.push(Uthread::new(UthreadId(tid), class, arrived, service));
+            w.thread_tenant.push(t as u32);
+            w.cores[core].queue.push_back(tid);
+        }
+    }
+}
+
+/// Runs the next queued request on an idle core, or arms a wake at the
+/// next buffered arrival when nothing has matured yet.
+fn dispatch(core: usize, t: u64, w: &mut World, eng: &mut Engine<World>) {
+    admit_matured(core, t, w);
+    if let Some(id) = w.cores[core].wake.take() {
+        eng.cancel(id); // the wake is stale whatever happens next
+    }
+    let Some(tid) = w.cores[core].queue.pop_front() else {
+        // Idle: arm one cancellable wake at the earliest buffered
+        // arrival across resident tenants (if any batch is loaded).
+        let next = w.cores[core]
+            .tenants
+            .iter()
+            .filter_map(|&ti| w.tenants[ti].future.front().copied())
+            .min();
+        if let Some(at) = next {
+            w.idle_wakes += 1;
+            let id = eng.schedule_at(at.max(t), move |w: &mut World, eng: &mut Engine<World>| {
+                w.cores[core].wake = None;
+                if w.cores[core].running.is_none() {
+                    dispatch(core, eng.now(), w, eng);
+                }
+            });
+            w.cores[core].wake = Some(id);
+        }
+        return;
+    };
+    w.cores[core].epoch += 1;
+    let epoch = w.cores[core].epoch;
+    w.cores[core].running = Some(Running { tid, progress_from: t, started_at: t });
+    let remaining = w.threads[tid].remaining;
+    eng.schedule_at(t + remaining, move |w: &mut World, eng: &mut Engine<World>| {
+        seg_end(core, epoch, w, eng);
+    });
+}
+
+/// The running segment completed (epoch-guarded against preemption).
+fn seg_end(core: usize, epoch: u64, w: &mut World, eng: &mut Engine<World>) {
+    if w.cores[core].epoch != epoch {
+        return; // stale: the segment was preempted
+    }
+    let Some(run) = w.cores[core].running.take() else {
+        return;
+    };
+    let t = eng.now();
+    let thread = &mut w.threads[run.tid];
+    w.cores[core].busy += t.saturating_sub(run.progress_from.min(t));
+    thread.remaining = 0;
+    let sojourn = t - thread.arrived_at;
+    let tenant = &mut w.tenants[w.thread_tenant[run.tid] as usize];
+    tenant.metrics.inc("completed", 1);
+    tenant.metrics.observe("sojourn_cycles", sojourn);
+    dispatch(core, t, w, eng);
+}
+
+/// The core's shared preemption time source fires: one KB_Timer (or
+/// software-timer UIPI) per core, multiplexed across its tenants.
+fn timer_fire(core: usize, w: &mut World, eng: &mut Engine<World>) {
+    let t = eng.now();
+    w.timer_fires += 1;
+    if t + w.cfg.quantum <= w.cfg.duration {
+        eng.schedule_at(t + w.cfg.quantum, move |w: &mut World, eng: &mut Engine<World>| {
+            timer_fire(core, w, eng);
+        });
+    }
+    let Some(run) = w.cores[core].running else {
+        // Idle core: admit anything matured and restart the pipeline.
+        dispatch(core, t, w, eng);
+        return;
+    };
+    if t <= run.progress_from {
+        return; // still inside an overhead window
+    }
+    admit_matured(core, t, w);
+    let executed = t - run.progress_from;
+    let ran_long_enough = t.saturating_sub(run.started_at) >= w.cfg.quantum;
+    let should_switch = ran_long_enough && !w.cores[core].queue.is_empty();
+    let tid = run.tid;
+    if should_switch {
+        let cost = w.cfg.mechanism.preemption_cost(&w.hw, &w.os);
+        w.preemptions += 1;
+        w.threads[tid].run_for(executed);
+        w.threads[tid].preemptions += 1;
+        w.tenants[w.thread_tenant[tid] as usize].metrics.inc("preemptions", 1);
+        w.cores[core].busy += executed + cost;
+        w.cores[core].epoch += 1;
+        w.cores[core].running = None;
+        w.cores[core].queue.push_back(tid);
+        dispatch(core, t + cost, w, eng);
+    } else {
+        let cost = w.cfg.mechanism.fire_only_cost(&w.hw, &w.os);
+        w.fires_without_switch += 1;
+        w.threads[tid].run_for(executed);
+        w.cores[core].busy += executed + cost;
+        w.cores[core].epoch += 1;
+        let epoch = w.cores[core].epoch;
+        let remaining = w.threads[tid].remaining;
+        w.cores[core].running =
+            Some(Running { tid, progress_from: t + cost, started_at: run.started_at });
+        eng.schedule_at(t + cost + remaining, move |w: &mut World, eng: &mut Engine<World>| {
+            seg_end(core, epoch, w, eng);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(clients: u64, rps_per_client: f64) -> ClientPopulation {
+        ClientPopulation { clients, rps_per_client }
+    }
+
+    fn quick(tenants: usize, cores: usize, mechanism: PreemptMechanism) -> MultiTenantConfig {
+        let mut cfg =
+            MultiTenantConfig::paper(tenants, cores, pop(10_000, 10.0), mechanism);
+        cfg.duration = 40_000_000; // 20 ms
+        cfg
+    }
+
+    #[test]
+    fn low_load_serves_every_tenant() {
+        // 4 × 50 k rps on two cores: ~0.4 utilization against the
+        // ~8.4 k-cycle mean (scan-inflated) service time.
+        let mut cfg = quick(4, 2, PreemptMechanism::XuiKbTimer);
+        cfg.population = pop(10_000, 5.0);
+        let r = run_multi_tenant(&cfg);
+        assert_eq!(r.tenants.len(), 4);
+        let arrivals: u64 = r.tenants.iter().map(|t| t.arrivals).sum();
+        assert!(
+            r.completed * 100 >= arrivals * 95,
+            "completed {} of {arrivals}",
+            r.completed
+        );
+        for (i, t) in r.tenants.iter().enumerate() {
+            assert!(t.completed > 100, "tenant {i} completed {}", t.completed);
+            assert!(t.sojourn.p50 >= 2_400, "at least one GET service time");
+        }
+        assert_eq!(r.completed, r.tenants.iter().map(|t| t.completed).sum::<u64>());
+    }
+
+    #[test]
+    fn batching_amortizes_engine_events() {
+        // Arrival *generation* must not appear per-packet in the event
+        // engine. Every executed event is attributable: batch loads,
+        // timer fires, segment ends (one live per completion, one stale
+        // per fire-without-switch and per preemption), and idle wakes.
+        // No term scales with arrivals except completions themselves.
+        let mut cfg = quick(2, 2, PreemptMechanism::XuiKbTimer);
+        cfg.population = pop(100_000, 2.0); // 200 k rps/tenant
+        let r = run_multi_tenant(&cfg);
+        let arrivals: u64 = r.tenants.iter().map(|t| t.arrivals).sum();
+        assert!(arrivals > 5_000, "arrivals={arrivals}");
+        // One load event per batch (a few extra covers the per-tenant
+        // partial batch straddling the horizon).
+        assert!(
+            r.arrival_batches <= arrivals / cfg.arrival_batch as u64 + 2 * cfg.tenants as u64 + 2,
+            "batches {} for {arrivals} arrivals",
+            r.arrival_batches
+        );
+        let inflight = cfg.cores as u64; // at most one live seg-end per core at the horizon
+        let accounted = r.arrival_batches
+            + r.timer_fires
+            + r.completed
+            + 2 * (r.preemptions + r.fires_without_switch)
+            + r.idle_wakes
+            + inflight;
+        assert!(
+            r.engine_events <= accounted,
+            "unattributed events: {} executed vs {accounted} accounted",
+            r.engine_events
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed_and_metrics_match_report() {
+        let cfg = quick(3, 2, PreemptMechanism::XuiKbTimer);
+        let (a, snap_a) = run_multi_tenant_metrics(&cfg);
+        let (b, snap_b) = run_multi_tenant_metrics(&cfg);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.tenants[1].sojourn.p999, b.tenants[1].sojourn.p999);
+        assert_eq!(snap_a, snap_b);
+        // The registry is the system of record: per-tenant counters in
+        // the merged snapshot equal the report rows.
+        for (i, t) in a.tenants.iter().enumerate() {
+            assert_eq!(snap_a.counters[&format!("tenant{i}.completed")], t.completed);
+            assert_eq!(
+                snap_a.histograms[&format!("tenant{i}.sojourn_cycles")].p99,
+                t.sojourn.p99
+            );
+        }
+    }
+
+    #[test]
+    fn xui_beats_uipi_on_shared_cores() {
+        // Same tenancy, same load: xUI's cheaper fires leave the cores
+        // less busy (and UIPI additionally burns a timer core, not
+        // modeled as one of `cores`).
+        let mut uipi_cfg = quick(4, 2, PreemptMechanism::UipiSwTimer);
+        uipi_cfg.population = pop(10_000, 10.0); // 400 k rps aggregate
+        let mut xui_cfg = uipi_cfg.clone();
+        xui_cfg.mechanism = PreemptMechanism::XuiKbTimer;
+        let uipi = run_multi_tenant(&uipi_cfg);
+        let xui = run_multi_tenant(&xui_cfg);
+        assert!(
+            xui.busy_fraction < uipi.busy_fraction,
+            "xUI {} < UIPI {}",
+            xui.busy_fraction,
+            uipi.busy_fraction
+        );
+    }
+
+    #[test]
+    fn preemption_protects_tenants_from_scan_hol_blocking() {
+        // ~0.84 utilization, run-to-completion vs 5 µs quantum slicing:
+        // GETs stop queueing behind 600 µs scans, so the mean sojourn
+        // (99.5 % GETs) collapses even though scans themselves stretch.
+        let mut none_cfg = quick(4, 2, PreemptMechanism::None);
+        none_cfg.population = pop(10_000, 10.0); // 400 k rps aggregate
+        let mut xui_cfg = none_cfg.clone();
+        xui_cfg.mechanism = PreemptMechanism::XuiKbTimer;
+        let none = run_multi_tenant(&none_cfg);
+        let xui = run_multi_tenant(&xui_cfg);
+        assert!(xui.preemptions > 0);
+        assert_eq!(none.preemptions, 0);
+        let mean = |r: &MultiTenantReport| {
+            let n: u64 = r.tenants.iter().map(|t| t.sojourn.count).sum();
+            let sum: f64 = r.tenants.iter().map(|t| t.sojourn.mean * t.sojourn.count as f64).sum();
+            sum / n.max(1) as f64
+        };
+        let (none_mean, xui_mean) = (mean(&none), mean(&xui));
+        assert!(
+            xui_mean * 2.0 < none_mean,
+            "quantum slicing cuts mean sojourn: {xui_mean:.0} vs {none_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn million_clients_run_in_bounded_events() {
+        // The headline configuration: 1 M modeled clients across 8
+        // tenants. Event count stays within a small multiple of served
+        // requests — arrival generation is batch-amortized.
+        let mut cfg = MultiTenantConfig::paper(
+            8,
+            8,
+            pop(125_000, 1.5), // 1.5 M rps aggregate over 8 cores
+            PreemptMechanism::XuiKbTimer,
+        );
+        cfg.duration = 20_000_000; // 10 ms
+        let r = run_multi_tenant(&cfg);
+        let arrivals: u64 = r.tenants.iter().map(|t| t.arrivals).sum();
+        assert!(arrivals > 10_000);
+        assert!(r.engine_events < 4 * arrivals + 20_000);
+        assert!(r.completed > 0);
+        assert!(r.fairness_p99 >= 1.0);
+    }
+}

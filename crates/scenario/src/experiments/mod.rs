@@ -14,6 +14,7 @@ pub(crate) mod fig6;
 pub(crate) mod fig7;
 pub(crate) mod fig8;
 pub(crate) mod fig9;
+pub(crate) mod mt;
 pub(crate) mod oracle;
 pub(crate) mod table2;
 pub(crate) mod x1;

@@ -237,6 +237,46 @@ pub fn all() -> Vec<Scenario> {
             },
         ),
         scenario(
+            "mt_tenants",
+            "Multi-tenant capacity",
+            "N tenant runtimes on 8 shared cores, one KB_Timer per core (§4.3)",
+            "extension of §6.2.1: the kernel multiplexes each core's KB_Timer \
+             across tenants, so tenancy adds no timer hardware; UIPI still \
+             burns its dedicated software-timer core",
+            Topology::cores(8).timers(1),
+            TelemetryCaps { trace: false, metrics: true },
+            Experiment::MultiTenant {
+                tenant_counts: vec![4, 8, 16, 32],
+                cores: 8,
+                clients_per_tenant: 25_000,
+                rps_per_client: 2.0,
+                mechanisms: vec![PreemptMechanism::UipiSwTimer, PreemptMechanism::XuiKbTimer],
+                quantum: 10_000,
+                duration: 100_000_000,
+                arrival_batch: 1_024,
+            },
+        ),
+        scenario(
+            "mt_million_clients",
+            "Million clients",
+            "1 M open-loop clients across 8 tenants, batch-drawn arrivals",
+            "extension of §6.2.1 at datacenter scale: the aggregate stream of \
+             125 k clients per tenant costs one Poisson process and one engine \
+             event per 1024 arrivals, not one per packet",
+            Topology::cores(8).timers(1),
+            TelemetryCaps { trace: false, metrics: true },
+            Experiment::MultiTenant {
+                tenant_counts: vec![8],
+                cores: 8,
+                clients_per_tenant: 125_000,
+                rps_per_client: 1.5,
+                mechanisms: vec![PreemptMechanism::UipiSwTimer, PreemptMechanism::XuiKbTimer],
+                quantum: 10_000,
+                duration: 100_000_000,
+                arrival_batch: 1_024,
+            },
+        ),
+        scenario(
             "ablation_multiworker",
             "Ablation: multi-worker scaling",
             "xUI-preempted RocksDB across 1–4 workers with work stealing",
@@ -353,8 +393,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_eighteen_experiments() {
-        assert_eq!(all().len(), 18);
+    fn registry_covers_all_twenty_experiments() {
+        assert_eq!(all().len(), 20);
     }
 
     #[test]

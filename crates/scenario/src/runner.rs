@@ -174,6 +174,31 @@ pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
             experiments::x4::run(benchmarks, *tight_iters, *max_cycles, bench, &mut sink);
             true
         }
+        Experiment::MultiTenant {
+            tenant_counts,
+            cores,
+            clients_per_tenant,
+            rps_per_client,
+            mechanisms,
+            quantum,
+            duration,
+            arrival_batch,
+        } => {
+            experiments::mt::run(
+                &sc.name,
+                tenant_counts,
+                *cores,
+                *clients_per_tenant,
+                *rps_per_client,
+                mechanisms,
+                *quantum,
+                *duration,
+                *arrival_batch,
+                bench,
+                &mut sink,
+            );
+            true
+        }
         Experiment::AblationMultiworker { per_worker_krps, worker_counts, duration } => {
             experiments::ablations::multiworker(
                 *per_worker_krps,

@@ -284,6 +284,27 @@ pub enum Experiment {
         /// Simulation cycle budget per run.
         max_cycles: u64,
     },
+    /// Multi-tenant capacity: N tenant runtimes multiplexed onto shared
+    /// cores via the per-core KB_Timer (§4.3), each driven by the
+    /// batch-drawn open-loop stream of a modeled client population.
+    MultiTenant {
+        /// Tenant counts swept (tenants are round-robined over cores).
+        tenant_counts: Vec<usize>,
+        /// Shared application cores.
+        cores: usize,
+        /// Modeled clients per tenant.
+        clients_per_tenant: u64,
+        /// Per-client request rate in requests/second.
+        rps_per_client: f64,
+        /// Preemption mechanisms compared.
+        mechanisms: Vec<PreemptMechanism>,
+        /// Preemption quantum in cycles.
+        quantum: u64,
+        /// Simulated duration in cycles.
+        duration: u64,
+        /// Arrivals pre-drawn per batch event.
+        arrival_batch: usize,
+    },
     /// Ablation: Aspen-like runtime scaling across workers with work
     /// stealing.
     AblationMultiworker {
@@ -361,6 +382,7 @@ impl Experiment {
             | Self::Fig7Rocksdb { .. }
             | Self::Fig8L3fwd { .. }
             | Self::Fig9Dsa { .. }
+            | Self::MultiTenant { .. }
             | Self::AblationMultiworker { .. }
             | Self::FaultsSuite { .. } => Backend::Des,
             Self::OracleFuzz { .. } => Backend::Oracle,
@@ -474,6 +496,24 @@ impl Scenario {
             Experiment::Fig7Rocksdb { mechanisms, .. } => {
                 let needs_timer = mechanisms.contains(&PreemptMechanism::UipiSwTimer);
                 if needs_timer && t.timer_cores == 0 {
+                    return err("the UIPI SW-timer mechanism needs a dedicated timer core".into());
+                }
+            }
+            Experiment::MultiTenant { tenant_counts, cores, mechanisms, arrival_batch, .. } => {
+                if tenant_counts.is_empty() || mechanisms.is_empty() {
+                    return err("the tenant-count and mechanism lists must be non-empty".into());
+                }
+                if *cores == 0 || t.app_cores < *cores {
+                    return err(format!(
+                        "the experiment schedules {cores} cores but the topology has \
+                         {} application cores",
+                        t.app_cores
+                    ));
+                }
+                if *arrival_batch == 0 {
+                    return err("the arrival batch must hold at least one arrival".into());
+                }
+                if mechanisms.contains(&PreemptMechanism::UipiSwTimer) && t.timer_cores == 0 {
                     return err("the UIPI SW-timer mechanism needs a dedicated timer core".into());
                 }
             }

@@ -95,6 +95,46 @@ mod tests {
     }
 
     #[test]
+    fn calendar_tier_fires_exactly_like_the_heap_under_a_probe() {
+        // The run_until horizon fast path, observed through the probe:
+        // a far-future overflow-ladder event adds zero probe traffic
+        // while near events churn, the counted fire volume is identical
+        // across queue tiers, and the engine's queue-work diagnostic
+        // stays linear in executed events (the far timer is parked, not
+        // re-scanned per step).
+        use xui_des::QueueKind;
+
+        let drive = |kind: QueueKind| {
+            let counts = Rc::new(RefCell::new(crate::recorder::CountingRecorder::default()));
+            let mut engine: Engine<u64> = Engine::with_queue(kind);
+            engine.set_queue_activation(0);
+            engine.set_probe(Box::new(DesProbe::new(Rc::clone(&counts), 0)));
+            engine.schedule_at(1 << 40, |s: &mut u64, _: &mut Engine<u64>| *s += 1);
+            fn tick(count: &mut u64, engine: &mut Engine<u64>) {
+                *count += 1;
+                if *count < 2000 {
+                    engine.schedule_in(250, tick);
+                }
+            }
+            engine.schedule_at(1, tick);
+            let mut fired = 0u64;
+            for h in 1..=500u64 {
+                engine.run_until(&mut fired, h * 1_000);
+            }
+            assert_eq!(fired, 2000);
+            assert_eq!(engine.pending(), 1, "far timer still parked");
+            let c = *counts.borrow();
+            assert_eq!(c.instants, 2001 + 2000, "schedules + fires");
+            (c, engine.queue_work())
+        };
+
+        let (heap_counts, _) = drive(QueueKind::Heap);
+        let (tiered_counts, tiered_work) = drive(QueueKind::Tiered);
+        assert_eq!(heap_counts, tiered_counts);
+        assert!(tiered_work < 2000 * 16, "far event re-scanned: {tiered_work}");
+    }
+
+    #[test]
     fn disabled_recorder_stays_empty() {
         let recorder = Rc::new(RefCell::new(crate::recorder::NullRecorder));
         let mut engine: Engine<()> = Engine::new();

@@ -9,7 +9,9 @@
 //!   instrumentation mode ([`programs::Instrument`]): none, Concord-style
 //!   polling at loop back-edges, or hardware safepoints.
 //! - **service-time models** for the discrete-event experiments:
-//!   [`rocksdb`] provides the bimodal 99.5% GET / 0.5% SCAN mix of §5.3.
+//!   [`rocksdb`] provides the bimodal 99.5% GET / 0.5% SCAN mix of §5.3,
+//!   and [`openloop`] aggregates large modeled client populations into
+//!   batch-drawn Poisson arrival streams for the multi-tenant runs.
 //!
 //! [`harness`] runs a program against a configurable interrupt source and
 //! reports overheads — the measurement loop behind Figures 4 and 5.
@@ -18,8 +20,10 @@
 
 pub mod builder;
 pub mod harness;
+pub mod openloop;
 pub mod programs;
 pub mod rocksdb;
 
 pub use harness::{run_workload, run_workload_with, IrqSource, RunResult};
+pub use openloop::{ArrivalBatcher, ClientPopulation};
 pub use programs::{Instrument, Workload};

@@ -3,7 +3,7 @@
 //! 4-thread sweep pool, and the `xui` CLI must reject bad input loudly.
 //!
 //! The always-on subset keeps tier-1 inside its budget; the full
-//! 18-preset matrix (including the slow cycle-level sweeps) runs under
+//! 20-preset matrix (including the slow cycle-level sweeps) runs under
 //! `cargo test -- --ignored`.
 
 use std::process::Command;
@@ -80,6 +80,16 @@ fn ablation_multiworker_matches_golden() {
 }
 
 #[test]
+fn mt_tenants_matches_golden() {
+    check_preset("mt_tenants");
+}
+
+#[test]
+fn mt_million_clients_matches_golden() {
+    check_preset("mt_million_clients");
+}
+
+#[test]
 fn faults_suite_matches_golden_and_passes() {
     let sc = registry::find("faults_scenarios").expect("preset exists");
     let report = run_with_threads(&sc, 1);
@@ -146,7 +156,7 @@ fn runner_rejects_unsupported_telemetry_and_misplaced_faults() {
 /// sweep the cycle-level simulator for tens of seconds each, so this
 /// runs outside tier-1: `cargo test --release -- --ignored`.
 #[test]
-#[ignore = "slow: full 18-preset matrix (minutes); run with -- --ignored"]
+#[ignore = "slow: full 20-preset matrix (minutes); run with -- --ignored"]
 fn full_matrix_matches_goldens() {
     for sc in registry::all() {
         let report = run_with_threads(&sc, 4);
