@@ -287,10 +287,16 @@ pub struct CapacityRow {
 /// wrote there (and vice versa — the sweep-meta writers keep these
 /// rows).
 pub fn record_des_capacity(rows: &[CapacityRow]) {
-    merge_bench_sweep(serde::Value::Object(vec![(
-        "des_capacity".to_string(),
-        rows.to_value(),
-    )]));
+    record_bench_section("des_capacity", &rows);
+}
+
+/// Merges `value` into `results/BENCH_sweep.json` under the top-level
+/// `key`, preserving every other writer's section (sweep meta, the
+/// telemetry timings, `des_capacity`, the serve load report, ...). This
+/// is the one write path for that shared file — use it instead of
+/// `save_json` whenever a binary contributes a section.
+pub fn record_bench_section<T: Serialize>(key: &str, value: &T) {
+    merge_bench_sweep(serde::Value::Object(vec![(key.to_string(), value.to_value())]));
 }
 
 /// Merges `patch`'s top-level keys into `results/BENCH_sweep.json`.

@@ -67,7 +67,7 @@ pub fn cli_main(name: &str) -> ! {
             usage_exit(e, &spec);
         }
     }
-    match runner::run(&sc, &RunOptions { bench, save: true }) {
+    match runner::run(&sc, &RunOptions { bench, save: true, ..RunOptions::default() }) {
         Ok(report) if report.passed => std::process::exit(0),
         Ok(_) => std::process::exit(1),
         Err(e) => {

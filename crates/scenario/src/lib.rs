@@ -16,10 +16,12 @@
 
 mod cli;
 mod experiments;
+pub mod queue;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
 pub use cli::cli_main;
-pub use runner::{run, Artifact, RunOptions, RunReport};
+pub use queue::{RunId, RunQueue, RunState, RunStatus, SubmitError};
+pub use runner::{run, Artifact, ProgressHook, RunOptions, RunProgress, RunReport};
 pub use spec::{Backend, DsaMode, Experiment, NamedWorkload, Scenario, TelemetryCaps, Topology};

@@ -1,0 +1,543 @@
+//! A reusable scenario run queue: validated scenarios are enqueued,
+//! fanned over a fixed pool of worker threads, and tracked through an
+//! explicit state machine (`queued → running → done | failed`).
+//!
+//! This is the execution backbone of the `xui serve` control plane
+//! (`POST /api/runs` submits here, `GET /api/runs/<id>` reads the state
+//! machine), but it is deliberately HTTP-free so a future sweep driver
+//! can fan a parameter grid over the same pool. Every run executes
+//! through [`runner::run`], so artifacts are byte-identical to the
+//! offline `xui run` path for the same scenario and options.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use crate::runner::{self, RunOptions, RunReport};
+use crate::spec::Scenario;
+
+/// Identifier of one submitted run, unique within a queue.
+pub type RunId = u64;
+
+/// Where a run is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RunState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the experiment's own pass criterion may still be false
+    /// (see [`RunStatus::passed`]).
+    Done,
+    /// The run errored (configuration rejected by the runner, a panic,
+    /// or cancellation at shutdown).
+    Failed,
+}
+
+impl RunState {
+    /// Lowercase name, as reported by the HTTP API.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+        }
+    }
+
+    /// True for `Done` and `Failed`.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Done | Self::Failed)
+    }
+}
+
+/// A point-in-time view of one run, serializable for status endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunStatus {
+    /// The run's id.
+    pub id: RunId,
+    /// Scenario name.
+    pub scenario: String,
+    /// Lifecycle state name (`queued`/`running`/`done`/`failed`).
+    pub state: String,
+    /// The experiment's own pass criterion, once terminal.
+    pub passed: Option<bool>,
+    /// Failure description, when `failed`.
+    pub error: Option<String>,
+    /// Ids of the artifacts produced, in emission order (empty until
+    /// the run finishes).
+    pub artifacts: Vec<String>,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The scenario failed validation; the message is user-facing.
+    Invalid(String),
+    /// The queue already holds its maximum number of waiting runs.
+    Full {
+        /// The configured depth bound.
+        depth: usize,
+    },
+    /// The queue is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(msg) => write!(f, "{msg}"),
+            Self::Full { depth } => {
+                write!(f, "run queue is full ({depth} runs already waiting)")
+            }
+            Self::ShuttingDown => f.write_str("run queue is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A queue-level observer: called on every state transition with the
+/// run's id and new state, from whichever thread made the transition.
+/// Must be quick and non-blocking (the serve layer forwards into
+/// bounded broadcast queues).
+pub type StateObserver = Arc<dyn Fn(RunId, RunState) + Send + Sync>;
+
+struct Job {
+    id: RunId,
+    scenario: Scenario,
+    opts: RunOptions,
+}
+
+struct Entry {
+    scenario: String,
+    state: RunState,
+    passed: Option<bool>,
+    error: Option<String>,
+    report: Option<RunReport>,
+}
+
+impl Entry {
+    fn status(&self, id: RunId) -> RunStatus {
+        RunStatus {
+            id,
+            scenario: self.scenario.clone(),
+            state: self.state.name().to_string(),
+            passed: self.passed,
+            error: self.error.clone(),
+            artifacts: self
+                .report
+                .as_ref()
+                .map(|r| r.artifacts.iter().map(|a| a.id.clone()).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+struct Inner {
+    jobs: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    entries: Mutex<BTreeMap<RunId, Entry>>,
+    entry_changed: Condvar,
+    next_id: Mutex<RunId>,
+    depth: usize,
+    shutting_down: AtomicBool,
+    observer: Option<StateObserver>,
+}
+
+impl Inner {
+    fn set_state(
+        &self,
+        id: RunId,
+        state: RunState,
+        passed: Option<bool>,
+        error: Option<String>,
+        report: Option<RunReport>,
+    ) {
+        {
+            let mut entries = self.entries.lock().expect("run entries poisoned");
+            if let Some(e) = entries.get_mut(&id) {
+                e.state = state;
+                e.passed = passed;
+                e.error = error;
+                if report.is_some() {
+                    e.report = report;
+                }
+            }
+        }
+        // Observer first, condvar second: anything the observer
+        // publishes (state snapshots, hub close) is visible to a
+        // `wait_terminal` caller by the time it wakes.
+        if let Some(obs) = &self.observer {
+            obs(id, state);
+        }
+        self.entry_changed.notify_all();
+    }
+}
+
+/// The queue itself: owns the worker threads. Dropping it without
+/// [`RunQueue::shutdown`] detaches the workers (they exit once the
+/// queue empties and the inner handle is released at process exit);
+/// call `shutdown` for a clean join.
+pub struct RunQueue {
+    inner: Arc<Inner>,
+    /// Behind a mutex so [`RunQueue::shutdown`] can join through a
+    /// shared reference (the serve layer tears down via `Arc<Self>`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for RunQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunQueue")
+            .field("workers", &self.workers.lock().map_or(0, |w| w.len()))
+            .field("depth", &self.inner.depth)
+            .finish()
+    }
+}
+
+impl RunQueue {
+    /// Creates a queue with `workers` worker threads and at most `depth`
+    /// waiting (queued, not yet running) submissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `depth == 0`.
+    #[must_use]
+    pub fn new(workers: usize, depth: usize) -> Self {
+        Self::with_observer(workers, depth, None)
+    }
+
+    /// Like [`RunQueue::new`], with an observer called on every state
+    /// transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `depth == 0`.
+    #[must_use]
+    pub fn with_observer(workers: usize, depth: usize, observer: Option<StateObserver>) -> Self {
+        assert!(workers > 0, "the run queue needs at least one worker");
+        assert!(depth > 0, "the run queue needs a positive depth bound");
+        let inner = Arc::new(Inner {
+            jobs: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            entries: Mutex::new(BTreeMap::new()),
+            entry_changed: Condvar::new(),
+            next_id: Mutex::new(1),
+            depth,
+            shutting_down: AtomicBool::new(false),
+            observer,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("xui-run-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn run worker")
+            })
+            .collect();
+        Self { inner, workers: Mutex::new(handles) }
+    }
+
+    /// Validates and enqueues a scenario; returns its run id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] when the scenario fails validation,
+    /// [`SubmitError::Full`] when `depth` runs are already waiting, and
+    /// [`SubmitError::ShuttingDown`] after [`RunQueue::shutdown`] began.
+    pub fn submit(&self, scenario: Scenario, opts: RunOptions) -> Result<RunId, SubmitError> {
+        if self.inner.shutting_down.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        scenario.validate().map_err(SubmitError::Invalid)?;
+        let id = {
+            let mut next = self.inner.next_id.lock().expect("run id counter poisoned");
+            let id = *next;
+            *next += 1;
+            id
+        };
+        // The jobs lock is held across the `Queued` observer call so no
+        // worker can report `Running` first (observers must therefore
+        // never call back into the queue).
+        let mut jobs = self.inner.jobs.lock().expect("run jobs poisoned");
+        if jobs.len() >= self.inner.depth {
+            return Err(SubmitError::Full { depth: self.inner.depth });
+        }
+        self.inner
+            .entries
+            .lock()
+            .expect("run entries poisoned")
+            .insert(
+                id,
+                Entry {
+                    scenario: scenario.name.clone(),
+                    state: RunState::Queued,
+                    passed: None,
+                    error: None,
+                    report: None,
+                },
+            );
+        if let Some(obs) = &self.inner.observer {
+            obs(id, RunState::Queued);
+        }
+        jobs.push_back(Job { id, scenario, opts });
+        drop(jobs);
+        self.inner.job_ready.notify_one();
+        Ok(id)
+    }
+
+    /// A snapshot of one run's status.
+    #[must_use]
+    pub fn status(&self, id: RunId) -> Option<RunStatus> {
+        self.inner
+            .entries
+            .lock()
+            .expect("run entries poisoned")
+            .get(&id)
+            .map(|e| e.status(id))
+    }
+
+    /// Snapshots of every run this queue has seen, oldest first.
+    #[must_use]
+    pub fn list(&self) -> Vec<RunStatus> {
+        self.inner
+            .entries
+            .lock()
+            .expect("run entries poisoned")
+            .iter()
+            .map(|(&id, e)| e.status(id))
+            .collect()
+    }
+
+    /// The full report of a finished run (artifact bodies included).
+    #[must_use]
+    pub fn report(&self, id: RunId) -> Option<RunReport> {
+        self.inner
+            .entries
+            .lock()
+            .expect("run entries poisoned")
+            .get(&id)
+            .and_then(|e| e.report.clone())
+    }
+
+    /// Blocks until run `id` reaches a terminal state or `timeout`
+    /// elapses; returns the final (or last observed) status.
+    #[must_use]
+    pub fn wait_terminal(&self, id: RunId, timeout: Duration) -> Option<RunStatus> {
+        let deadline = Instant::now() + timeout;
+        let mut entries = self.inner.entries.lock().expect("run entries poisoned");
+        loop {
+            let status = entries.get(&id)?.status(id);
+            let terminal = matches!(status.state.as_str(), "done" | "failed");
+            let now = Instant::now();
+            if terminal || now >= deadline {
+                return Some(status);
+            }
+            let (guard, _) = self
+                .inner
+                .entry_changed
+                .wait_timeout(entries, deadline - now)
+                .expect("run entries poisoned");
+            entries = guard;
+        }
+    }
+
+    /// Stops accepting work, cancels runs still waiting in the queue
+    /// (they become `failed` with a cancellation error), lets running
+    /// scenarios finish, and joins the workers. Idempotent; statuses
+    /// and reports stay queryable afterwards.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Relaxed);
+        let cancelled: Vec<RunId> = {
+            let mut jobs = self.inner.jobs.lock().expect("run jobs poisoned");
+            jobs.drain(..).map(|j| j.id).collect()
+        };
+        for id in cancelled {
+            self.inner.set_state(
+                id,
+                RunState::Failed,
+                None,
+                Some("cancelled: the queue shut down before a worker picked this run up".into()),
+                None,
+            );
+        }
+        self.inner.job_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("run workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut jobs = inner.jobs.lock().expect("run jobs poisoned");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if inner.shutting_down.load(Ordering::Relaxed) {
+                    return;
+                }
+                jobs = inner.job_ready.wait(jobs).expect("run jobs poisoned");
+            }
+        };
+        inner.set_state(job.id, RunState::Running, None, None, None);
+        let outcome = catch_unwind(AssertUnwindSafe(|| runner::run(&job.scenario, &job.opts)));
+        match outcome {
+            Ok(Ok(report)) => {
+                let passed = report.passed;
+                inner.set_state(job.id, RunState::Done, Some(passed), None, Some(report));
+            }
+            Ok(Err(e)) => {
+                inner.set_state(job.id, RunState::Failed, None, Some(e), None);
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "run panicked".to_string());
+                inner.set_state(
+                    job.id,
+                    RunState::Failed,
+                    None,
+                    Some(format!("run panicked: {msg}")),
+                    None,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex as StdMutex;
+
+    use super::*;
+    use crate::registry;
+    use crate::runner::{ProgressHook, RunProgress};
+
+    fn fast_scenario() -> Scenario {
+        registry::find("fig2_timeline").expect("preset exists")
+    }
+
+    #[test]
+    fn run_reaches_done_and_artifacts_match_direct_execution() {
+        let q = RunQueue::new(2, 8);
+        let id = q.submit(fast_scenario(), RunOptions::default()).expect("submit");
+        let status = q.wait_terminal(id, Duration::from_secs(120)).expect("known run");
+        assert_eq!(status.state, "done");
+        assert_eq!(status.passed, Some(true));
+        assert!(!status.artifacts.is_empty());
+
+        let queued = q.report(id).expect("report kept");
+        let direct = runner::run(&fast_scenario(), &RunOptions::default()).expect("direct run");
+        assert_eq!(queued.artifacts.len(), direct.artifacts.len());
+        for (a, b) in queued.artifacts.iter().zip(&direct.artifacts) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.json, b.json, "queued artifact bytes differ from direct run");
+        }
+        q.shutdown();
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected_at_submit() {
+        let q = RunQueue::new(1, 2);
+        let mut sc = fast_scenario();
+        sc.topology.app_cores = 1;
+        let err = q.submit(sc, RunOptions::default()).unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)), "{err}");
+        q.shutdown();
+    }
+
+    #[test]
+    fn depth_bound_rejects_overflow_and_shutdown_cancels_queued_runs() {
+        // One worker, depth 1: keep submitting until the depth bound
+        // rejects, then shut down and check nothing was silently lost.
+        let q = RunQueue::new(1, 1);
+        let mut ids = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..50 {
+            match q.submit(fast_scenario(), RunOptions::default()) {
+                Ok(id) => ids.push(id),
+                Err(SubmitError::Full { depth }) => {
+                    assert_eq!(depth, 1);
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(saw_full, "the depth bound never triggered");
+        q.shutdown();
+        for id in ids {
+            let s = q.status(id).expect("accepted runs stay tracked");
+            match s.state.as_str() {
+                "done" => assert_eq!(s.passed, Some(true)),
+                "failed" => {
+                    assert!(s.error.as_deref().unwrap_or("").contains("cancelled"), "{s:?}");
+                }
+                other => panic!("non-terminal state after shutdown: {other}"),
+            }
+        }
+        assert!(matches!(
+            q.submit(fast_scenario(), RunOptions::default()),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn state_observer_sees_the_full_lifecycle() {
+        let seen: Arc<StdMutex<Vec<(RunId, RunState)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let q = RunQueue::with_observer(
+            1,
+            4,
+            Some(Arc::new(move |id, st| sink.lock().unwrap().push((id, st)))),
+        );
+        let id = q.submit(fast_scenario(), RunOptions::default()).expect("submit");
+        let _ = q.wait_terminal(id, Duration::from_secs(120));
+        q.shutdown();
+        let seen = seen.lock().unwrap();
+        let states: Vec<RunState> = seen.iter().filter(|(i, _)| *i == id).map(|&(_, s)| s).collect();
+        assert_eq!(states, vec![RunState::Queued, RunState::Running, RunState::Done]);
+    }
+
+    #[test]
+    fn progress_hook_reports_artifacts_in_emission_order() {
+        let seen: Arc<StdMutex<Vec<RunProgress>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let opts = RunOptions {
+            progress: ProgressHook::new(move |p| sink.lock().unwrap().push(p.clone())),
+            ..RunOptions::default()
+        };
+        let q = RunQueue::new(1, 2);
+        let id = q.submit(fast_scenario(), opts).expect("submit");
+        let status = q.wait_terminal(id, Duration::from_secs(120)).expect("known run");
+        q.shutdown();
+        assert_eq!(status.state, "done");
+        let seen = seen.lock().unwrap();
+        assert!(matches!(seen.first(), Some(RunProgress::Started { .. })));
+        assert!(matches!(seen.last(), Some(RunProgress::Finished { passed: true, .. })));
+        let indices: Vec<usize> = seen
+            .iter()
+            .filter_map(|p| match p {
+                RunProgress::Artifact { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(indices, (0..indices.len()).collect::<Vec<_>>());
+        assert_eq!(indices.len(), status.artifacts.len());
+    }
+}

@@ -4,12 +4,82 @@
 //! run produces (optionally also saving them under `results/`, exactly
 //! like the per-experiment binaries always have).
 
+use std::fmt;
+use std::sync::Arc;
+
 use serde::Serialize;
 
 use xui_bench::{banner, render_json, save_json, BenchOpts};
 
 use crate::experiments;
 use crate::spec::{Experiment, Scenario};
+
+/// One milestone in a scenario's execution, reported through
+/// [`ProgressHook`] while the run is still going — this is what a live
+/// control plane streams, where the [`RunReport`] only exists after the
+/// fact.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum RunProgress {
+    /// Validation passed and the experiment dispatch is about to start.
+    Started {
+        /// Scenario name.
+        scenario: String,
+    },
+    /// One JSON artifact was emitted (in emission order).
+    Artifact {
+        /// Artifact id (`results/<id>.json` stem).
+        id: String,
+        /// Rendered size in bytes.
+        bytes: usize,
+        /// Zero-based emission index within the run.
+        index: usize,
+    },
+    /// The experiment finished executing.
+    Finished {
+        /// Whether the experiment's own pass criterion held.
+        passed: bool,
+        /// Number of artifacts emitted.
+        artifacts: usize,
+    },
+}
+
+/// An optional observer of [`RunProgress`] milestones. Cloneable and
+/// cheap when unset; the default observes nothing. The hook runs on the
+/// thread executing the scenario, so implementations must be quick and
+/// must never block (the serve layer forwards into non-blocking
+/// broadcast queues for exactly this reason).
+#[derive(Clone, Default)]
+pub struct ProgressHook(Option<ProgressFn>);
+
+/// The shared callback a set [`ProgressHook`] carries.
+type ProgressFn = Arc<dyn Fn(&RunProgress) + Send + Sync>;
+
+impl ProgressHook {
+    /// Wraps a callback.
+    #[must_use]
+    pub fn new(f: impl Fn(&RunProgress) + Send + Sync + 'static) -> Self {
+        Self(Some(Arc::new(f)))
+    }
+
+    /// Reports one milestone (no-op when unset).
+    pub fn emit(&self, p: &RunProgress) {
+        if let Some(f) = &self.0 {
+            f(p);
+        }
+    }
+
+    /// Whether a callback is attached.
+    #[must_use]
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_set() { "ProgressHook(set)" } else { "ProgressHook(unset)" })
+    }
+}
 
 /// How to execute a scenario: the shared sweep options (threads, trace,
 /// metrics, bench-meta) plus whether artifacts are written to
@@ -20,6 +90,9 @@ pub struct RunOptions {
     pub bench: BenchOpts,
     /// Write every artifact to `results/<id>.json` as well.
     pub save: bool,
+    /// Optional observer of run milestones (started / artifact emitted /
+    /// finished), invoked synchronously on the running thread.
+    pub progress: ProgressHook,
 }
 
 /// One JSON result produced by a run, rendered exactly as
@@ -57,16 +130,23 @@ impl RunReport {
 pub(crate) struct Sink {
     save: bool,
     artifacts: Vec<Artifact>,
+    progress: ProgressHook,
 }
 
 impl Sink {
     /// Renders `value` and records it under `id`; also writes
-    /// `results/<id>.json` when saving is on.
+    /// `results/<id>.json` when saving is on, and reports the emission
+    /// to the progress hook.
     pub(crate) fn emit<T: Serialize>(&mut self, id: &str, value: &T) {
         let json = render_json(value);
         if self.save {
             save_json(id, value);
         }
+        self.progress.emit(&RunProgress::Artifact {
+            id: id.to_string(),
+            bytes: json.len(),
+            index: self.artifacts.len(),
+        });
         self.artifacts.push(Artifact { id: id.to_string(), json });
     }
 }
@@ -85,7 +165,12 @@ pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
 
     banner(&sc.heading, &sc.title, &sc.paper_ref);
 
-    let mut sink = Sink { save: opts.save, artifacts: Vec::new() };
+    opts.progress.emit(&RunProgress::Started { scenario: sc.name.clone() });
+    let mut sink = Sink {
+        save: opts.save,
+        artifacts: Vec::new(),
+        progress: opts.progress.clone(),
+    };
     let bench = &opts.bench;
     let passed = match &sc.experiment {
         Experiment::Fig2Timeline { sender_countdown, receiver_countdown, max_cycles } => {
@@ -233,5 +318,6 @@ pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
         }
     };
 
+    opts.progress.emit(&RunProgress::Finished { passed, artifacts: sink.artifacts.len() });
     Ok(RunReport { scenario: sc.name.clone(), artifacts: sink.artifacts, passed })
 }

@@ -1,0 +1,187 @@
+//! A bounded thread pool for connection handling.
+//!
+//! The accept loop hands each socket to this pool; when every worker is
+//! busy *and* the backlog is full, [`ThreadPool::execute`] refuses the
+//! job and the server answers `503` instead of queueing unboundedly —
+//! the same drop-over-stall policy the telemetry broadcast layer uses.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Inner {
+    jobs: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    backlog: usize,
+    busy: AtomicUsize,
+    shutting_down: AtomicBool,
+}
+
+/// The pool. Dropping it without [`ThreadPool::shutdown`] detaches the
+/// workers; call `shutdown` for a clean join.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    /// Behind a mutex so [`ThreadPool::shutdown`] can join through a
+    /// shared reference (the server tears down via `Arc<Ctx>`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The pool refused a job: workers busy and the backlog full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSaturated;
+
+impl std::fmt::Display for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("all workers busy and the backlog is full")
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.lock().map_or(0, |w| w.len()))
+            .field("backlog", &self.inner.backlog)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `workers` threads and room for `backlog`
+    /// jobs waiting beyond the ones being executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `backlog == 0`.
+    #[must_use]
+    pub fn new(workers: usize, backlog: usize) -> Self {
+        assert!(workers > 0, "the pool needs at least one worker");
+        assert!(backlog > 0, "the pool needs a positive backlog");
+        let inner = Arc::new(Inner {
+            jobs: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            backlog,
+            busy: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("xui-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { inner, workers: Mutex::new(handles) }
+    }
+
+    /// Runs `job` on a pool worker.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolSaturated`] when the backlog is full (the caller should
+    /// shed load, e.g. with a `503`).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolSaturated> {
+        let mut jobs = self.inner.jobs.lock().expect("pool jobs poisoned");
+        if jobs.len() >= self.inner.backlog {
+            return Err(PoolSaturated);
+        }
+        jobs.push_back(Box::new(job));
+        drop(jobs);
+        self.inner.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Workers currently executing a job.
+    #[must_use]
+    pub fn busy(&self) -> usize {
+        self.inner.busy.load(Ordering::Relaxed)
+    }
+
+    /// True when [`ThreadPool::execute`] would accept a job right now.
+    /// Single-submitter callers (the accept loop) can use this to shed
+    /// load *before* constructing the job, race-free.
+    #[must_use]
+    pub fn has_capacity(&self) -> bool {
+        self.inner.jobs.lock().expect("pool jobs poisoned").len() < self.inner.backlog
+    }
+
+    /// Stops accepting work, discards the waiting backlog, and joins the
+    /// workers after their current jobs finish. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Relaxed);
+        self.inner.jobs.lock().expect("pool jobs poisoned").clear();
+        self.inner.job_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut jobs = inner.jobs.lock().expect("pool jobs poisoned");
+            loop {
+                if inner.shutting_down.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = inner.job_ready.wait(jobs).expect("pool jobs poisoned");
+            }
+        };
+        inner.busy.fetch_add(1, Ordering::Relaxed);
+        job();
+        inner.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_shutdown_joins() {
+        let pool = ThreadPool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6u32 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(i).unwrap()).expect("accepted");
+        }
+        let mut got: Vec<u32> = (0..6)
+            .map(|_| rx.recv_timeout(Duration::from_secs(30)).expect("job ran"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn saturated_pool_refuses_instead_of_queueing() {
+        let pool = ThreadPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.execute(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().ok();
+        })
+        .expect("first job accepted");
+        started_rx.recv_timeout(Duration::from_secs(30)).expect("worker started");
+        // Worker busy: one backlog slot, then refusal.
+        pool.execute(|| {}).expect("backlog slot accepted");
+        assert_eq!(pool.execute(|| {}), Err(PoolSaturated));
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,509 @@
+//! The HTTP server: a `TcpListener` accept loop feeding a bounded
+//! [`ThreadPool`], routing onto the scenario registry, the
+//! [`RunManager`], and the `results/` artifact store.
+//!
+//! # Endpoints
+//!
+//! | Method | Path | Meaning |
+//! |---|---|---|
+//! | GET  | `/api/healthz` | liveness probe |
+//! | GET  | `/api/scenarios` | registry listing (name/backend/title) |
+//! | GET  | `/api/scenarios/<name>` | one preset as scenario JSON |
+//! | POST | `/api/runs` | validate + enqueue a run |
+//! | GET  | `/api/runs` | every run's status |
+//! | GET  | `/api/runs/<id>` | one run's status + loss accounting |
+//! | GET  | `/api/runs/<id>/events` | live SSE stream of the run |
+//! | GET  | `/api/runs/<id>/artifacts/<artifact>` | one artifact's bytes |
+//! | GET  | `/api/artifacts` | `results/*.json` listing |
+//! | GET  | `/api/artifacts/<name>` | one `results/<name>.json`, verbatim |
+//! | POST | `/api/shutdown` | drain and stop the server |
+//!
+//! `POST /api/runs` takes `{"scenario": <preset-name or full spec>,
+//! "hold_ms": N, "save": bool}`; `hold_ms` (capped) delays execution so
+//! stream clients can attach before a fast run finishes. The SSE
+//! endpoint takes `?cap=N` (subscriber queue capacity — small caps make
+//! a slow client lose events *visibly*, never stall the run) and
+//! `?drain_ms=N` (consumer pacing, for testing slow clients).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Value};
+use xui_scenario::{registry, Scenario, SubmitError};
+
+use crate::http::{self, json_string, Request, Response};
+use crate::pool::ThreadPool;
+use crate::runs::{RunManager, RunShared};
+use crate::sse;
+
+/// How the server is shaped. The defaults suit an interactive session;
+/// the load benchmark and CI override the knobs they care about.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-handler threads (each live SSE stream holds one).
+    pub handler_workers: usize,
+    /// Accepted-but-unhandled connections beyond the busy workers.
+    pub handler_backlog: usize,
+    /// Scenario-executing worker threads.
+    pub run_workers: usize,
+    /// Maximum queued (not yet running) run submissions.
+    pub run_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            handler_workers: 16,
+            handler_backlog: 64,
+            run_workers: 2,
+            run_depth: 16,
+        }
+    }
+}
+
+/// State shared by the accept loop and every handler.
+struct Ctx {
+    manager: RunManager,
+    pool: ThreadPool,
+    shutting_down: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A running server. Create with [`Server::start`]; stop with
+/// [`Server::shutdown`] (or `POST /api/shutdown` followed by
+/// [`Server::join`]).
+pub struct Server {
+    ctx: Arc<Ctx>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.ctx.local_addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the accept loop, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: &ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(Ctx {
+            manager: RunManager::new(config.run_workers, config.run_depth),
+            pool: ThreadPool::new(config.handler_workers, config.handler_backlog),
+            shutting_down: AtomicBool::new(false),
+            local_addr,
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept = std::thread::Builder::new()
+            .name("xui-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_ctx))
+            .expect("spawn accept loop");
+        Ok(Self { ctx, accept: Some(accept) })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local_addr
+    }
+
+    /// Whether a shutdown has been requested (by [`Server::shutdown`]
+    /// or `POST /api/shutdown`).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.ctx.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the server has been asked to stop, then tears it
+    /// down: the accept loop exits, queued runs are cancelled, running
+    /// scenarios finish, live streams end with their `end` frame, and
+    /// every thread is joined.
+    pub fn join(mut self) {
+        self.teardown();
+    }
+
+    /// Requests a stop and performs the same teardown as
+    /// [`Server::join`].
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.ctx);
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Cancel queued runs and let running ones finish first: that
+        // closes their hubs, which is what ends the SSE handlers still
+        // occupying pool workers.
+        self.ctx.manager.shutdown();
+        self.ctx.pool.shutdown();
+    }
+}
+
+/// Flags the shutdown and pokes the listener so the blocking `accept`
+/// returns.
+fn request_shutdown(ctx: &Ctx) {
+    ctx.shutting_down.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(ctx.local_addr);
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>) {
+    for stream in listener.incoming() {
+        if ctx.shutting_down.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // The accept thread is the pool's only submitter, so this check
+        // cannot race another enqueue: shed load here with a `503`
+        // instead of queueing unboundedly.
+        if !ctx.pool.has_capacity() {
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = Response::error(503, "server overloaded, try again").write_to(&mut stream);
+            continue;
+        }
+        let job_ctx = Arc::clone(ctx);
+        let _ = ctx.pool.execute(move || handle_connection(&job_ctx, stream));
+    }
+}
+
+fn handle_connection(ctx: &Ctx, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let req = match http::parse_request(&mut reader) {
+        Ok(req) => req,
+        Err(http::ParseError::Eof) => return, // health-probe TCP connect
+        Err(e) => {
+            let _ = Response::error(400, &e.to_string()).write_to(&mut writer);
+            return;
+        }
+    };
+    let segments: Vec<String> = req.segments().iter().map(|s| (*s).to_string()).collect();
+    let segs: Vec<&str> = segments.iter().map(String::as_str).collect();
+
+    // The SSE endpoint writes its own streaming response.
+    if req.method == "GET" && matches!(segs.as_slice(), ["api", "runs", _, "events"]) {
+        stream_run_events(ctx, &req, segs[2], &mut writer);
+        return;
+    }
+
+    let response = route(ctx, &req, &segs);
+    let _ = response.write_to(&mut writer);
+}
+
+fn route(ctx: &Ctx, req: &Request, segs: &[&str]) -> Response {
+    match (req.method.as_str(), segs) {
+        ("GET", ["api", "healthz"]) => Response::ok_json("{\"ok\":true}"),
+        ("GET", ["api", "scenarios"]) => list_scenarios(),
+        ("GET", ["api", "scenarios", name]) => show_scenario(name),
+        ("POST", ["api", "runs"]) => submit_run(ctx, req),
+        ("GET", ["api", "runs"]) => {
+            Response::ok_json(serde_json::to_string(&ctx.manager.list_value()).unwrap_or_default())
+        }
+        ("GET", ["api", "runs", id]) => run_status(ctx, id),
+        ("GET", ["api", "runs", id, "artifacts", artifact]) => run_artifact(ctx, id, artifact),
+        ("GET", ["api", "artifacts"]) => list_artifacts(),
+        ("GET", ["api", "artifacts", name]) => show_artifact(name),
+        ("POST", ["api", "shutdown"]) => {
+            request_shutdown(ctx);
+            Response::ok_json("{\"ok\":true,\"shutting_down\":true}")
+        }
+        ("GET" | "POST", _) => Response::not_found(&req.path),
+        _ => Response::error(405, &format!("method {} not allowed", req.method)),
+    }
+}
+
+fn list_scenarios() -> Response {
+    let rows: Vec<Value> = registry::all()
+        .iter()
+        .map(|sc| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(sc.name.clone())),
+                ("backend".to_string(), Value::Str(sc.backend.name().to_string())),
+                ("title".to_string(), Value::Str(sc.title.clone())),
+            ])
+        })
+        .collect();
+    Response::ok_json(serde_json::to_string(&Value::Array(rows)).unwrap_or_default())
+}
+
+fn show_scenario(name: &str) -> Response {
+    match registry::find(name) {
+        Some(sc) => Response::ok_json(sc.to_json()),
+        None => Response::not_found(&format!("scenario `{name}`")),
+    }
+}
+
+/// Parses the `POST /api/runs` body: a preset name or an inline spec,
+/// plus the hold and save knobs.
+fn parse_submission(body: &str) -> Result<(Scenario, u64, bool), String> {
+    let v = serde_json::value_from_str(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let Value::Object(entries) = &v else {
+        return Err("the body must be a JSON object".to_string());
+    };
+    let field = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let scenario = match field("scenario") {
+        Some(Value::Str(name)) => registry::find(name)
+            .ok_or_else(|| format!("unknown scenario `{name}` (see GET /api/scenarios)"))?,
+        Some(spec @ Value::Object(_)) => Scenario::from_value(spec)
+            .map_err(|e| format!("invalid scenario spec: {e}"))?,
+        Some(other) => {
+            return Err(format!(
+                "`scenario` must be a preset name or a spec object, got {other:?}"
+            ))
+        }
+        None => return Err("the body needs a `scenario` field".to_string()),
+    };
+    let hold_ms = match field("hold_ms") {
+        Some(Value::UInt(n)) => u64::try_from(*n).unwrap_or(u64::MAX),
+        Some(Value::Int(n)) if *n >= 0 => u64::try_from(*n).unwrap_or(u64::MAX),
+        None | Some(Value::Null) => 0,
+        Some(other) => return Err(format!("`hold_ms` must be an unsigned integer, got {other:?}")),
+    };
+    let save = match field("save") {
+        Some(Value::Bool(b)) => *b,
+        None | Some(Value::Null) => false,
+        Some(other) => return Err(format!("`save` must be a boolean, got {other:?}")),
+    };
+    Ok((scenario, hold_ms, save))
+}
+
+fn submit_run(ctx: &Ctx, req: &Request) -> Response {
+    let (scenario, hold_ms, save) = match parse_submission(&req.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    match ctx.manager.submit(scenario, hold_ms, save) {
+        Ok(id) => Response::json(
+            202,
+            format!(
+                "{{\"id\":{id},\"state\":\"queued\",\"status\":\"/api/runs/{id}\",\"events\":\"/api/runs/{id}/events\"}}"
+            ),
+        ),
+        Err(e @ SubmitError::Invalid(_)) => Response::error(400, &e.to_string()),
+        Err(e @ (SubmitError::Full { .. } | SubmitError::ShuttingDown)) => {
+            Response::error(503, &e.to_string())
+        }
+    }
+}
+
+fn parse_run_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn run_status(ctx: &Ctx, raw_id: &str) -> Response {
+    let Some(id) = parse_run_id(raw_id) else {
+        return Response::error(400, &format!("run id `{raw_id}` is not a number"));
+    };
+    match ctx.manager.status_value(id) {
+        Some(v) => Response::ok_json(serde_json::to_string(&v).unwrap_or_default()),
+        None => Response::not_found(&format!("run {id}")),
+    }
+}
+
+fn run_artifact(ctx: &Ctx, raw_id: &str, artifact: &str) -> Response {
+    let Some(id) = parse_run_id(raw_id) else {
+        return Response::error(400, &format!("run id `{raw_id}` is not a number"));
+    };
+    if ctx.manager.status(id).is_none() {
+        return Response::not_found(&format!("run {id}"));
+    }
+    match ctx.manager.artifact(id, artifact) {
+        Some(body) => Response::ok_json(body),
+        None => Response::not_found(&format!("artifact `{artifact}` of run {id}")),
+    }
+}
+
+/// True for the artifact names the browser serves: the `results/<id>`
+/// stems, no separators, no traversal.
+fn safe_artifact_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+        && !name.contains("..")
+}
+
+fn results_dir() -> PathBuf {
+    Path::new("results").to_path_buf()
+}
+
+fn list_artifacts() -> Response {
+    let mut names: Vec<String> = std::fs::read_dir(results_dir())
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter_map(|n| n.strip_suffix(".json").map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    let body = serde_json::to_string(&Value::Array(
+        names.into_iter().map(Value::Str).collect(),
+    ))
+    .unwrap_or_default();
+    Response::ok_json(body)
+}
+
+fn show_artifact(name: &str) -> Response {
+    if !safe_artifact_name(name) {
+        return Response::error(400, &format!("invalid artifact name `{name}`"));
+    }
+    let stem = name.strip_suffix(".json").unwrap_or(name);
+    match std::fs::read_to_string(results_dir().join(format!("{stem}.json"))) {
+        Ok(body) => Response::ok_json(body),
+        Err(_) => Response::not_found(&format!("artifact `{name}`")),
+    }
+}
+
+/// Default SSE subscriber queue capacity.
+const DEFAULT_STREAM_CAP: usize = 1024;
+/// Poll interval of the stream loop when the client asked for no pacing.
+const STREAM_TICK: Duration = Duration::from_millis(10);
+/// Upper bound on client-requested pacing, so a stream cannot park a
+/// handler thread indefinitely between drains.
+const MAX_DRAIN_MS: u64 = 1_000;
+
+/// Streams one run's broadcast channel as SSE until the run ends, the
+/// client disconnects, or the server shuts down.
+fn stream_run_events(ctx: &Ctx, req: &Request, raw_id: &str, writer: &mut TcpStream) {
+    let Some(id) = parse_run_id(raw_id) else {
+        let _ = Response::error(400, &format!("run id `{raw_id}` is not a number")).write_to(writer);
+        return;
+    };
+    let Some(shared) = ctx.manager.run_shared(id) else {
+        let _ = Response::not_found(&format!("run {id}")).write_to(writer);
+        return;
+    };
+    let cap = req
+        .query_u64("cap")
+        .map_or(DEFAULT_STREAM_CAP, |c| usize::try_from(c.max(1)).unwrap_or(1));
+    let pacing = Duration::from_millis(req.query_u64("drain_ms").unwrap_or(0).min(MAX_DRAIN_MS));
+
+    // Subscribe *before* the terminal check: if the run is already over
+    // we replay the ring instead (complete history); if it finishes
+    // right after the check, the subscription sees the close.
+    let sub = shared.subscribe(cap);
+    if ctx.manager.is_terminal(id) {
+        drop(sub);
+        replay_terminal_run(ctx, id, &shared, writer);
+        return;
+    }
+
+    if writer.write_all(sse::STREAM_HEAD.as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        let closed = sub.is_closed() || ctx.shutting_down.load(Ordering::Relaxed);
+        for item in sub.drain() {
+            if writer.write_all(sse::encode_item(&item).as_bytes()).is_err() {
+                return; // client went away; subscription prunes itself
+            }
+        }
+        if closed {
+            break;
+        }
+        std::thread::sleep(if pacing.is_zero() { STREAM_TICK } else { pacing });
+    }
+    let _ = writer
+        .write_all(sse::encode_end(sub.delivered_events(), sub.dropped_events()).as_bytes());
+    let _ = writer.flush();
+}
+
+/// The catch-up path for a subscriber that attached after the run
+/// ended: replay the retained ring window, then the final state and
+/// metrics, then `end` (whose drop count is the *ring's* overflow — the
+/// only loss a late reader can have).
+fn replay_terminal_run(ctx: &Ctx, id: u64, shared: &Arc<RunShared>, writer: &mut TcpStream) {
+    if writer.write_all(sse::STREAM_HEAD.as_bytes()).is_err() {
+        return;
+    }
+    let events = shared.ring_events();
+    let mut delivered = 0u64;
+    for ev in &events {
+        if writer
+            .write_all(sse::encode_item(&xui_telemetry::StreamItem::Event(*ev)).as_bytes())
+            .is_err()
+        {
+            return;
+        }
+        delivered += 1;
+    }
+    if let Some(status) = ctx.manager.status(id) {
+        let frame = sse::encode_frame(
+            "state",
+            &format!("{{\"id\":{id},\"state\":{}}}", json_string(&status.state)),
+        );
+        if writer.write_all(frame.as_bytes()).is_err() {
+            return;
+        }
+        delivered += 1;
+    }
+    let metrics = sse::encode_frame("metrics", &shared.metrics_json());
+    if writer.write_all(metrics.as_bytes()).is_err() {
+        return;
+    }
+    delivered += 1;
+    let _ = writer
+        .write_all(sse::encode_end(delivered, shared.ring_dropped_events()).as_bytes());
+    let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_parsing_accepts_names_specs_and_knobs() {
+        let (sc, hold, save) =
+            parse_submission("{\"scenario\":\"fig2_timeline\",\"hold_ms\":50,\"save\":true}")
+                .expect("parses");
+        assert_eq!(sc.name, "fig2_timeline");
+        assert_eq!(hold, 50);
+        assert!(save);
+
+        let spec = registry::find("fig2_timeline").unwrap().to_json();
+        let (sc, hold, save) =
+            parse_submission(&format!("{{\"scenario\":{spec}}}")).expect("inline spec parses");
+        assert_eq!(sc.name, "fig2_timeline");
+        assert_eq!((hold, save), (0, false));
+    }
+
+    #[test]
+    fn submission_parsing_rejects_garbage() {
+        assert!(parse_submission("not json").is_err());
+        assert!(parse_submission("[]").is_err());
+        assert!(parse_submission("{}").is_err());
+        assert!(parse_submission("{\"scenario\":\"no_such_preset\"}").is_err());
+        assert!(parse_submission("{\"scenario\":\"fig2_timeline\",\"hold_ms\":\"x\"}").is_err());
+        assert!(parse_submission("{\"scenario\":\"fig2_timeline\",\"save\":3}").is_err());
+    }
+
+    #[test]
+    fn artifact_names_are_sanitized() {
+        assert!(safe_artifact_name("fig2_timeline"));
+        assert!(safe_artifact_name("BENCH_sweep.json"));
+        assert!(!safe_artifact_name("../etc/passwd"));
+        assert!(!safe_artifact_name("a/b"));
+        assert!(!safe_artifact_name(""));
+    }
+}

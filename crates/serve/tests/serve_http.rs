@@ -1,0 +1,179 @@
+//! End-to-end exercise of the `xui serve` control plane over real
+//! sockets: registry browsing, run submission, concurrent SSE
+//! streaming with a deliberately slow subscriber, and the tee
+//! invariant — artifacts fetched over HTTP are byte-identical to the
+//! offline runner's output no matter how many clients watched, with
+//! loss visible only in the explicit `dropped_events` accounting.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use xui_scenario::{registry, runner, RunOptions};
+use xui_serve::{consume_stream, http_request, ServeConfig, Server};
+
+const SCENARIO: &str = "fig2_timeline";
+
+fn start() -> Server {
+    Server::start(&ServeConfig::default()).expect("server starts on an ephemeral port")
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http_request(addr, "GET", path, None).expect("request completes")
+}
+
+fn field_u64(json: &str, name: &str) -> u64 {
+    let v = serde_json::value_from_str(json).expect("valid JSON");
+    serde::field(&v, "response", name).expect("field present")
+}
+
+fn field_str(json: &str, name: &str) -> String {
+    let v = serde_json::value_from_str(json).expect("valid JSON");
+    serde::field(&v, "response", name).expect("field present")
+}
+
+fn artifact_ids(status_json: &str) -> Vec<String> {
+    let v = serde_json::value_from_str(status_json).expect("valid JSON");
+    let serde::Value::Object(entries) = &v else { panic!("status is not an object") };
+    let arts = entries
+        .iter()
+        .find(|(k, _)| k == "artifacts")
+        .map(|(_, v)| v)
+        .expect("status carries `artifacts`");
+    let serde::Value::Array(items) = arts else { panic!("`artifacts` is not an array") };
+    items
+        .iter()
+        .map(|it| {
+            let serde::Value::Str(s) = it else { panic!("artifact id is not a string") };
+            s.clone()
+        })
+        .collect()
+}
+
+fn wait_done(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = get(addr, &format!("/api/runs/{id}"));
+        assert_eq!(status, 200, "{body}");
+        match field_str(&body, "state").as_str() {
+            "done" => return body,
+            "failed" => panic!("run failed: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "run did not finish in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn registry_browsing_and_error_statuses() {
+    let server = start();
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/api/healthz");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+
+    let (status, body) = get(addr, "/api/scenarios");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(SCENARIO), "registry listing misses {SCENARIO}: {body}");
+
+    let (status, body) = get(addr, &format!("/api/scenarios/{SCENARIO}"));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field_str(&body, "name"), SCENARIO);
+
+    let (status, _) = get(addr, "/api/scenarios/no_such_preset");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/api/nope");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/api/runs/not-a-number");
+    assert_eq!(status, 400, "malformed run id is a bad request");
+    let (status, _) =
+        http_request(addr, "DELETE", "/api/healthz", None).expect("request completes");
+    assert_eq!(status, 405);
+    let (status, body) =
+        http_request(addr, "POST", "/api/runs", Some("{\"scenario\":123}")).expect("completes");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http_request(addr, "POST", "/api/runs", Some("not json")).expect("ok");
+    assert_eq!(status, 400, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn nine_subscribers_one_slow_artifacts_stay_byte_identical() {
+    let server = start();
+    let addr = server.local_addr();
+
+    // Hold the run at its start so every subscriber attaches first.
+    let (status, body) = http_request(
+        addr,
+        "POST",
+        "/api/runs",
+        Some(&format!("{{\"scenario\":{:?},\"hold_ms\":1500}}", SCENARIO)),
+    )
+    .expect("submit completes");
+    assert_eq!(status, 202, "{body}");
+    let id = field_u64(&body, "id");
+    let events_path = field_str(&body, "events");
+
+    // Nine concurrent live streams; the last one gets a one-slot queue
+    // and a 200 ms consumer pause per write round — guaranteed to fall
+    // behind the post-hold burst of events and snapshots.
+    let subs: Vec<std::thread::JoinHandle<xui_serve::SubscriberReport>> = (0..9)
+        .map(|i| {
+            let path = events_path.clone();
+            let (cap, drain_ms) = if i == 8 { (1, 200) } else { (4096, 0) };
+            std::thread::spawn(move || {
+                consume_stream(addr, &path, cap, drain_ms).expect("stream completes")
+            })
+        })
+        .collect();
+
+    let status_body = wait_done(addr, id);
+    let reports: Vec<xui_serve::SubscriberReport> =
+        subs.into_iter().map(|h| h.join().expect("subscriber thread")).collect();
+
+    // Loss shows up only in the slow subscriber's explicit counter.
+    let slow = &reports[8];
+    assert!(slow.dropped_events > 0, "slow subscriber never fell behind: {slow:?}");
+    for fast in &reports[..8] {
+        assert_eq!(fast.dropped_events, 0, "fast subscriber dropped: {fast:?}");
+        assert!(fast.frames > 0, "fast subscriber saw nothing: {fast:?}");
+    }
+
+    // The run itself was untouched: the ring kept everything and the
+    // artifacts served over HTTP are byte-identical to an offline run.
+    assert_eq!(field_u64(&status_body, "ring_dropped_events"), 0);
+    let ids = artifact_ids(&status_body);
+    assert!(!ids.is_empty(), "run produced no artifacts: {status_body}");
+    let offline =
+        runner::run(&registry::find(SCENARIO).expect("preset"), &RunOptions::default())
+            .expect("offline run");
+    assert_eq!(ids.len(), offline.artifacts.len());
+    for aid in &ids {
+        let (status, body) = get(addr, &format!("/api/runs/{id}/artifacts/{aid}"));
+        assert_eq!(status, 200, "{body}");
+        let golden = offline.artifact(aid).expect("offline artifact");
+        assert_eq!(body, golden, "streamed artifact `{aid}` differs from offline bytes");
+    }
+
+    // A subscriber arriving after the terminal state replays the ring.
+    let late = consume_stream(addr, &events_path, 4096, 0).expect("replay completes");
+    assert!(late.frames > 0, "late subscriber got an empty replay: {late:?}");
+    assert_eq!(late.dropped_events, 0, "ring replay reported loss: {late:?}");
+
+    let (status, _) = get(addr, &format!("/api/runs/{id}/artifacts/no_such_artifact"));
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_drains_cleanly() {
+    let server = start();
+    let addr = server.local_addr();
+    let (status, body) =
+        http_request(addr, "POST", "/api/shutdown", None).expect("request completes");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"shutting_down\":true"), "{body}");
+    server.join();
+}

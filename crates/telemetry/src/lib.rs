@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod broadcast;
 pub mod chrome;
 pub mod des_probe;
 pub mod event;
@@ -42,6 +43,9 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 
+pub use broadcast::{
+    BroadcastHub, BroadcastRecorder, BroadcastSubscriber, StreamItem, SubscriberStats,
+};
 pub use chrome::{trace_json, trace_json_grouped, validate, TraceCheck, TraceGroup};
 pub use des_probe::DesProbe;
 pub use event::{Args, Event, Phase, MAX_ARGS};

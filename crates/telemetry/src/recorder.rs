@@ -127,6 +127,15 @@ impl RingRecorder {
         self.dropped
     }
 
+    /// Events overwritten because the ring was full — the queryable
+    /// overflow counter surfaced by run status endpoints and metrics
+    /// snapshots (`telemetry.ring_dropped_events`). Alias of
+    /// [`RingRecorder::dropped`] under the name the control plane uses.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
     /// Returns the retained events in recording order (oldest first).
     #[must_use]
     pub fn events(&self) -> Vec<Event> {

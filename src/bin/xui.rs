@@ -5,12 +5,16 @@
 //! xui list                        # every registered scenario
 //! xui show <name>                 # print a preset as scenario JSON
 //! xui run <name|path.json> [...]  # run a preset or a scenario file
+//! xui serve [--addr H:P] [...]    # HTTP control plane (docs/SERVE.md)
 //! ```
 //!
 //! `run` accepts the shared bench flags (`--threads`, `--trace`,
 //! `--metrics`, `--bench-meta`), `--faults <plan.json>` for the
 //! fault-capable scenarios, and the fuzzer's corpus overrides
-//! (`--full`/`--sim`/`--seed`). Exit status: 0 pass, 1 experiment
+//! (`--full`/`--sim`/`--seed`). `serve` binds `--addr` (default
+//! `127.0.0.1:0`, an ephemeral port), optionally writes the bound
+//! address to `--port-file` for scripted clients, and runs until a
+//! client POSTs `/api/shutdown`. Exit status: 0 pass, 1 experiment
 //! failure, 2 usage/config error.
 
 use std::path::Path;
@@ -22,12 +26,15 @@ use xui_scenario::{registry, runner, RunOptions, Scenario};
 
 fn cli_spec() -> CliSpec {
     CliSpec::bench("xui", "declarative scenario runner for the xUI reproduction")
-        .positional("command", "list | show | run", true)
+        .positional("command", "list | show | run | serve", true)
         .positional("scenario", "preset name or scenario JSON file (show/run)", false)
         .option("--faults", "PLAN", "run with a fault plan JSON file (fig7/fig8 scenarios)")
         .option("--full", "N", "oracle_fuzz: full-alphabet schedules (default 10000)")
         .option("--sim", "N", "oracle_fuzz: sim-class schedules (default 1000)")
         .option("--seed", "S", "oracle_fuzz: base seed (default frozen)")
+        .option("--addr", "H:P", "serve: bind address (default 127.0.0.1:0)")
+        .option("--port-file", "PATH", "serve: write the bound address here once listening")
+        .option("--run-workers", "N", "serve: concurrent scenario runs (default 2)")
 }
 
 fn usage_exit(err: impl std::fmt::Display, spec: &CliSpec) -> ! {
@@ -126,7 +133,7 @@ fn main() {
             if let Err(e) = overrides {
                 usage_exit(e, &spec);
             }
-            match runner::run(&sc, &RunOptions { bench, save: true }) {
+            match runner::run(&sc, &RunOptions { bench, save: true, ..RunOptions::default() }) {
                 Ok(report) if report.passed => {}
                 Ok(_) => exit(1),
                 Err(e) => {
@@ -134,6 +141,35 @@ fn main() {
                     exit(2);
                 }
             }
+        }
+        "serve" => {
+            let mut cfg = xui_serve::ServeConfig::default();
+            if let Some(addr) = parsed.opt("--addr") {
+                cfg.addr = addr.to_string();
+            }
+            match parsed.opt_usize("--run-workers") {
+                Ok(Some(n)) if n > 0 => cfg.run_workers = n,
+                Ok(Some(_)) => usage_exit("`--run-workers` must be at least 1", &spec),
+                Ok(None) => {}
+                Err(e) => usage_exit(e, &spec),
+            }
+            let server = match xui_serve::Server::start(&cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind `{}`: {e}", cfg.addr);
+                    exit(2);
+                }
+            };
+            let addr = server.local_addr();
+            if let Some(path) = parsed.opt("--port-file") {
+                if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+                    eprintln!("error: cannot write port file `{path}`: {e}");
+                    server.shutdown();
+                    exit(2);
+                }
+            }
+            println!("xui serve listening on http://{addr} (POST /api/shutdown to stop)");
+            server.join();
         }
         other => usage_exit(format!("unknown command `{other}`"), &spec),
     }

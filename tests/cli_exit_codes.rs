@@ -1,0 +1,81 @@
+//! Locks the `xui` CLI's exit-status contract: 0 pass, 1 experiment
+//! failure, 2 usage/config error — in particular that a bad scenario
+//! *path* (missing, unreadable, or invalid JSON) is a clean exit 2
+//! with a pointed message, never a panic or a silent pass.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xui(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xui"))
+        .args(args)
+        .output()
+        .expect("xui binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xui-cli-exit-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn run_with_missing_file_exits_2_with_message() {
+    let out = xui(&["run", "/no/such/dir/scenario.json"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("cannot read scenario file `/no/such/dir/scenario.json`"),
+        "unhelpful message: {err}"
+    );
+}
+
+#[test]
+fn run_with_unreadable_path_exits_2_with_message() {
+    // A directory is unreadable-as-a-file on every platform and for
+    // every uid (tests often run as root, where mode 000 still reads).
+    let dir = tmp_path("dir.json");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let arg = dir.to_str().expect("utf-8 temp path");
+    let out = xui(&["run", arg]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("cannot read scenario file"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_with_invalid_json_file_exits_2_with_message() {
+    let file = tmp_path("garbage.json");
+    std::fs::write(&file, "{ not json").expect("write temp scenario");
+    let arg = file.to_str().expect("utf-8 temp path");
+    let out = xui(&["run", arg]);
+    std::fs::remove_file(&file).ok();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid scenario file"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_with_unknown_preset_exits_2_and_points_at_list() {
+    let out = xui(&["run", "no_such_preset"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unknown scenario `no_such_preset`"), "{err}");
+    assert!(err.contains("xui list"), "should point at `xui list`: {err}");
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = xui(&["run", "fig2_timeline", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("usage"), "{}", stderr(&out));
+}
+
+#[test]
+fn show_preset_exits_0_with_json() {
+    let out = xui(&["show", "fig2_timeline"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"fig2_timeline\""), "{body}");
+}

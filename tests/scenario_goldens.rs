@@ -21,6 +21,7 @@ fn run_with_threads(sc: &Scenario, threads: usize) -> RunReport {
     let opts = RunOptions {
         bench: BenchOpts { threads: Some(threads), ..BenchOpts::default() },
         save: false,
+        ..RunOptions::default()
     };
     runner::run(sc, &opts).expect("scenario runs")
 }
@@ -132,6 +133,7 @@ fn runner_rejects_unsupported_telemetry_and_misplaced_faults() {
     let opts = RunOptions {
         bench: BenchOpts { trace: Some("t.json".into()), ..BenchOpts::default() },
         save: false,
+        ..RunOptions::default()
     };
     let err = runner::run(&sc, &opts).expect_err("trace must be rejected");
     assert!(err.contains("--trace"), "unexpected error: {err}");
@@ -139,6 +141,7 @@ fn runner_rejects_unsupported_telemetry_and_misplaced_faults() {
     let opts = RunOptions {
         bench: BenchOpts { metrics: true, ..BenchOpts::default() },
         save: false,
+        ..RunOptions::default()
     };
     let err = runner::run(&sc, &opts).expect_err("metrics must be rejected");
     assert!(err.contains("--metrics"), "unexpected error: {err}");
