@@ -268,6 +268,12 @@ impl RunQueue {
         // worker can report `Running` first (observers must therefore
         // never call back into the queue).
         let mut jobs = self.inner.jobs.lock().expect("run jobs poisoned");
+        // Re-check under the lock: shutdown() drains this queue while
+        // holding it, so a submit that raced past the early check must
+        // not push a job the drained queue will never execute or cancel.
+        if self.inner.shutting_down.load(Ordering::Relaxed) {
+            return Err(SubmitError::ShuttingDown);
+        }
         if jobs.len() >= self.inner.depth {
             return Err(SubmitError::Full { depth: self.inner.depth });
         }

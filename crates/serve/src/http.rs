@@ -14,6 +14,14 @@ use std::io::{self, BufRead, Write};
 /// Largest accepted request body (a scenario JSON is well under this).
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
+/// Largest accepted request line or header line, newline included. A
+/// client streaming an endless line is cut off here instead of growing
+/// a `String` without bound while it occupies a worker.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
+/// Most header lines accepted in one request.
+pub const MAX_HEADERS: usize = 100;
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -92,6 +100,16 @@ impl From<io::Error> for ParseError {
 /// pass through literally — a control plane should never 500 on a weird
 /// query string.
 fn percent_decode(s: &str) -> String {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    // Work on bytes throughout: slicing the &str by byte offsets would
+    // panic when a `%` is followed by a multibyte UTF-8 character.
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -99,9 +117,8 @@ fn percent_decode(s: &str) -> String {
         match bytes[i] {
             b'+' => out.push(b' '),
             b'%' if i + 2 < bytes.len() => {
-                let hex = &s[i + 1..i + 3];
-                if let Ok(b) = u8::from_str_radix(hex, 16) {
-                    out.push(b);
+                if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                    out.push((hi << 4) | lo);
                     i += 2;
                 } else {
                     out.push(b'%');
@@ -124,7 +141,43 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Reads and parses one request from `reader`.
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`] bytes
+/// (lossily decoded); `Ok(None)` on immediate EOF, `Malformed` when the
+/// limit is hit before a newline.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> Result<Option<String>, ParseError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos + 1 > MAX_LINE_BYTES {
+                return Err(ParseError::Malformed(format!(
+                    "line exceeds the {MAX_LINE_BYTES} byte limit"
+                )));
+            }
+            buf.extend_from_slice(&chunk[..=pos]);
+            reader.consume(pos + 1);
+            break;
+        }
+        if buf.len() + chunk.len() > MAX_LINE_BYTES {
+            return Err(ParseError::Malformed(format!(
+                "line exceeds the {MAX_LINE_BYTES} byte limit"
+            )));
+        }
+        let n = chunk.len();
+        buf.extend_from_slice(chunk);
+        reader.consume(n);
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Reads and parses one request from `reader`, with per-line and
+/// header-count bounds so a hostile peer cannot grow memory unboundedly.
 ///
 /// # Errors
 ///
@@ -132,10 +185,9 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
 /// server can distinguish an idle probe (a port scanner, a
 /// health-check TCP connect) from a malformed request.
 pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    let Some(line) = read_line_capped(reader)? else {
         return Err(ParseError::Eof);
-    }
+    };
     let line = line.trim_end();
     let mut parts = line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next(), parts.next()) {
@@ -148,14 +200,20 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> 
     };
 
     let mut headers = BTreeMap::new();
+    let mut header_lines = 0usize;
     loop {
-        let mut hline = String::new();
-        if reader.read_line(&mut hline)? == 0 {
+        let Some(hline) = read_line_capped(reader)? else {
             return Err(ParseError::Malformed("EOF inside headers".to_string()));
-        }
+        };
         let hline = hline.trim_end();
         if hline.is_empty() {
             break;
+        }
+        header_lines += 1;
+        if header_lines > MAX_HEADERS {
+            return Err(ParseError::Malformed(format!(
+                "more than {MAX_HEADERS} header lines"
+            )));
         }
         let Some((name, value)) = hline.split_once(':') else {
             return Err(ParseError::Malformed(format!("bad header `{hline}`")));
@@ -312,6 +370,34 @@ mod tests {
     fn garbage_request_line_is_malformed() {
         assert!(matches!(parse("nonsense\r\n\r\n"), Err(ParseError::Malformed(_))));
         assert!(matches!(parse("GET /x\r\n\r\n"), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn percent_escape_followed_by_multibyte_utf8_does_not_panic() {
+        // `%a` then `é`: i+3 would land inside the 2-byte char if the
+        // decoder sliced the &str by byte index.
+        let req = parse("GET /x?a=%aé&b=%e9&c=%%41 HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(req.query_param("a"), Some("%aé"));
+        assert_eq!(req.query_param("b"), Some("\u{fffd}")); // lone 0xe9 byte, lossily replaced
+        assert_eq!(req.query_param("c"), Some("%A"));
+    }
+
+    #[test]
+    fn endless_header_line_is_rejected_not_buffered() {
+        let raw = format!("GET /x HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed(_))));
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn too_many_headers_are_rejected() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-H-{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed(_))));
     }
 
     #[test]

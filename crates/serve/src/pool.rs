@@ -6,6 +6,7 @@
 //! the same drop-over-stall policy the telemetry broadcast layer uses.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -137,9 +138,22 @@ fn worker_loop(inner: &Inner) {
                 jobs = inner.job_ready.wait(jobs).expect("pool jobs poisoned");
             }
         };
+        // Contain handler panics: an unwinding job must neither kill
+        // the worker thread (a handful of malformed requests would
+        // otherwise drain the whole pool) nor leak the busy counter —
+        // the decrement rides a drop guard so it survives the unwind.
+        struct BusyGuard<'a>(&'a AtomicUsize);
+        impl Drop for BusyGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
         inner.busy.fetch_add(1, Ordering::Relaxed);
-        job();
-        inner.busy.fetch_sub(1, Ordering::Relaxed);
+        let _busy = BusyGuard(&inner.busy);
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            let name = std::thread::current().name().unwrap_or("?").to_string();
+            eprintln!("[xui-serve] a connection handler panicked on {name}; worker continues");
+        }
     }
 }
 
@@ -165,6 +179,20 @@ mod tests {
         assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
         pool.shutdown();
         pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn panicking_job_neither_kills_the_worker_nor_leaks_busy() {
+        let pool = ThreadPool::new(1, 8);
+        // With one worker, every panic landing on it must leave it alive.
+        for _ in 0..4 {
+            pool.execute(|| panic!("handler bug")).expect("accepted");
+        }
+        let (tx, rx) = mpsc::channel();
+        pool.execute(move || tx.send(42u32).unwrap()).expect("accepted");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(42), "worker survived panics");
+        pool.shutdown(); // joins the worker, so the last decrement has landed
+        assert_eq!(pool.busy(), 0, "busy counter survived the unwinds");
     }
 
     #[test]

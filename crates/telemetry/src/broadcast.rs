@@ -53,6 +53,10 @@ struct SubShared {
     dropped: AtomicU64,
     delivered: AtomicU64,
     closed: AtomicBool,
+    /// Cleared by [`BroadcastSubscriber`]'s `Drop`; liveness cannot be
+    /// inferred from `Arc::strong_count` because [`SubscriberStats`]
+    /// handles also hold strong references.
+    consumer_alive: AtomicBool,
 }
 
 impl SubShared {
@@ -77,6 +81,12 @@ impl SubShared {
 #[derive(Debug)]
 pub struct BroadcastSubscriber {
     shared: Arc<SubShared>,
+}
+
+impl Drop for BroadcastSubscriber {
+    fn drop(&mut self) {
+        self.shared.consumer_alive.store(false, Ordering::Relaxed);
+    }
 }
 
 impl BroadcastSubscriber {
@@ -131,9 +141,7 @@ impl SubscriberStats {
     /// True when the consumer half has been dropped.
     #[must_use]
     pub fn is_detached(&self) -> bool {
-        // The hub and this stats handle each hold one reference; the
-        // consumer holds the rest.
-        Arc::strong_count(&self.shared) <= 2
+        !self.shared.consumer_alive.load(Ordering::Relaxed)
     }
 }
 
@@ -166,6 +174,7 @@ impl BroadcastHub {
             dropped: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             closed: AtomicBool::new(self.closed.load(Ordering::Relaxed)),
+            consumer_alive: AtomicBool::new(true),
         });
         self.subs
             .lock()
@@ -196,7 +205,7 @@ impl BroadcastHub {
     /// subscriber) and prunes subscriptions whose consumer is gone.
     pub fn publish(&self, item: &StreamItem) {
         let mut subs = self.subs.lock().expect("hub subscriber list poisoned");
-        subs.retain(|s| Arc::strong_count(s) > 1);
+        subs.retain(|s| s.consumer_alive.load(Ordering::Relaxed));
         for s in subs.iter() {
             s.push(item.clone());
         }
@@ -372,6 +381,23 @@ mod tests {
         assert_eq!(sub.drain().len(), 1, "queued items survive close");
         // A late subscriber to a closed hub sees the closed flag.
         assert!(hub.subscribe(4).is_closed());
+    }
+
+    #[test]
+    fn stats_handles_do_not_keep_dead_subscribers_alive() {
+        let hub = BroadcastHub::new();
+        let sub = hub.subscribe(4);
+        let stats: Vec<SubscriberStats> = hub.subscriber_stats();
+        let extra = stats.clone(); // several live handles at once
+        drop(sub);
+        hub.publish_event(Event::instant(1, 0, "e"));
+        assert_eq!(
+            hub.subscriber_count(),
+            0,
+            "a held stats handle must not block pruning of a dropped consumer"
+        );
+        assert!(stats[0].is_detached());
+        assert!(extra[0].is_detached());
     }
 
     #[test]
