@@ -44,6 +44,8 @@ pub struct InjectionLog {
     pub ring_clamps: u64,
     /// Elements moved by permutation faults (posts + completions).
     pub reordered: u64,
+    /// Queries answered with a nonzero interference-burst inflation.
+    pub interference_hits: u64,
 }
 
 /// Stateful, deterministic fault injector for one run.
@@ -169,6 +171,24 @@ impl FaultInjector {
             }
         }
         fire
+    }
+
+    /// Total delivery-path cost inflation (percent) in force at `now`:
+    /// the sum of every [`FaultOp::InterferenceBurst`] window covering
+    /// `now` (overlapping bursts stack). Zero outside all windows.
+    pub fn interference_pct(&mut self, now: u64) -> u64 {
+        let mut pct = 0u64;
+        for op in &self.plan.ops {
+            if let FaultOp::InterferenceBurst { from, until, pct: p } = *op {
+                if in_window(now, from, until) {
+                    pct = pct.saturating_add(p);
+                }
+            }
+        }
+        if pct > 0 {
+            self.log.interference_hits += 1;
+        }
+        pct
     }
 
     /// Effective capacity of receive ring `queue` at time `now`, given
@@ -367,6 +387,20 @@ mod tests {
         two.permute_completions(&mut y2);
         assert_eq!(x, x2);
         assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn interference_bursts_stack_inside_windows() {
+        let plan = FaultPlan::named("t")
+            .interference_burst(100, 200, 40)
+            .interference_burst(150, 300, 60);
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.interference_pct(99), 0);
+        assert_eq!(inj.interference_pct(100), 40);
+        assert_eq!(inj.interference_pct(150), 100);
+        assert_eq!(inj.interference_pct(250), 60);
+        assert_eq!(inj.interference_pct(300), 0);
+        assert_eq!(inj.log().interference_hits, 3);
     }
 
     #[test]

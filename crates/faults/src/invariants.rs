@@ -45,6 +45,24 @@ pub enum InvariantKind {
     PirNotDrainedAtIdle,
     /// Delivery exceeded the latency bound after the receiver unblocked.
     LatencyExceeded,
+    /// A parameterized [`LatencyObligation`] deadline was missed.
+    DeadlineMissed,
+}
+
+/// A parameterized *bounded-latency-once-unblocked* obligation: every
+/// delivery of a vector in `min_vector..` must land within `deadline`
+/// virtual ticks of the post becoming deliverable (the later of the
+/// post itself and the receiver's most recent unblock). Violations name
+/// the offending event and the observed latency, so a failed run is
+/// directly actionable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyObligation {
+    /// Obligation name, echoed in violation details.
+    pub name: String,
+    /// Lowest user vector the obligation covers (63 = only the highest).
+    pub min_vector: u64,
+    /// Deadline in virtual ticks once deliverable.
+    pub deadline: u64,
 }
 
 /// One invariant violation, with enough context to replay it.
@@ -149,6 +167,38 @@ impl ActorState {
 /// ```
 #[must_use]
 pub fn check(events: &[Event], cfg: &InvariantConfig) -> InvariantReport {
+    check_with_obligations(events, cfg, &[])
+}
+
+/// Like [`check`], with additional parameterized bounded-latency
+/// obligations: each delivery of a vector covered by an obligation must
+/// land within that obligation's deadline of becoming deliverable, or a
+/// [`InvariantKind::DeadlineMissed`] violation is reported naming the
+/// offending event and the observed latency.
+///
+/// # Examples
+///
+/// ```
+/// use xui_faults::invariants::{
+///     check_with_obligations, InvariantConfig, InvariantKind, LatencyObligation,
+///     EV_DELIVER, EV_POST,
+/// };
+/// use xui_telemetry::Event;
+///
+/// let trace = vec![
+///     Event::instant(10, 0, EV_POST).with_arg("uv", 63),
+///     Event::instant(900, 0, EV_DELIVER).with_arg("uv", 63),
+/// ];
+/// let ob = LatencyObligation { name: "tight".into(), min_vector: 63, deadline: 500 };
+/// let report = check_with_obligations(&trace, &InvariantConfig::default(), &[ob]);
+/// assert_eq!(report.count_of(InvariantKind::DeadlineMissed), 1);
+/// ```
+#[must_use]
+pub fn check_with_obligations(
+    events: &[Event],
+    cfg: &InvariantConfig,
+    obligations: &[LatencyObligation],
+) -> InvariantReport {
     let mut report = InvariantReport::default();
     let mut actors: Vec<ActorState> = Vec::new();
     let mut end_ts = 0u64;
@@ -210,6 +260,22 @@ pub fn check(events: &[Event], cfg: &InvariantConfig) -> InvariantReport {
                                 ev.ts, cfg.latency_bound
                             ),
                         });
+                    }
+                    for ob in obligations {
+                        if uv >= ob.min_vector && latency > ob.deadline {
+                            report.violations.push(Violation {
+                                kind: InvariantKind::DeadlineMissed,
+                                ts: ev.ts,
+                                actor: ev.actor,
+                                vector: Some(uv),
+                                detail: format!(
+                                    "obligation `{}`: event {EV_DELIVER} vector {uv} posted at \
+                                     t={posted}, deliverable at t={deliverable_at}, delivered at \
+                                     t={} — observed latency {latency} > deadline {}",
+                                    ob.name, ev.ts, ob.deadline
+                                ),
+                            });
+                        }
                     }
                 }
             }
@@ -391,6 +457,54 @@ mod tests {
         let r = check(&trace, &InvariantConfig::default());
         assert!(r.pass());
         assert_eq!(r.posts, 0);
+    }
+
+    #[test]
+    fn obligation_covers_only_its_vector_range() {
+        let ob = LatencyObligation { name: "hi-only".into(), min_vector: 60, deadline: 50 };
+        let cfg = InvariantConfig { latency_bound: u64::MAX };
+        // A slow low vector is ignored; a slow high vector is flagged.
+        let trace = vec![
+            post(0, 0, 3),
+            deliver(900, 0, 3),
+            post(1_000, 0, 63),
+            deliver(1_100, 0, 63),
+        ];
+        let r = check_with_obligations(&trace, &cfg, std::slice::from_ref(&ob));
+        assert_eq!(r.count_of(InvariantKind::DeadlineMissed), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.vector, Some(63));
+        assert!(v.detail.contains("hi-only"), "{}", v.detail);
+        assert!(v.detail.contains(EV_DELIVER), "{}", v.detail);
+        assert!(v.detail.contains("observed latency 100"), "{}", v.detail);
+    }
+
+    #[test]
+    fn obligation_clock_restarts_at_unblock() {
+        let ob = LatencyObligation { name: "once-unblocked".into(), min_vector: 63, deadline: 100 };
+        let cfg = InvariantConfig { latency_bound: u64::MAX };
+        let ok = vec![
+            Event::instant(0, 0, EV_BLOCK),
+            post(10, 0, 63),
+            Event::instant(5_000, 0, EV_UNBLOCK),
+            deliver(5_090, 0, 63),
+        ];
+        assert!(check_with_obligations(&ok, &cfg, std::slice::from_ref(&ob)).pass());
+        let slow = vec![
+            Event::instant(0, 0, EV_BLOCK),
+            post(10, 0, 63),
+            Event::instant(5_000, 0, EV_UNBLOCK),
+            deliver(5_200, 0, 63),
+        ];
+        let r = check_with_obligations(&slow, &cfg, &[ob]);
+        assert_eq!(r.count_of(InvariantKind::DeadlineMissed), 1);
+    }
+
+    #[test]
+    fn check_is_check_with_no_obligations() {
+        let trace = vec![post(10, 0, 3), deliver(15, 0, 3)];
+        let cfg = InvariantConfig::default();
+        assert_eq!(check(&trace, &cfg), check_with_obligations(&trace, &cfg, &[]));
     }
 
     #[test]

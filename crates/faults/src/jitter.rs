@@ -1,0 +1,197 @@
+//! Worst-case / jitter reduction over delivery-latency sample streams.
+//!
+//! The worst-case scenario band (see `docs/WORST_CASE.md`) cares about
+//! the *exact* tail, not a bucketed approximation: the reducer keeps
+//! every sample and answers percentiles by nearest rank over the sorted
+//! stream, so `percentile(100)` is the exact observed maximum and the
+//! emitted CDF is monotone non-decreasing by construction. Streams are
+//! mergeable — merging two streams and reducing equals reducing over
+//! the concatenation — which is what lets parallel sweep arms
+//! accumulate samples independently and still produce byte-identical
+//! artifacts.
+
+use serde::{Deserialize, Serialize};
+
+/// The percentile grid the worst-case band reports (includes 0 and 100,
+/// so a CDF always carries the exact min and max).
+pub const CDF_GRID: &[f64] = &[0.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
+
+/// An accumulating stream of latency samples (virtual ticks).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySamples {
+    samples: Vec<u64>,
+}
+
+impl LatencySamples {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.samples.push(latency);
+    }
+
+    /// Appends every sample of `other` (multiset union).
+    pub fn merge(&mut self, other: &Self) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100) over the samples, or
+    /// `None` on an empty stream. `percentile(0)` is the exact minimum
+    /// and `percentile(100)` the exact maximum.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(nearest_rank(&sorted, p))
+    }
+
+    /// Reduces the stream to a [`JitterCdf`] over `grid` (percentiles
+    /// in 0..=100; callers usually pass [`CDF_GRID`]). Safe on empty
+    /// and single-sample streams.
+    #[must_use]
+    pub fn reduce(&self, grid: &[f64]) -> JitterCdf {
+        if self.samples.is_empty() {
+            return JitterCdf {
+                count: 0,
+                min: 0,
+                mean: 0.0,
+                max: 0,
+                jitter: 0,
+                points: grid.iter().map(|&p| CdfPoint { percentile: p, latency: 0 }).collect(),
+            };
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let max = *sorted.last().expect("non-empty");
+        let sum: u128 = sorted.iter().map(|&s| u128::from(s)).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean = sum as f64 / sorted.len() as f64;
+        let points = grid
+            .iter()
+            .map(|&p| CdfPoint { percentile: p, latency: nearest_rank(&sorted, p) })
+            .collect();
+        JitterCdf { count: sorted.len() as u64, min, mean, max, jitter: max - min, points }
+    }
+}
+
+/// Nearest-rank percentile over a sorted, non-empty slice.
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len();
+    if p <= 0.0 {
+        return sorted[0];
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// One point of a reduced jitter CDF.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// Percentile in 0..=100.
+    pub percentile: f64,
+    /// Nearest-rank latency at that percentile, in virtual ticks.
+    pub latency: u64,
+}
+
+/// The reduced worst-case summary of one latency stream: exact min,
+/// max, and jitter (max − min), plus the per-percentile CDF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JitterCdf {
+    /// Samples reduced.
+    pub count: u64,
+    /// Exact observed minimum.
+    pub min: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Exact observed maximum (the worst case).
+    pub max: u64,
+    /// Max − min: the observed jitter band.
+    pub jitter: u64,
+    /// The CDF, monotone non-decreasing in `percentile` order.
+    pub points: Vec<CdfPoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_sample_streams_reduce_safely() {
+        let empty = LatencySamples::new();
+        let cdf = empty.reduce(CDF_GRID);
+        assert_eq!((cdf.count, cdf.min, cdf.max, cdf.jitter), (0, 0, 0, 0));
+        assert_eq!(cdf.points.len(), CDF_GRID.len());
+        assert_eq!(empty.percentile(50.0), None);
+
+        let mut one = LatencySamples::new();
+        one.record(42);
+        let cdf = one.reduce(CDF_GRID);
+        assert_eq!((cdf.count, cdf.min, cdf.max, cdf.jitter), (1, 42, 42, 0));
+        assert!(cdf.points.iter().all(|pt| pt.latency == 42));
+    }
+
+    #[test]
+    fn p0_is_min_and_p100_is_exact_max() {
+        let mut s = LatencySamples::new();
+        for v in [9, 3, 77, 1, 50] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(0.0), Some(1));
+        assert_eq!(s.percentile(100.0), Some(77));
+        let cdf = s.reduce(CDF_GRID);
+        assert_eq!(cdf.points.first().map(|p| p.latency), Some(1));
+        assert_eq!(cdf.points.last().map(|p| p.latency), Some(77));
+        assert_eq!(cdf.jitter, 76);
+    }
+
+    #[test]
+    fn cdf_is_monotone_non_decreasing() {
+        let mut s = LatencySamples::new();
+        for v in 0..100u64 {
+            s.record((v * 7919) % 257);
+        }
+        let cdf = s.reduce(CDF_GRID);
+        for pair in cdf.points.windows(2) {
+            assert!(pair[0].latency <= pair[1].latency, "{cdf:?}");
+        }
+    }
+
+    #[test]
+    fn merge_then_reduce_equals_reduce_over_concatenation() {
+        let mut a = LatencySamples::new();
+        let mut b = LatencySamples::new();
+        let mut concat = LatencySamples::new();
+        for v in [5u64, 1, 9, 200, 7] {
+            a.record(v);
+            concat.record(v);
+        }
+        for v in [3u64, 300, 2] {
+            b.record(v);
+            concat.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.reduce(CDF_GRID), concat.reduce(CDF_GRID));
+    }
+}

@@ -15,7 +15,11 @@
 //!   binaries;
 //! - [`invariants`] — a checker over the `xui-telemetry` event stream
 //!   asserting no-lost-wakeup, no-duplicate-delivery, PIR-drained-
-//!   before-idle and bounded-delivery-latency-once-unblocked;
+//!   before-idle and bounded-delivery-latency-once-unblocked, plus
+//!   parameterized per-vector-class latency obligations
+//!   ([`invariants::LatencyObligation`]);
+//! - [`jitter`] — the exact worst-case / jitter-CDF reducer the
+//!   worst-case scenario band (`wc_*` presets) reports through;
 //! - [`recovery::DegradeGuard`] — the fallback-to-polling policy used
 //!   when injected faults exceed a plan's threshold;
 //! - [`conformance`] — runs one send schedule through the untimed DES
@@ -28,6 +32,7 @@
 pub mod conformance;
 pub mod inject;
 pub mod invariants;
+pub mod jitter;
 pub mod plan;
 pub mod recovery;
 
@@ -35,6 +40,10 @@ pub use conformance::{
     expected_deliveries, run_conformance, ConformanceReport, ConformanceScenario, ScheduledSend,
 };
 pub use inject::{FaultInjector, InjectionLog, PostAction};
-pub use invariants::{check, InvariantConfig, InvariantKind, InvariantReport, Violation};
+pub use invariants::{
+    check, check_with_obligations, InvariantConfig, InvariantKind, InvariantReport,
+    LatencyObligation, Violation,
+};
+pub use jitter::{CdfPoint, JitterCdf, LatencySamples, CDF_GRID};
 pub use plan::{FaultOp, FaultPlan};
 pub use recovery::DegradeGuard;

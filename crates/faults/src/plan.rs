@@ -93,6 +93,17 @@ pub enum FaultOp {
         /// Window length in completions.
         window: usize,
     },
+    /// Co-located bulk tenants burst on the victim's core while the
+    /// clock is in `[from, until)`, inflating delivery-path costs by
+    /// `pct` percent. Overlapping bursts stack additively.
+    InterferenceBurst {
+        /// Start of the burst (inclusive).
+        from: u64,
+        /// End of the burst (exclusive).
+        until: u64,
+        /// Delivery-path cost inflation in percent.
+        pct: u64,
+    },
 }
 
 /// A named, replayable fault schedule.
@@ -210,6 +221,13 @@ impl FaultPlan {
     #[must_use]
     pub fn reorder_completions(self, window: usize) -> Self {
         self.op(FaultOp::ReorderCompletions { window })
+    }
+
+    /// Adds an interference burst: delivery-path costs inflate by `pct`
+    /// percent during `[from, until)`.
+    #[must_use]
+    pub fn interference_burst(self, from: u64, until: u64, pct: u64) -> Self {
+        self.op(FaultOp::InterferenceBurst { from, until, pct })
     }
 
     /// True if the plan injects nothing.

@@ -1,0 +1,76 @@
+//! Property tests for the worst-case / jitter-CDF reducer: the CDF is
+//! monotone non-decreasing, `percentile(100)` is the exact observed
+//! maximum, empty/single-sample streams reduce safely, and
+//! merge-then-reduce equals reduce-over-concatenation for every split
+//! point of the sample stream.
+
+use proptest::prelude::*;
+use xui_faults::{LatencySamples, CDF_GRID};
+
+fn stream(values: &[u64]) -> LatencySamples {
+    let mut s = LatencySamples::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+proptest! {
+    /// Reduced CDFs never decrease as the percentile grows.
+    #[test]
+    fn cdf_is_monotone_non_decreasing(
+        values in proptest::collection::vec(0u64..1_000_000, 0..200)
+    ) {
+        let cdf = stream(&values).reduce(CDF_GRID);
+        for pair in cdf.points.windows(2) {
+            prop_assert!(pair[0].latency <= pair[1].latency, "{cdf:?}");
+        }
+    }
+
+    /// `percentile(100)` (and the reduced `max`) equal the exact
+    /// observed maximum; `percentile(0)` equals the exact minimum.
+    #[test]
+    fn p100_is_the_exact_observed_max(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        let s = stream(&values);
+        let exact_max = values.iter().copied().max().unwrap_or(0);
+        let exact_min = values.iter().copied().min().unwrap_or(0);
+        prop_assert_eq!(s.percentile(100.0), Some(exact_max));
+        prop_assert_eq!(s.percentile(0.0), Some(exact_min));
+        let cdf = s.reduce(CDF_GRID);
+        prop_assert_eq!(cdf.max, exact_max);
+        prop_assert_eq!(cdf.min, exact_min);
+        prop_assert_eq!(cdf.jitter, exact_max - exact_min);
+        prop_assert_eq!(cdf.points.last().map(|p| p.latency), Some(exact_max));
+    }
+
+    /// Merging split halves and reducing equals reducing the
+    /// concatenated stream, for every split point.
+    #[test]
+    fn merge_then_reduce_equals_reduce_over_concatenation(
+        values in proptest::collection::vec(0u64..1_000_000, 0..120),
+        split in 0usize..121
+    ) {
+        let split = split.min(values.len());
+        let mut merged = stream(&values[..split]);
+        merged.merge(&stream(&values[split..]));
+        prop_assert_eq!(merged.reduce(CDF_GRID), stream(&values).reduce(CDF_GRID));
+        prop_assert_eq!(merged.len(), values.len());
+    }
+}
+
+#[test]
+fn empty_and_single_sample_streams_do_not_panic() {
+    let empty = LatencySamples::new();
+    let cdf = empty.reduce(CDF_GRID);
+    assert_eq!(cdf.count, 0);
+    assert_eq!(cdf.points.len(), CDF_GRID.len());
+    assert!(empty.is_empty());
+    assert_eq!(empty.percentile(99.9), None);
+
+    let one = stream(&[7]);
+    let cdf = one.reduce(CDF_GRID);
+    assert_eq!((cdf.count, cdf.min, cdf.max, cdf.jitter), (1, 7, 7, 0));
+    assert!(cdf.points.iter().all(|p| p.latency == 7));
+}

@@ -8,6 +8,9 @@
 //! [`tenants`] scales the model out: N tenant runtimes multiplexed
 //! onto shared cores (KB_Timer multiplexing, §4.3), driven by
 //! batch-drawn million-client arrival streams on the DES engine.
+//! [`worstcase`] stresses the latency envelope: mixed-criticality
+//! senders sharing a receiver with bulk interferer tenants, verdicted
+//! through the fault checker's bounded-latency obligations.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -15,6 +18,7 @@ pub mod server;
 pub mod stealing;
 pub mod tenants;
 pub mod uthread;
+pub mod worstcase;
 
 pub use server::{run_server, run_server_faulted, ServerConfig, ServerReport};
 pub use stealing::StealQueues;
@@ -23,3 +27,7 @@ pub use tenants::{
     TenantSummary,
 };
 pub use uthread::{Uthread, UthreadId};
+pub use worstcase::{
+    run_worst_case, CriticalityMix, InterferenceKind, WorstCaseConfig, WorstCaseReport,
+    HIGH_VECTOR,
+};

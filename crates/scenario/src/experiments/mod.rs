@@ -17,6 +17,7 @@ pub(crate) mod fig9;
 pub(crate) mod mt;
 pub(crate) mod oracle;
 pub(crate) mod table2;
+pub(crate) mod wc;
 pub(crate) mod x1;
 pub(crate) mod x2;
 pub(crate) mod x3;

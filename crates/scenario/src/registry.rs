@@ -5,8 +5,10 @@
 //! `fig6_timer_core` produced.
 
 use xui_accel::RequestKind;
+use xui_faults::FaultPlan;
 use xui_kernel::PreemptMechanism;
 use xui_net::IoMode;
+use xui_runtime::worstcase::{CriticalityMix, InterferenceKind};
 use xui_sim::config::DeliveryStrategy;
 use xui_workloads::programs::WorkloadSpec;
 
@@ -350,6 +352,97 @@ pub fn all() -> Vec<Scenario> {
                 max_cycles: 4_000_000_000,
             },
         ),
+        wc_scenario(
+            "wc_interference",
+            "Worst case: interference",
+            "High-vector latency under cache/pipeline/membw interference, 2 vs 8 \
+             interferers, shared vs pinned delivery",
+            "ROADMAP worst-case band: exact max, jitter CDFs, and inversion \
+             counts under co-located bulk tenants; bounded-latency obligation \
+             on vector 63",
+            Experiment::WorstCase {
+                kinds: vec![
+                    InterferenceKind::None,
+                    InterferenceKind::Cache,
+                    InterferenceKind::Pipeline,
+                    InterferenceKind::MemBw,
+                ],
+                interferer_counts: vec![2, 8],
+                mixes: vec![CriticalityMix::standard()],
+                isolation: vec![false, true],
+                duration: 240_000,
+                deadline: 10_000,
+                probe_max_cycles: 2_000_000,
+            },
+            FaultPlan::named("wc-interference-bursts")
+                .seed(17)
+                .interference_burst(40_000, 80_000, 40)
+                .interference_burst(120_000, 160_000, 60),
+        ),
+        wc_scenario(
+            "wc_mixed_criticality",
+            "Worst case: criticality mix",
+            "Priority inversion of the non-preemptive delivery window as the \
+             low-vector flood grows",
+            "highest-vector-first delivery (§3.3): a pending high vector is \
+             only delayed by one in-flight low delivery, never by queue depth",
+            Experiment::WorstCase {
+                kinds: vec![InterferenceKind::Cache],
+                interferer_counts: vec![4],
+                mixes: vec![
+                    CriticalityMix::light(),
+                    CriticalityMix::standard(),
+                    CriticalityMix::flood(),
+                ],
+                isolation: vec![false],
+                duration: 240_000,
+                deadline: 10_000,
+                probe_max_cycles: 2_000_000,
+            },
+            FaultPlan::named("wc-mix-bursts")
+                .seed(23)
+                .interference_burst(60_000, 100_000, 50)
+                .delay_every(17, 3, 400),
+        ),
+        wc_scenario(
+            "wc_isolation",
+            "Worst case: isolation",
+            "Pinning delivery to a dedicated core under heavy membw interference",
+            "mitigation arm: isolation trades a fixed steering cost for freedom \
+             from interference multipliers and occupancy bursts",
+            Experiment::WorstCase {
+                kinds: vec![InterferenceKind::MemBw],
+                interferer_counts: vec![2, 8],
+                mixes: vec![CriticalityMix::standard()],
+                isolation: vec![false, true],
+                duration: 240_000,
+                deadline: 10_000,
+                probe_max_cycles: 2_000_000,
+            },
+            FaultPlan::named("wc-isolation-bursts")
+                .seed(31)
+                .interference_burst(20_000, 70_000, 80)
+                .interference_burst(150_000, 200_000, 80),
+        ),
+        wc_scenario(
+            "wc_bound_violation",
+            "Worst case: bound violation",
+            "A deliberately impossible 700-tick deadline under a flood — must fail",
+            "negative path: the bounded-latency obligation names the offending \
+             event and observed latency, and `xui run` exits nonzero",
+            Experiment::WorstCase {
+                kinds: vec![InterferenceKind::Cache],
+                interferer_counts: vec![8],
+                mixes: vec![CriticalityMix::flood()],
+                isolation: vec![false],
+                duration: 240_000,
+                deadline: 700,
+                probe_max_cycles: 2_000_000,
+            },
+            FaultPlan::named("wc-violation-bursts").seed(47).interference_burst(
+                30_000, 210_000, 60,
+            ),
+        ),
         scenario(
             "faults_scenarios",
             "Fault scenarios",
@@ -376,6 +469,30 @@ pub fn all() -> Vec<Scenario> {
     ]
 }
 
+/// A worst-case-band preset: DES backend, two app cores (the isolation
+/// arm pins delivery to the second), and a fault plan attached (the
+/// `WorstCase` experiment honours `Scenario::faults`).
+fn wc_scenario(
+    name: &str,
+    heading: &str,
+    title: &str,
+    paper_ref: &str,
+    experiment: Experiment,
+    plan: FaultPlan,
+) -> Scenario {
+    let mut sc = scenario(
+        name,
+        heading,
+        title,
+        paper_ref,
+        Topology::cores(2),
+        TelemetryCaps::default(),
+        experiment,
+    );
+    sc.faults = Some(plan);
+    sc
+}
+
 /// Looks up a preset by name.
 #[must_use]
 pub fn find(name: &str) -> Option<Scenario> {
@@ -393,8 +510,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_twenty_experiments() {
-        assert_eq!(all().len(), 20);
+    fn registry_covers_all_twenty_four_experiments() {
+        assert_eq!(all().len(), 24);
+    }
+
+    #[test]
+    fn worst_case_band_is_registered_with_fault_plans() {
+        for name in ["wc_interference", "wc_mixed_criticality", "wc_isolation", "wc_bound_violation"]
+        {
+            let sc = find(name).unwrap_or_else(|| panic!("missing preset {name}"));
+            assert!(matches!(sc.experiment, Experiment::WorstCase { .. }), "{name}");
+            assert!(sc.faults.is_some(), "{name} must carry an interference plan");
+            sc.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
     }
 
     #[test]

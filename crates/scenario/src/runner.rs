@@ -310,6 +310,27 @@ pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
             experiments::ablations::window(workload, scales, *period, *max_cycles, bench, &mut sink);
             true
         }
+        Experiment::WorstCase {
+            kinds,
+            interferer_counts,
+            mixes,
+            isolation,
+            duration,
+            deadline,
+            probe_max_cycles,
+        } => experiments::wc::run(
+            &sc.name,
+            kinds,
+            interferer_counts,
+            mixes,
+            isolation,
+            *duration,
+            *deadline,
+            *probe_max_cycles,
+            sc.faults.as_ref(),
+            bench,
+            &mut sink,
+        ),
         Experiment::FaultsSuite { scenarios } => {
             experiments::faults::run(scenarios, bench, &mut sink)
         }

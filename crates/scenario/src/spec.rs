@@ -16,6 +16,7 @@ use xui_accel::RequestKind;
 use xui_faults::FaultPlan;
 use xui_kernel::PreemptMechanism;
 use xui_net::IoMode;
+use xui_runtime::worstcase::{CriticalityMix, InterferenceKind};
 use xui_sim::config::DeliveryStrategy;
 use xui_workloads::programs::WorkloadSpec;
 
@@ -346,6 +347,29 @@ pub enum Experiment {
         /// Simulation cycle budget per run.
         max_cycles: u64,
     },
+    /// Worst-case-latency scenario band: mixed-criticality senders
+    /// sharing a receiver with bulk interferer tenants on the DES
+    /// model, calibrated against the cycle simulator's interference
+    /// knobs and verdicted by the invariant checker's bounded-latency
+    /// obligation. Honours [`Scenario::faults`] (interference bursts,
+    /// drops, delays, duplicates).
+    WorstCase {
+        /// Interference kinds swept.
+        kinds: Vec<InterferenceKind>,
+        /// Interfering-tenant counts swept.
+        interferer_counts: Vec<u32>,
+        /// Criticality mixes swept.
+        mixes: Vec<CriticalityMix>,
+        /// Isolation arms swept (`false` = shared core, `true` =
+        /// delivery pinned to a dedicated core).
+        isolation: Vec<bool>,
+        /// DES horizon in virtual ticks.
+        duration: u64,
+        /// High-vector deadline once deliverable, in virtual ticks.
+        deadline: u64,
+        /// Cycle budget of each calibration probe on the cycle sim.
+        probe_max_cycles: u64,
+    },
     /// Deterministic fault-injection + conformance scenario suite.
     FaultsSuite {
         /// Scenario names, run in order (see `experiments::faults`).
@@ -384,6 +408,7 @@ impl Experiment {
             | Self::Fig9Dsa { .. }
             | Self::MultiTenant { .. }
             | Self::AblationMultiworker { .. }
+            | Self::WorstCase { .. }
             | Self::FaultsSuite { .. } => Backend::Des,
             Self::OracleFuzz { .. } => Backend::Oracle,
         }
@@ -392,7 +417,10 @@ impl Experiment {
     /// Whether [`Scenario::faults`] applies to this experiment.
     #[must_use]
     pub fn supports_faults(&self) -> bool {
-        matches!(self, Self::Fig7Rocksdb { .. } | Self::Fig8L3fwd { .. })
+        matches!(
+            self,
+            Self::Fig7Rocksdb { .. } | Self::Fig8L3fwd { .. } | Self::WorstCase { .. }
+        )
     }
 }
 
@@ -533,6 +561,33 @@ impl Scenario {
                         "the sweep reaches {max} workers but the topology has {} cores",
                         t.app_cores
                     ));
+                }
+            }
+            Experiment::WorstCase {
+                kinds,
+                interferer_counts,
+                mixes,
+                isolation,
+                duration,
+                deadline,
+                probe_max_cycles,
+            } => {
+                if kinds.is_empty()
+                    || interferer_counts.is_empty()
+                    || mixes.is_empty()
+                    || isolation.is_empty()
+                {
+                    return err("every worst-case sweep axis must be non-empty".into());
+                }
+                if *duration == 0 || *deadline == 0 || *probe_max_cycles == 0 {
+                    return err("duration, deadline and probe budget must be positive".into());
+                }
+                if isolation.contains(&true) && t.app_cores < 2 {
+                    return err(
+                        "the isolation arm pins delivery to a dedicated core, so the \
+                         topology needs at least two application cores"
+                            .into(),
+                    );
                 }
             }
             Experiment::FaultsSuite { scenarios } => {

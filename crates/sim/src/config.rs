@@ -18,6 +18,31 @@ pub enum DeliveryStrategy {
     Tracked,
 }
 
+/// Delivery-path interference multipliers, modelling co-located bulk
+/// tenants polluting the caches and contending for the front-end of the
+/// victim's core. Both default to zero (no interference), so every
+/// baseline configuration and golden is unchanged; the worst-case
+/// scenario band (`wc_*` presets) sweeps them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterferenceConfig {
+    /// Cache interference: percent inflation of the refill-dominated
+    /// delivery costs (the handler's working set was evicted by the
+    /// interferers), applied to the flush-assist startup and the IPI
+    /// bus transit (coherence traffic).
+    pub cache_pct: u64,
+    /// Pipeline interference: percent inflation of the micro-sequencer
+    /// and redirect costs (front-end contention), applied to MSROM
+    /// entry, the flush assist, and the post-drain stall.
+    pub pipeline_pct: u64,
+}
+
+/// `base` inflated by `pct` percent, in integer arithmetic (exact
+/// identity at `pct == 0`).
+#[must_use]
+pub fn scale_pct(base: u64, pct: u64) -> u64 {
+    base + base * pct / 100
+}
+
 /// Microarchitectural parameters of one simulated core, defaulting to the
 /// paper's Sapphire-Rapids-like gem5 configuration (Table 3).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,6 +106,8 @@ pub struct CoreConfig {
     pub mult_latency: u64,
     /// FP operation latency.
     pub fp_latency: u64,
+    /// Delivery-path interference multipliers (zero by default).
+    pub interference: InterferenceConfig,
 }
 
 impl CoreConfig {
@@ -116,7 +143,30 @@ impl CoreConfig {
             uiret_latency: 10,
             mult_latency: 3,
             fp_latency: 4,
+            interference: InterferenceConfig::default(),
         }
+    }
+
+    /// MSROM entry cost with pipeline interference applied.
+    #[must_use]
+    pub fn delivery_msrom_latency(&self) -> u64 {
+        scale_pct(self.msrom_entry_latency, self.interference.pipeline_pct)
+    }
+
+    /// Flush-assist startup cost with cache + pipeline interference
+    /// applied (the assist both refetches and refills).
+    #[must_use]
+    pub fn delivery_flush_latency(&self) -> u64 {
+        scale_pct(
+            self.flush_assist_latency,
+            self.interference.cache_pct + self.interference.pipeline_pct,
+        )
+    }
+
+    /// Post-drain stall with pipeline interference applied.
+    #[must_use]
+    pub fn delivery_drain_penalty(&self) -> u64 {
+        scale_pct(self.drain_extra_penalty, self.interference.pipeline_pct)
     }
 }
 
@@ -238,6 +288,13 @@ impl SystemConfig {
         cfg.core.drain_extra_penalty = 13;
         cfg
     }
+
+    /// IPI bus transit with cache interference applied (coherence
+    /// traffic from the interferers contends for the same fabric).
+    #[must_use]
+    pub fn delivery_ipi_latency(&self) -> u64 {
+        scale_pct(self.ipi_bus_latency, self.core.interference.cache_pct)
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +325,29 @@ mod tests {
         assert_eq!(uipi.strategy.0, DeliveryStrategy::Flush);
         assert_eq!(xui.strategy.0, DeliveryStrategy::Tracked);
         assert_eq!(SystemConfig::drain().strategy.0, DeliveryStrategy::Drain);
+    }
+
+    #[test]
+    fn zero_interference_leaves_delivery_costs_identical() {
+        let sys = SystemConfig::uipi();
+        let c = &sys.core;
+        assert_eq!(c.interference, InterferenceConfig::default());
+        assert_eq!(c.delivery_msrom_latency(), c.msrom_entry_latency);
+        assert_eq!(c.delivery_flush_latency(), c.flush_assist_latency);
+        assert_eq!(c.delivery_drain_penalty(), c.drain_extra_penalty);
+        assert_eq!(sys.delivery_ipi_latency(), sys.ipi_bus_latency);
+    }
+
+    #[test]
+    fn interference_inflates_delivery_costs_by_percent() {
+        let mut sys = SystemConfig::gem5_stock();
+        sys.core.interference = InterferenceConfig { cache_pct: 50, pipeline_pct: 100 };
+        assert_eq!(sys.core.delivery_msrom_latency(), 52); // 26 × 2
+        assert_eq!(sys.core.delivery_flush_latency(), 350 + 350 * 150 / 100);
+        assert_eq!(sys.core.delivery_drain_penalty(), 26); // 13 × 2
+        assert_eq!(sys.delivery_ipi_latency(), 360); // 240 × 1.5
+        assert_eq!(scale_pct(0, 100), 0);
+        assert_eq!(scale_pct(100, 0), 100);
+        assert_eq!(scale_pct(100, 37), 137);
     }
 }

@@ -728,7 +728,7 @@ impl Core {
         self.fetch_enabled = true;
         self.fetch_stall_until = self
             .fetch_stall_until
-            .max(now + self.cfg.msrom_entry_latency);
+            .max(now + self.cfg.delivery_msrom_latency());
         self.irq = IrqState::Injected { committed: false };
         self.irq_kind_pending = Some(kind);
         self.current_irq.injected_at = now;
@@ -841,7 +841,7 @@ impl Core {
             // (Fig 2's 424-cycle flush+refill anatomy).
             self.fetch_stall_until = self
                 .fetch_stall_until
-                .max(now + self.cfg.flush_assist_latency);
+                .max(now + self.cfg.delivery_flush_latency());
             return false;
         }
         true
@@ -877,7 +877,7 @@ impl Core {
                 // Stock gem5's artificial post-drain stall (§5.2).
                 self.fetch_stall_until = self
                     .fetch_stall_until
-                    .max(now + self.cfg.drain_extra_penalty);
+                    .max(now + self.cfg.delivery_drain_penalty());
             }
         }
 

@@ -36,7 +36,7 @@ pub mod microcode;
 pub mod system;
 pub mod trace;
 
-pub use config::{CoreConfig, DeliveryStrategy, MemConfig, SystemConfig};
+pub use config::{CoreConfig, DeliveryStrategy, InterferenceConfig, MemConfig, SystemConfig};
 pub use core::{Core, CoreStats, IrqTiming, SimUittEntry};
 pub use isa::{Inst, Op, Pc, Program, Reg};
 pub use system::{Device, System};

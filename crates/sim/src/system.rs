@@ -254,7 +254,7 @@ impl System {
         for core in &mut self.cores {
             core.tick(now, &mut self.mem);
             if let Some(dest) = core.take_pending_ipi() {
-                let arrive_at = now + self.cfg.ipi_bus_latency;
+                let arrive_at = now + self.cfg.delivery_ipi_latency();
                 self.bus.push(BusMsg { arrive_at, dest });
                 self.next_bus_arrive = self.next_bus_arrive.min(arrive_at);
             }
