@@ -20,8 +20,10 @@ pub mod queue;
 pub mod registry;
 pub mod runner;
 pub mod spec;
+pub mod sweep;
 
 pub use cli::cli_main;
 pub use queue::{RunId, RunQueue, RunState, RunStatus, SubmitError};
 pub use runner::{run, Artifact, ProgressHook, RunOptions, RunProgress, RunReport};
 pub use spec::{Backend, DsaMode, Experiment, NamedWorkload, Scenario, TelemetryCaps, Topology};
+pub use sweep::{merge_manifests, run_points, ShardSpec, SweepPoint, SweepRun, SweepSpec};

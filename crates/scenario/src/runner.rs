@@ -4,6 +4,7 @@
 //! run produces (optionally also saving them under `results/`, exactly
 //! like the per-experiment binaries always have).
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -131,13 +132,34 @@ pub(crate) struct Sink {
     save: bool,
     artifacts: Vec<Artifact>,
     progress: ProgressHook,
+    seen: BTreeSet<String>,
+    duplicate: Option<String>,
 }
 
 impl Sink {
+    pub(crate) fn new(save: bool, progress: ProgressHook) -> Self {
+        Self {
+            save,
+            artifacts: Vec::new(),
+            progress,
+            seen: BTreeSet::new(),
+            duplicate: None,
+        }
+    }
+
     /// Renders `value` and records it under `id`; also writes
     /// `results/<id>.json` when saving is on, and reports the emission
     /// to the progress hook.
+    ///
+    /// Two emissions sharing an id within one run would silently
+    /// overwrite each other's `results/<id>.json` (and produce an
+    /// ambiguous report); the duplicate is recorded here and surfaced by
+    /// [`run`] as a hard error instead of saved over the original.
     pub(crate) fn emit<T: Serialize>(&mut self, id: &str, value: &T) {
+        if !self.seen.insert(id.to_string()) {
+            self.duplicate.get_or_insert_with(|| id.to_string());
+            return;
+        }
         let json = render_json(value);
         if self.save {
             save_json(id, value);
@@ -166,11 +188,7 @@ pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
     banner(&sc.heading, &sc.title, &sc.paper_ref);
 
     opts.progress.emit(&RunProgress::Started { scenario: sc.name.clone() });
-    let mut sink = Sink {
-        save: opts.save,
-        artifacts: Vec::new(),
-        progress: opts.progress.clone(),
-    };
+    let mut sink = Sink::new(opts.save, opts.progress.clone());
     let bench = &opts.bench;
     let passed = match &sc.experiment {
         Experiment::Fig2Timeline { sender_countdown, receiver_countdown, max_cycles } => {
@@ -339,6 +357,42 @@ pub fn run(sc: &Scenario, opts: &RunOptions) -> Result<RunReport, String> {
         }
     };
 
+    if let Some(id) = sink.duplicate {
+        return Err(format!(
+            "scenario `{}` emitted artifact id `{id}` more than once; \
+             later emissions would overwrite results/{id}.json",
+            sc.name
+        ));
+    }
+
     opts.progress.emit(&RunProgress::Finished { passed, artifacts: sink.artifacts.len() });
     Ok(RunReport { scenario: sc.name.clone(), artifacts: sink.artifacts, passed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `Sink::emit` used to overwrite the first artifact
+    /// (and its `results/<id>.json`) when a second emission reused the
+    /// id; now the first emission wins and the duplicate is reported.
+    #[test]
+    fn duplicate_artifact_ids_are_detected_not_overwritten() {
+        let mut sink = Sink::new(false, ProgressHook::default());
+        sink.emit("collide", &1u64);
+        sink.emit("collide", &2u64);
+        sink.emit("other", &3u64);
+        assert_eq!(sink.duplicate.as_deref(), Some("collide"));
+        assert_eq!(sink.artifacts.len(), 2, "the duplicate is not recorded twice");
+        assert_eq!(sink.artifacts[0].json, render_json(&1u64), "first emission wins");
+    }
+
+    #[test]
+    fn distinct_ids_pass_through_unchanged() {
+        let mut sink = Sink::new(false, ProgressHook::default());
+        sink.emit("a", &1u64);
+        sink.emit("b", &2u64);
+        assert!(sink.duplicate.is_none());
+        assert_eq!(sink.artifacts.len(), 2);
+    }
 }

@@ -1,0 +1,52 @@
+//! Property tests for the sweep sharding partition: for any point names
+//! and any shard count, hash-sharding assigns every point to exactly
+//! one shard and the shards cover the whole set (disjoint exact cover),
+//! and the assignment is a pure function of the name.
+
+use proptest::prelude::*;
+
+use xui_scenario::sweep::{fnv1a64, point_shard};
+
+/// Builds a point-shaped name (`<base>@k=v,k2=v2`) from a seed, so the
+/// numeric strategies below exercise realistic inputs.
+fn point_name(seed: u64) -> String {
+    format!("fig{}_grid@load={},mech=m{}", seed % 9, seed % 1000, seed % 4)
+}
+
+proptest! {
+    #[test]
+    fn sharding_is_a_disjoint_exact_cover(
+        seeds in proptest::collection::vec(0u64..1_000_000_000, 0..64),
+        count in 1u32..9,
+    ) {
+        let names: Vec<String> = seeds.iter().map(|&s| point_name(s)).collect();
+        for name in &names {
+            let owner = point_shard(name, count);
+            prop_assert!(owner < count, "shard {} out of range 0..{}", owner, count);
+            // Exactly one shard claims the point: the owner, no other.
+            let claims = (0..count).filter(|&i| point_shard(name, count) == i).count();
+            prop_assert_eq!(claims, 1, "`{}` claimed {} times", name, claims);
+        }
+        // Union over shards reproduces the multiset exactly.
+        let mut covered = 0usize;
+        for index in 0..count {
+            covered += names.iter().filter(|n| point_shard(n, count) == index).count();
+        }
+        prop_assert_eq!(covered, names.len());
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_name_determined(
+        seed in 0u64..1_000_000_000,
+        count in 1u32..9,
+    ) {
+        let name = point_name(seed);
+        prop_assert_eq!(point_shard(&name, count), point_shard(&name, count));
+        prop_assert_eq!(
+            point_shard(&name, count),
+            u32::try_from(fnv1a64(&name) % u64::from(count)).unwrap()
+        );
+        // count=1 is the degenerate unsharded case: everything in shard 0.
+        prop_assert_eq!(point_shard(&name, 1), 0);
+    }
+}

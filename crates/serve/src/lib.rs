@@ -33,8 +33,10 @@ pub mod pool;
 pub mod runs;
 pub mod server;
 pub mod sse;
+pub mod sweeps;
 
 pub use load::{consume_stream, http_request, run_load, LoadConfig, LoadReport, SubscriberReport};
 pub use pool::{PoolSaturated, ThreadPool};
 pub use runs::{RunManager, RunShared, MAX_HOLD_MS};
 pub use server::{Server, ServeConfig};
+pub use sweeps::{SweepManager, SweepShared};

@@ -14,6 +14,10 @@
 //! | GET  | `/api/runs/<id>` | one run's status + loss accounting |
 //! | GET  | `/api/runs/<id>/events` | live SSE stream of the run |
 //! | GET  | `/api/runs/<id>/artifacts/<artifact>` | one artifact's bytes |
+//! | POST | `/api/sweeps` | expand a sweep grid + enqueue every point |
+//! | GET  | `/api/sweeps` | every sweep's status |
+//! | GET  | `/api/sweeps/<id>` | one sweep's per-point status |
+//! | GET  | `/api/sweeps/<id>/events` | live SSE stream of per-point progress |
 //! | GET  | `/api/artifacts` | `results/*.json` listing |
 //! | GET  | `/api/artifacts/<name>` | one `results/<name>.json`, verbatim |
 //! | POST | `/api/shutdown` | drain and stop the server |
@@ -40,6 +44,7 @@ use crate::http::{self, json_string, Request, Response};
 use crate::pool::ThreadPool;
 use crate::runs::{RunManager, RunShared};
 use crate::sse;
+use crate::sweeps::{self, SweepManager, SweepShared};
 
 /// How the server is shaped. The defaults suit an interactive session;
 /// the load benchmark and CI override the knobs they care about.
@@ -71,9 +76,10 @@ impl Default for ServeConfig {
 
 /// State shared by the accept loop and every handler.
 struct Ctx {
-    manager: RunManager,
+    manager: Arc<RunManager>,
+    sweeps: SweepManager,
     pool: ThreadPool,
-    shutting_down: AtomicBool,
+    shutting_down: Arc<AtomicBool>,
     local_addr: SocketAddr,
 }
 
@@ -101,9 +107,10 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let ctx = Arc::new(Ctx {
-            manager: RunManager::new(config.run_workers, config.run_depth),
+            manager: Arc::new(RunManager::new(config.run_workers, config.run_depth)),
+            sweeps: SweepManager::default(),
             pool: ThreadPool::new(config.handler_workers, config.handler_backlog),
-            shutting_down: AtomicBool::new(false),
+            shutting_down: Arc::new(AtomicBool::new(false)),
             local_addr,
         });
         let accept_ctx = Arc::clone(&ctx);
@@ -148,8 +155,10 @@ impl Server {
         }
         // Cancel queued runs and let running ones finish first: that
         // closes their hubs, which is what ends the SSE handlers still
-        // occupying pool workers.
+        // occupying pool workers. Sweep monitors wait on those runs, so
+        // they join right after, before the handler pool drains.
         self.ctx.manager.shutdown();
+        self.ctx.sweeps.shutdown();
         self.ctx.pool.shutdown();
     }
 }
@@ -199,9 +208,13 @@ fn handle_connection(ctx: &Ctx, stream: TcpStream) {
     let segments: Vec<String> = req.segments().iter().map(|s| (*s).to_string()).collect();
     let segs: Vec<&str> = segments.iter().map(String::as_str).collect();
 
-    // The SSE endpoint writes its own streaming response.
+    // The SSE endpoints write their own streaming responses.
     if req.method == "GET" && matches!(segs.as_slice(), ["api", "runs", _, "events"]) {
         stream_run_events(ctx, &req, segs[2], &mut writer);
+        return;
+    }
+    if req.method == "GET" && matches!(segs.as_slice(), ["api", "sweeps", _, "events"]) {
+        stream_sweep_events(ctx, &req, segs[2], &mut writer);
         return;
     }
 
@@ -220,6 +233,11 @@ fn route(ctx: &Ctx, req: &Request, segs: &[&str]) -> Response {
         }
         ("GET", ["api", "runs", id]) => run_status(ctx, id),
         ("GET", ["api", "runs", id, "artifacts", artifact]) => run_artifact(ctx, id, artifact),
+        ("POST", ["api", "sweeps"]) => submit_sweep(ctx, req),
+        ("GET", ["api", "sweeps"]) => {
+            Response::ok_json(serde_json::to_string(&ctx.sweeps.list_value()).unwrap_or_default())
+        }
+        ("GET", ["api", "sweeps", id]) => sweep_status(ctx, id),
         ("GET", ["api", "artifacts"]) => list_artifacts(),
         ("GET", ["api", "artifacts", name]) => show_artifact(name),
         ("POST", ["api", "shutdown"]) => {
@@ -302,6 +320,32 @@ fn submit_run(ctx: &Ctx, req: &Request) -> Response {
         Err(e @ (SubmitError::Full { .. } | SubmitError::ShuttingDown)) => {
             Response::error(503, &e.to_string())
         }
+    }
+}
+
+fn submit_sweep(ctx: &Ctx, req: &Request) -> Response {
+    let (spec, save) = match sweeps::parse_sweep_submission(&req.body) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    if ctx.shutting_down.load(Ordering::Relaxed) {
+        return Response::error(503, "server is shutting down");
+    }
+    match ctx.sweeps.submit(&ctx.manager, &ctx.shutting_down, &spec, save) {
+        Ok((id, total)) => Response::json(202, sweeps::accepted_json(id, &spec.name, total)),
+        Err(msg) => Response::error(400, &msg),
+    }
+}
+
+fn sweep_status(ctx: &Ctx, raw_id: &str) -> Response {
+    let Some(id) = parse_run_id(raw_id) else {
+        return Response::error(400, &format!("sweep id `{raw_id}` is not a number"));
+    };
+    match ctx.sweeps.shared(id) {
+        Some(s) => {
+            Response::ok_json(serde_json::to_string(&s.status_value()).unwrap_or_default())
+        }
+        None => Response::not_found(&format!("sweep {id}")),
     }
 }
 
@@ -426,6 +470,85 @@ fn stream_run_events(ctx: &Ctx, req: &Request, raw_id: &str, writer: &mut TcpStr
     }
     let _ = writer
         .write_all(sse::encode_end(sub.delivered_events(), sub.dropped_events()).as_bytes());
+    let _ = writer.flush();
+}
+
+/// Streams one sweep's broadcast channel as SSE until every point is
+/// terminal, the client disconnects, or the server shuts down. A
+/// subscriber that attaches after the sweep ended gets a replay of the
+/// final per-point states instead.
+fn stream_sweep_events(ctx: &Ctx, req: &Request, raw_id: &str, writer: &mut TcpStream) {
+    let Some(id) = parse_run_id(raw_id) else {
+        let _ =
+            Response::error(400, &format!("sweep id `{raw_id}` is not a number")).write_to(writer);
+        return;
+    };
+    let Some(shared) = ctx.sweeps.shared(id) else {
+        let _ = Response::not_found(&format!("sweep {id}")).write_to(writer);
+        return;
+    };
+    let cap = req
+        .query_u64("cap")
+        .map_or(DEFAULT_STREAM_CAP, |c| usize::try_from(c.max(1)).unwrap_or(1));
+    let pacing = Duration::from_millis(req.query_u64("drain_ms").unwrap_or(0).min(MAX_DRAIN_MS));
+
+    // Subscribe before the terminal check, like the run stream: a sweep
+    // finishing right after the check closes the subscription.
+    let sub = shared.subscribe(cap);
+    if shared.is_terminal() {
+        drop(sub);
+        replay_terminal_sweep(&shared, writer);
+        return;
+    }
+
+    if writer.write_all(sse::STREAM_HEAD.as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        let closed = sub.is_closed() || ctx.shutting_down.load(Ordering::Relaxed);
+        for item in sub.drain() {
+            if writer.write_all(sse::encode_item(&item).as_bytes()).is_err() {
+                return;
+            }
+        }
+        if closed {
+            break;
+        }
+        std::thread::sleep(if pacing.is_zero() { STREAM_TICK } else { pacing });
+    }
+    let _ = writer
+        .write_all(sse::encode_end(sub.delivered_events(), sub.dropped_events()).as_bytes());
+    let _ = writer.flush();
+}
+
+/// Replays a finished sweep for a late subscriber: every point's final
+/// state, then the summary, then `end`.
+fn replay_terminal_sweep(shared: &Arc<SweepShared>, writer: &mut TcpStream) {
+    if writer.write_all(sse::STREAM_HEAD.as_bytes()).is_err() {
+        return;
+    }
+    let status = shared.status_value();
+    let mut delivered = 0u64;
+    if let Value::Object(entries) = &status {
+        if let Some(Value::Array(points)) =
+            entries.iter().find(|(k, _)| k == "points").map(|(_, v)| v)
+        {
+            for p in points {
+                let frame =
+                    sse::encode_frame("point", &serde_json::to_string(p).unwrap_or_default());
+                if writer.write_all(frame.as_bytes()).is_err() {
+                    return;
+                }
+                delivered += 1;
+            }
+        }
+    }
+    let frame = sse::encode_frame("sweep", &serde_json::to_string(&status).unwrap_or_default());
+    if writer.write_all(frame.as_bytes()).is_err() {
+        return;
+    }
+    delivered += 1;
+    let _ = writer.write_all(sse::encode_end(delivered, 0).as_bytes());
     let _ = writer.flush();
 }
 

@@ -177,3 +177,94 @@ fn shutdown_endpoint_drains_cleanly() {
     assert!(body.contains("\"shutting_down\":true"), "{body}");
     server.join();
 }
+
+#[test]
+fn sweep_api_expands_runs_and_streams_per_point_progress() {
+    let server = start();
+    let addr = server.local_addr();
+
+    // Malformed bodies and bad grids are 400s, not queued garbage.
+    let (status, body) =
+        http_request(addr, "POST", "/api/sweeps", Some("{ nope")).expect("request completes");
+    assert_eq!(status, 400, "{body}");
+    let bad_grid = r#"{"sweep":{"name":"bad","scenario":"fig2_timeline","grid":{"sender_countdown":{"from":9,"to":1,"step":1}}}}"#;
+    let (status, body) =
+        http_request(addr, "POST", "/api/sweeps", Some(bad_grid)).expect("request completes");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("empty range"), "{body}");
+
+    // A fast inline 4-point grid over the cycle sim.
+    let spec = r#"{"sweep":{
+        "name": "http_grid",
+        "scenario": "fig2_timeline",
+        "grid": {
+            "sender_countdown": [500, 600],
+            "receiver_countdown": [20000, 30000]
+        }
+    }}"#;
+    let (status, body) =
+        http_request(addr, "POST", "/api/sweeps", Some(spec)).expect("request completes");
+    assert_eq!(status, 202, "{body}");
+    let id = field_u64(&body, "id");
+    assert_eq!(field_u64(&body, "points"), 4, "{body}");
+
+    // Poll status until every point is terminal.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let final_body = loop {
+        let (status, body) = get(addr, &format!("/api/sweeps/{id}"));
+        assert_eq!(status, 200, "{body}");
+        if field_u64(&body, "done") == 4 {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "sweep did not finish in time: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(final_body.contains("\"passed\":true"), "{final_body}");
+    assert!(
+        final_body.contains("fig2_timeline@sender_countdown=500,receiver_countdown=20000"),
+        "{final_body}"
+    );
+
+    // The listing shows it, an unknown id is a 404.
+    let (status, body) = get(addr, "/api/sweeps");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"http_grid\""), "{body}");
+    let (status, _) = get(addr, &format!("/api/sweeps/{}", id + 999));
+    assert_eq!(status, 404);
+
+    // A late subscriber replays every point plus the summary frame.
+    let report = consume_stream(addr, &format!("/api/sweeps/{id}/events"), 64, 0)
+        .expect("stream completes");
+    assert!(report.delivered_events >= 5, "{report:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn sweep_stream_watches_points_live() {
+    let server = start();
+    let addr = server.local_addr();
+    let spec = r#"{"sweep":{
+        "name": "http_live",
+        "scenario": "fig2_timeline",
+        "grid": { "sender_countdown": [500, 600, 700] }
+    }}"#;
+    let (status, body) =
+        http_request(addr, "POST", "/api/sweeps", Some(spec)).expect("request completes");
+    assert_eq!(status, 202, "{body}");
+    let id = field_u64(&body, "id");
+
+    // Attach immediately: the stream ends when the sweep's hub closes,
+    // having delivered per-point `queued`/terminal snapshots.
+    let report = consume_stream(addr, &format!("/api/sweeps/{id}/events"), 1024, 0)
+        .expect("stream completes");
+    assert!(
+        report.delivered_events + report.dropped_events >= 3,
+        "expected at least one snapshot per point: {report:?}"
+    );
+
+    let (status, body) = get(addr, &format!("/api/sweeps/{id}"));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field_u64(&body, "done"), 3, "{body}");
+    server.shutdown();
+}

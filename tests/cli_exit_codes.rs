@@ -79,3 +79,81 @@ fn show_preset_exits_0_with_json() {
     let body = String::from_utf8_lossy(&out.stdout);
     assert!(body.contains("\"fig2_timeline\""), "{body}");
 }
+
+#[test]
+fn preset_name_wins_over_colliding_dirname() {
+    // Regression: `load_scenario` used to treat any existing path as a
+    // scenario file, so a stray `fig2_timeline/` in the CWD shadowed the
+    // preset and `show`/`run` exited 2 ("cannot read scenario file").
+    let cwd = tmp_path("collide-cwd");
+    let dir = cwd.join("fig2_timeline");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = Command::new(env!("CARGO_BIN_EXE_xui"))
+        .args(["show", "fig2_timeline"])
+        .current_dir(&cwd)
+        .output()
+        .expect("xui binary runs");
+    std::fs::remove_dir_all(&cwd).ok();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"fig2_timeline\""), "{body}");
+}
+
+#[test]
+fn show_and_list_reject_run_only_flags() {
+    // Regression: one shared CliSpec used to declare every flag for
+    // every command, so `show --faults x` parsed and was ignored.
+    for args in [
+        &["show", "fig2_timeline", "--faults", "x"][..],
+        &["show", "fig2_timeline", "--threads", "4"],
+        &["show", "fig2_timeline", "--full", "3"],
+        &["list", "--threads", "4"],
+        &["list", "--full", "3"],
+    ] {
+        let out = xui(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} stderr: {}", stderr(&out));
+        assert!(stderr(&out).contains("usage"), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn sweep_expand_prints_the_grid() {
+    let out = xui(&["sweep", "sweep_fig2_grid", "--expand"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = String::from_utf8_lossy(&out.stdout);
+    let points: Vec<&str> = body.lines().collect();
+    assert_eq!(points.len(), 16, "{body}");
+    assert!(points[0].starts_with("fig2_timeline@sender_countdown=1000,"), "{body}");
+}
+
+#[test]
+fn sweep_with_malformed_grid_exits_2() {
+    let file = tmp_path("bad-grid.json");
+    std::fs::write(
+        &file,
+        r#"{"name":"bad","scenario":"fig2_timeline","grid":{"sender_countdown":{"from":9,"to":1,"step":1}}}"#,
+    )
+    .expect("write temp sweep");
+    let arg = file.to_str().expect("utf-8 temp path");
+    let out = xui(&["sweep", arg, "--expand"]);
+    std::fs::remove_file(&file).ok();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("empty range"), "{}", stderr(&out));
+
+    let out = xui(&["sweep", "{ not json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown sweep"), "{}", stderr(&out));
+
+    let out = xui(&["sweep", "no_such_sweep"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown sweep `no_such_sweep`"), "{}", stderr(&out));
+}
+
+#[test]
+fn sweep_rejects_malformed_shards() {
+    for bad in ["5/2", "2/2", "x/y", "1/0", "3"] {
+        let out = xui(&["sweep", "sweep_fig2_grid", "--shard", bad, "--expand"]);
+        assert_eq!(out.status.code(), Some(2), "--shard {bad}: {}", stderr(&out));
+        assert!(stderr(&out).contains("invalid shard"), "--shard {bad}: {}", stderr(&out));
+    }
+}

@@ -1,0 +1,115 @@
+//! Locks the sweep layer's determinism contract: grid expansion is a
+//! pure function of the spec (stable order, stable names), and sharding
+//! is a pure partition — running a sweep split 1/2/4 ways and merging
+//! the shard outputs reproduces the unsharded run byte for byte, both
+//! the per-point artifacts and the manifest.
+
+use std::collections::BTreeMap;
+
+use xui_scenario::sweep::{
+    merge_manifests, point_shard, run_points, presets, ShardSpec, SweepSpec,
+};
+
+/// A fast 4-point grid over the cycle sim: small countdowns keep each
+/// point in the low milliseconds so the whole suite stays inside the
+/// tier-1 budget.
+fn tiny_sweep() -> SweepSpec {
+    SweepSpec::from_json(
+        r#"{
+            "name": "tier1_tiny",
+            "scenario": "fig2_timeline",
+            "grid": {
+                "sender_countdown": [500, 600],
+                "receiver_countdown": [20000, 30000]
+            }
+        }"#,
+    )
+    .expect("tiny sweep parses")
+}
+
+#[test]
+fn expansion_order_is_stable_and_presets_hit_the_grid_floor() {
+    let spec = tiny_sweep();
+    let once: Vec<String> = spec.expand().expect("expands").into_iter().map(|p| p.name).collect();
+    let twice: Vec<String> = spec.expand().expect("expands").into_iter().map(|p| p.name).collect();
+    assert_eq!(once, twice, "expansion is not deterministic");
+    assert_eq!(
+        once,
+        vec![
+            "fig2_timeline@sender_countdown=500,receiver_countdown=20000",
+            "fig2_timeline@sender_countdown=500,receiver_countdown=30000",
+            "fig2_timeline@sender_countdown=600,receiver_countdown=20000",
+            "fig2_timeline@sender_countdown=600,receiver_countdown=30000",
+        ],
+        "first axis is slowest, names are `<base>@k=v,k2=v2`"
+    );
+
+    // Every named matrix preset expands deterministically to a ≥16-point
+    // grid with unique names.
+    for preset in presets() {
+        let a: Vec<String> =
+            preset.expand().expect("preset expands").into_iter().map(|p| p.name).collect();
+        let b: Vec<String> =
+            preset.expand().expect("preset expands").into_iter().map(|p| p.name).collect();
+        assert_eq!(a, b, "preset `{}` expansion is unstable", preset.name);
+        assert!(a.len() >= 16, "preset `{}` has only {} points", preset.name, a.len());
+    }
+}
+
+#[test]
+fn sharded_runs_merge_byte_identically_at_every_split() {
+    let spec = tiny_sweep();
+    let whole = run_points(&spec, None, 2).expect("unsharded run");
+    assert!(whole.passed, "the tiny grid passes");
+    assert_eq!(whole.outcomes.len(), 4);
+
+    for count in [1u32, 2, 4] {
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        for index in 0..count {
+            let shard =
+                run_points(&spec, Some(ShardSpec { index, count }), 2).expect("shard runs");
+            files.extend(shard.files.clone());
+            manifests.push(shard.manifest.clone());
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            files, whole.files,
+            "{count}-way artifact union differs from the unsharded run"
+        );
+        let merged = merge_manifests(&spec, &manifests).expect("manifests merge");
+        assert_eq!(
+            merged, whole.manifest,
+            "{count}-way merged manifest differs from the unsharded run"
+        );
+        // Merge order must not matter.
+        manifests.reverse();
+        let reversed = merge_manifests(&spec, &manifests).expect("reversed merge");
+        assert_eq!(merged, reversed, "{count}-way merge is order-dependent");
+    }
+}
+
+#[test]
+fn hash_sharding_partitions_every_preset_point_exactly_once() {
+    for preset in presets() {
+        let names: Vec<String> =
+            preset.expand().expect("preset expands").into_iter().map(|p| p.name).collect();
+        for count in [1u32, 2, 3, 4, 7] {
+            let mut owners: BTreeMap<&str, u32> = BTreeMap::new();
+            for index in 0..count {
+                for name in names.iter().filter(|n| point_shard(n, count) == index) {
+                    assert!(
+                        owners.insert(name, index).is_none(),
+                        "`{name}` landed in two shards of {count}"
+                    );
+                }
+            }
+            assert_eq!(
+                owners.len(),
+                names.len(),
+                "sharding {count} ways dropped points of `{}`",
+                preset.name
+            );
+        }
+    }
+}
