@@ -166,9 +166,28 @@ impl ProtocolModel {
     ///
     /// Returns [`XuiError::UnknownThread`] for a bad id.
     pub fn register_handler(&mut self, tid: ThreadId, handler: u64) -> Result<UpidAddr, XuiError> {
-        let uinv = self.uinv;
         let addr = UpidAddr(self.next_upid_addr);
         self.next_upid_addr += 64; // one cache line per descriptor
+        self.register_handler_at(tid, handler, addr)?;
+        Ok(addr)
+    }
+
+    /// Like [`ProtocolModel::register_handler`], but the caller supplies
+    /// the descriptor address — the entry point for a kernel that places
+    /// UPIDs through a bitmap slot allocator instead of this model's
+    /// bump pointer. Writing to an address that already holds a UPID
+    /// replaces it (slot reuse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownThread`] for a bad id.
+    pub fn register_handler_at(
+        &mut self,
+        tid: ThreadId,
+        handler: u64,
+        addr: UpidAddr,
+    ) -> Result<(), XuiError> {
+        let uinv = self.uinv;
         let running = self.thread(tid)?.running_on;
         let apic = match running {
             Some(core) => self.core(core)?.apic_id,
@@ -183,7 +202,7 @@ impl ProtocolModel {
         thread.upid_addr = Some(addr);
         thread.receiver = ReceiverState::new(handler);
         thread.receiver.uif.stui();
-        Ok(addr)
+        Ok(())
     }
 
     /// `register_sender(...)` system call (§3.2): adds a UITT entry in the
@@ -204,6 +223,50 @@ impl ProtocolModel {
             .upid_addr
             .ok_or(XuiError::HandlerNotRegistered { thread: receiver.0 })?;
         Ok(self.thread_mut(sender)?.uitt.register(upid_addr, vector))
+    }
+
+    /// Like [`ProtocolModel::register_sender`], but writes the entry at a
+    /// caller-chosen UITT slot — the entry point for a kernel whose
+    /// bitmap allocator picks the slot (so freed entries are reused
+    /// instead of the table growing forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::HandlerNotRegistered`] if the receiver has no
+    /// UPID yet, or [`XuiError::UnknownThread`] for bad ids.
+    pub fn register_sender_at(
+        &mut self,
+        sender: ThreadId,
+        receiver: ThreadId,
+        vector: UserVector,
+        index: UittIndex,
+    ) -> Result<(), XuiError> {
+        let upid_addr = self
+            .thread(receiver)?
+            .upid_addr
+            .ok_or(XuiError::HandlerNotRegistered { thread: receiver.0 })?;
+        self.thread_mut(sender)?.uitt.register_at(index, upid_addr, vector);
+        Ok(())
+    }
+
+    /// Invalidates one of `sender`'s UITT entries (route teardown);
+    /// subsequent `senduipi` through this index faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::InvalidUittIndex`] if the index is out of
+    /// range, or [`XuiError::UnknownThread`] for a bad id.
+    pub fn invalidate_sender(&mut self, sender: ThreadId, index: UittIndex) -> Result<(), XuiError> {
+        self.thread_mut(sender)?.uitt.invalidate(index)
+    }
+
+    /// The address of `tid`'s UPID, if a handler has been registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XuiError::UnknownThread`] for a bad id.
+    pub fn upid_addr_of(&self, tid: ThreadId) -> Result<Option<UpidAddr>, XuiError> {
+        Ok(self.thread(tid)?.upid_addr)
     }
 
     /// Schedules `tid` onto `core` (kernel context-switch-in, §3.2 &

@@ -16,8 +16,15 @@
 //!
 //! xUI adds two more (§4.3): `KB_CONFIG` (enable + vector) and
 //! `KB_TIMER_STATE` (deadline readout for context switches).
+//!
+//! Since the `uipi_abi` refactor the register file is a *view* over the
+//! packed [`abi::MsrFile`] (addresses 0x985–0x98A): every write goes
+//! through the typed interface with deterministic reserved-bit masking,
+//! and [`UintrMsrs::pack`] exposes the 48-byte little-endian image the
+//! byte-level differ compares across models.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use xui_uipi_abi::{self as abi, MsrFile, UintrMsr};
 
 use crate::vectors::Vector;
 
@@ -37,145 +44,173 @@ use crate::vectors::Vector;
 /// let restored = xui_core::msr::UintrMsrs::xrstor(saved);
 /// assert_eq!(restored, msrs);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UintrMsrs {
-    handler: u64,
-    stack_adjust: u64,
-    misc: u64,
-    pd: u64,
-    tt: u64,
-    rr: u64,
+    file: MsrFile,
 }
-
-const UINV_SHIFT: u32 = 32;
-const UITTSZ_MASK: u64 = 0xffff_ffff;
-const TT_ENABLE: u64 = 1;
 
 impl UintrMsrs {
     /// A zeroed register file (reset state: user interrupts disabled).
     #[must_use]
     pub const fn new() -> Self {
-        Self {
-            handler: 0,
-            stack_adjust: 0,
-            misc: 0,
-            pd: 0,
-            tt: 0,
-            rr: 0,
-        }
+        Self { file: MsrFile::new() }
+    }
+
+    /// The packed register file this view reads and writes.
+    #[must_use]
+    pub const fn file(&self) -> &MsrFile {
+        &self.file
+    }
+
+    /// Serializes the file's 48-byte little-endian image (MSRs in
+    /// address order 0x985..=0x98A) — the form the byte differ compares.
+    #[must_use]
+    pub fn pack(&self) -> [u8; 48] {
+        self.file.pack()
     }
 
     /// `IA32_UINTR_HANDLER`: the user handler entry point.
     #[must_use]
     pub const fn handler(&self) -> u64 {
-        self.handler
+        self.file.read(UintrMsr::Handler)
     }
 
     /// Writes `IA32_UINTR_HANDLER`.
     pub fn set_handler(&mut self, rip: u64) {
-        self.handler = rip;
+        self.file.write(UintrMsr::Handler, rip);
     }
 
     /// `IA32_UINTR_STACKADJUST`: delivery stack adjustment. Bit 0 selects
     /// "load as stack pointer" vs "subtract from current stack".
     #[must_use]
     pub const fn stack_adjust(&self) -> u64 {
-        self.stack_adjust
+        self.file.read(UintrMsr::StackAdjust)
     }
 
     /// Writes `IA32_UINTR_STACKADJUST`.
     pub fn set_stack_adjust(&mut self, v: u64) {
-        self.stack_adjust = v;
+        self.file.write(UintrMsr::StackAdjust, v);
     }
 
     /// `UINV` from `IA32_UINTR_MISC`: the conventional vector that marks
     /// arriving IPIs as user-interrupt notifications.
     #[must_use]
     pub const fn uinv(&self) -> Vector {
-        Vector::new((self.misc >> UINV_SHIFT) as u8)
+        Vector::new(self.file.uinv())
     }
 
     /// Sets `UINV`.
     pub fn set_uinv(&mut self, v: Vector) {
-        self.misc =
-            (self.misc & UITTSZ_MASK) | ((v.as_u8() as u64) << UINV_SHIFT);
+        self.file.set_uinv(v.as_u8());
     }
 
     /// `UITTSZ` from `IA32_UINTR_MISC`: highest valid UITT index.
     #[must_use]
     pub const fn uittsz(&self) -> u32 {
-        (self.misc & UITTSZ_MASK) as u32
+        self.file.uittsz()
     }
 
     /// Sets `UITTSZ`.
     pub fn set_uittsz(&mut self, size: u32) {
-        self.misc = (self.misc & !UITTSZ_MASK) | u64::from(size);
+        self.file.set_uittsz(size);
     }
 
-    /// `IA32_UINTR_PD`: the UPID address.
+    /// `IA32_UINTR_PD`: the UPID address (64-byte aligned; the low 6
+    /// bits are reserved and masked on write).
     #[must_use]
     pub const fn upid_addr(&self) -> u64 {
-        self.pd
+        self.file.read(UintrMsr::Pd)
     }
 
     /// Writes `IA32_UINTR_PD`.
     pub fn set_upid_addr(&mut self, addr: u64) {
-        self.pd = addr;
+        self.file.write(UintrMsr::Pd, addr);
     }
 
     /// `IA32_UINTR_TT`: UITT base address; bit 0 enables `senduipi`.
     #[must_use]
     pub const fn uitt_addr(&self) -> u64 {
-        self.tt & !TT_ENABLE
+        self.file.uitt_addr()
     }
 
     /// True if `senduipi` is enabled for this thread.
     #[must_use]
     pub const fn senduipi_enabled(&self) -> bool {
-        self.tt & TT_ENABLE != 0
+        self.file.senduipi_enabled()
     }
 
     /// Writes `IA32_UINTR_TT`.
     pub fn set_uitt(&mut self, addr: u64, enabled: bool) {
-        self.tt = (addr & !TT_ENABLE) | u64::from(enabled);
+        self.file
+            .write(UintrMsr::Tt, (addr & !abi::msr::TT_ENABLE) | u64::from(enabled));
     }
 
     /// `IA32_UINTR_RR`: the UIRR bitmap (one bit per user vector).
     #[must_use]
     pub const fn rr(&self) -> u64 {
-        self.rr
+        self.file.read(UintrMsr::Rr)
     }
 
     /// Writes `IA32_UINTR_RR` (kernel slow-path repost).
     pub fn set_rr(&mut self, bits: u64) {
-        self.rr = bits;
+        self.file.write(UintrMsr::Rr, bits);
     }
 
     /// Serializes the register file as its XSAVE-area image (the kernel
     /// context-switches UINTR state through XSAVES on real hardware).
     #[must_use]
-    pub const fn xsave(&self) -> [u64; 6] {
+    pub fn xsave(&self) -> [u64; 6] {
         [
-            self.handler,
-            self.stack_adjust,
-            self.misc,
-            self.pd,
-            self.tt,
-            self.rr,
+            self.handler(),
+            self.stack_adjust(),
+            self.file.read(UintrMsr::Misc),
+            self.upid_addr(),
+            self.file.read(UintrMsr::Tt),
+            self.rr(),
         ]
     }
 
-    /// Restores from an XSAVE-area image.
+    /// Restores from an XSAVE-area image. Reserved bits are masked
+    /// deterministically, exactly as a typed `WRMSR` would.
     #[must_use]
-    pub const fn xrstor(image: [u64; 6]) -> Self {
-        Self {
-            handler: image[0],
-            stack_adjust: image[1],
-            misc: image[2],
-            pd: image[3],
-            tt: image[4],
-            rr: image[5],
-        }
+    pub fn xrstor(image: [u64; 6]) -> Self {
+        let mut file = MsrFile::new();
+        file.write(UintrMsr::Handler, image[0]);
+        file.write(UintrMsr::StackAdjust, image[1]);
+        file.write(UintrMsr::Misc, image[2]);
+        file.write(UintrMsr::Pd, image[3]);
+        file.write(UintrMsr::Tt, image[4]);
+        file.write(UintrMsr::Rr, image[5]);
+        Self { file }
+    }
+}
+
+// Serde keeps the pre-refactor wire form: an object with the six
+// registers keyed by field name, exactly what the derived impls on the
+// old six-u64 struct produced.
+impl Serialize for UintrMsrs {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("handler".to_string(), Value::UInt(u128::from(self.handler()))),
+            ("stack_adjust".to_string(), Value::UInt(u128::from(self.stack_adjust()))),
+            ("misc".to_string(), Value::UInt(u128::from(self.file.read(UintrMsr::Misc)))),
+            ("pd".to_string(), Value::UInt(u128::from(self.upid_addr()))),
+            ("tt".to_string(), Value::UInt(u128::from(self.file.read(UintrMsr::Tt)))),
+            ("rr".to_string(), Value::UInt(u128::from(self.rr()))),
+        ])
+    }
+}
+
+impl Deserialize for UintrMsrs {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self::xrstor([
+            serde::field(v, "UintrMsrs", "handler")?,
+            serde::field(v, "UintrMsrs", "stack_adjust")?,
+            serde::field(v, "UintrMsrs", "misc")?,
+            serde::field(v, "UintrMsrs", "pd")?,
+            serde::field(v, "UintrMsrs", "tt")?,
+            serde::field(v, "UintrMsrs", "rr")?,
+        ]))
     }
 }
 
@@ -294,11 +329,25 @@ mod proptests {
     use super::*;
 
     proptest! {
-        /// XSAVE/XRSTOR is the identity for arbitrary register contents.
+        /// XSAVE/XRSTOR round-trips every defined bit; reserved bits are
+        /// masked deterministically on restore (a second round trip is
+        /// the identity).
         #[test]
-        fn xsave_is_lossless(image in any::<[u64; 6]>()) {
+        fn xsave_is_lossless_modulo_reserved(image in any::<[u64; 6]>()) {
             let m = UintrMsrs::xrstor(image);
-            prop_assert_eq!(m.xsave(), image);
+            let saved = m.xsave();
+            let masks = [
+                UintrMsr::Handler.defined_mask(),
+                UintrMsr::StackAdjust.defined_mask(),
+                UintrMsr::Misc.defined_mask(),
+                UintrMsr::Pd.defined_mask(),
+                UintrMsr::Tt.defined_mask(),
+                UintrMsr::Rr.defined_mask(),
+            ];
+            for i in 0..6 {
+                prop_assert_eq!(saved[i], image[i] & masks[i]);
+            }
+            prop_assert_eq!(UintrMsrs::xrstor(saved), m);
         }
 
         /// MISC field updates never interfere.

@@ -4,8 +4,14 @@
 //! permission to send user interrupts. Each valid entry is a tuple
 //! ⟨UPID address, user vector⟩ (§3.1). `senduipi` takes an index into this
 //! table; an invalid index faults.
+//!
+//! Since the `uipi_abi` refactor each entry is a view over the packed
+//! 16-byte [`abi::UittEntry`] memory form ([`UittEntry::packed`]), and
+//! the whole table serializes to its byte image ([`Uitt::pack`]) so the
+//! differential fuzzer can compare tables across models byte for byte.
 
 use serde::{Deserialize, Serialize};
+use xui_uipi_abi as abi;
 
 use crate::error::XuiError;
 use crate::vectors::UserVector;
@@ -42,6 +48,27 @@ pub struct UittEntry {
     pub vector: UserVector,
     /// Whether the entry is valid; `senduipi` on an invalid entry faults.
     pub valid: bool,
+}
+
+impl UittEntry {
+    /// The entry in its packed 16-byte memory form.
+    #[must_use]
+    pub fn packed(&self) -> abi::UittEntry {
+        let mut e = abi::UittEntry::valid_entry(self.vector.as_u8(), self.upid.as_u64());
+        e.set_valid(self.valid);
+        e
+    }
+
+    /// Rebuilds the view from the packed memory form (the user vector is
+    /// truncated into the 6-bit UV space, as hardware would).
+    #[must_use]
+    pub fn from_packed(packed: &abi::UittEntry) -> Self {
+        Self {
+            upid: UpidAddr(packed.target_upid_addr),
+            vector: UserVector::from_truncated(packed.user_vec),
+            valid: packed.is_valid(),
+        }
+    }
 }
 
 /// A per-process User Interrupt Target Table.
@@ -81,6 +108,20 @@ impl Uitt {
             valid: true,
         });
         UittIndex(self.entries.len() - 1)
+    }
+
+    /// Writes a valid entry into a specific slot (the allocator-driven
+    /// kernel path: a bitmap allocator picks the slot, so freed entries
+    /// are reused instead of the table growing forever). The table is
+    /// extended with invalid entries as needed.
+    pub fn register_at(&mut self, index: UittIndex, upid: UpidAddr, vector: UserVector) {
+        if index.0 >= self.entries.len() {
+            self.entries.resize(
+                index.0 + 1,
+                UittEntry { upid: UpidAddr(0), vector: UserVector::from_truncated(0), valid: false },
+            );
+        }
+        self.entries[index.0] = UittEntry { upid, vector, valid: true };
     }
 
     /// Looks up an entry for `senduipi`.
@@ -128,6 +169,17 @@ impl Uitt {
     /// Iterates over the table's slots in index order.
     pub fn iter(&self) -> impl Iterator<Item = &UittEntry> {
         self.entries.iter()
+    }
+
+    /// Serializes the table as its packed memory image: each slot's
+    /// 16-byte [`abi::UittEntry`] form, concatenated in index order.
+    #[must_use]
+    pub fn pack(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.entries.len() * abi::uitt::UITT_ENTRY_BYTES);
+        for entry in &self.entries {
+            bytes.extend_from_slice(&entry.packed().pack());
+        }
+        bytes
     }
 }
 
@@ -178,6 +230,39 @@ mod tests {
     fn invalidate_out_of_range_faults() {
         let mut uitt = Uitt::new();
         assert!(uitt.invalidate(UittIndex(3)).is_err());
+    }
+
+    #[test]
+    fn packed_entry_round_trips_and_table_image_is_16_bytes_per_slot() {
+        let mut uitt = Uitt::new();
+        let a = uitt.register(UpidAddr(0x1000), uv(5));
+        uitt.register(UpidAddr(0x2000), uv(9));
+        uitt.invalidate(a).unwrap();
+        for entry in uitt.iter() {
+            assert_eq!(&UittEntry::from_packed(&entry.packed()), entry);
+        }
+        let image = uitt.pack();
+        assert_eq!(image.len(), 32);
+        assert_eq!(image[0], 0, "invalidated entry has the valid bit clear");
+        assert_eq!(image[16], 1);
+        assert_eq!(image[17], 9);
+        assert_eq!(u64::from_le_bytes(image[24..32].try_into().unwrap()), 0x2000);
+    }
+
+    #[test]
+    fn register_at_fills_a_specific_slot_and_pads_with_invalid() {
+        let mut uitt = Uitt::new();
+        uitt.register_at(UittIndex(2), UpidAddr(0x3000), uv(7));
+        assert_eq!(uitt.len(), 3);
+        assert!(uitt.lookup(UittIndex(0)).is_err());
+        assert!(uitt.lookup(UittIndex(1)).is_err());
+        let e = uitt.lookup(UittIndex(2)).unwrap();
+        assert_eq!((e.upid, e.vector), (UpidAddr(0x3000), uv(7)));
+        // Reuse of a freed slot overwrites in place.
+        uitt.invalidate(UittIndex(2)).unwrap();
+        uitt.register_at(UittIndex(2), UpidAddr(0x4000), uv(1));
+        assert_eq!(uitt.lookup(UittIndex(2)).unwrap().upid, UpidAddr(0x4000));
+        assert_eq!(uitt.len(), 3, "no growth on reuse");
     }
 
     #[test]

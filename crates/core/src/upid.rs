@@ -1,9 +1,9 @@
 //! The User Posted Interrupt Descriptor (UPID), bit-exact per Table 1 of
 //! the paper.
 //!
-//! A UPID is a 128-bit, per-thread descriptor shared in memory among all
-//! cores. Senders post interrupts into its `PIR` field with an atomic RMW;
-//! the receiving core's notification-processing microcode drains `PIR` into
+//! A UPID is a per-thread descriptor shared in memory among all cores.
+//! Senders post interrupts into its `PIR` field with an atomic RMW; the
+//! receiving core's notification-processing microcode drains `PIR` into
 //! its `UIRR` register. The kernel uses `SN` to suppress notifications while
 //! the thread is context-switched out, and rewrites `NDST` when the thread
 //! migrates between cores.
@@ -15,25 +15,29 @@
 //! | NV    | notification vector      | 23:16 |
 //! | NDST  | notification destination (APIC ID) | 63:32 |
 //! | PIR   | posted interrupt requests (one bit per user vector) | 127:64 |
+//!
+//! Since the `uipi_abi` refactor this type is a *view* over the packed
+//! [`xui_uipi_abi::Upid`] cache-line descriptor: the bit layout lives in
+//! one place, shared with the kernel model, the cycle simulator's memory
+//! bridge, and the reference oracle. The 128-bit `bits()` form exposed
+//! here is exactly the first two little-endian quadwords of the packed
+//! 64-byte image; reserved bits are masked deterministically by every
+//! constructor, so two descriptors that agree on the defined fields are
+//! byte-identical.
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use xui_uipi_abi as abi;
 
 use crate::vectors::{ApicId, UserVector, Vector};
 
-const ON_BIT: u128 = 1 << 0;
-const SN_BIT: u128 = 1 << 1;
-const NV_SHIFT: u32 = 16;
-const NV_MASK: u128 = 0xff << NV_SHIFT;
-const NDST_SHIFT: u32 = 32;
-const NDST_MASK: u128 = 0xffff_ffff << NDST_SHIFT;
 const PIR_SHIFT: u32 = 64;
-const PIR_MASK: u128 = (u64::MAX as u128) << PIR_SHIFT;
 
-/// A User Posted Interrupt Descriptor (Table 1).
+/// A User Posted Interrupt Descriptor (Table 1), backed by the packed
+/// [`abi::Upid`] cache-line form.
 ///
-/// The descriptor is stored as a single 128-bit value with the exact field
+/// The descriptor behaves as a single 128-bit value with the exact field
 /// placement of the hardware structure, so models that move UPIDs through
 /// simulated memory can treat them as two adjacent 64-bit words.
 ///
@@ -50,9 +54,9 @@ const PIR_MASK: u128 = (u64::MAX as u128) << PIR_SHIFT;
 /// assert!(upid.pir() & (1 << 5) != 0);
 /// # Ok::<(), xui_core::error::XuiError>(())
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Upid {
-    bits: u128,
+    packed: abi::Upid,
 }
 
 impl Upid {
@@ -60,40 +64,58 @@ impl Upid {
     /// posted, destination APIC 0).
     #[must_use]
     pub const fn new() -> Self {
-        Self { bits: 0 }
+        Self { packed: abi::Upid::new() }
     }
 
-    /// Reconstructs a UPID from its raw 128-bit representation.
+    /// Reconstructs a UPID from its raw 128-bit representation, masking
+    /// reserved bits deterministically.
     #[must_use]
-    pub const fn from_bits(bits: u128) -> Self {
-        Self { bits }
+    pub fn from_bits(bits: u128) -> Self {
+        Self::from_words(bits as u64, (bits >> PIR_SHIFT) as u64)
     }
 
     /// Returns the raw 128-bit representation.
     #[must_use]
-    pub const fn bits(self) -> u128 {
-        self.bits
+    pub fn bits(self) -> u128 {
+        (self.low_word() as u128) | ((self.high_word() as u128) << PIR_SHIFT)
+    }
+
+    /// The packed cache-line descriptor this view reads and writes.
+    #[must_use]
+    pub const fn packed(&self) -> &abi::Upid {
+        &self.packed
+    }
+
+    /// Wraps a packed descriptor (reserved bits are assumed masked, as
+    /// every `xui_uipi_abi` constructor guarantees).
+    #[must_use]
+    pub const fn from_packed(packed: abi::Upid) -> Self {
+        Self { packed }
+    }
+
+    /// Serializes the descriptor's 64-byte cache-line image.
+    #[must_use]
+    pub fn pack(&self) -> [u8; abi::upid::UPID_BYTES] {
+        self.packed.pack()
     }
 
     /// Returns the low 64-bit word (ON, SN, NV, NDST) as laid out in
     /// memory.
     #[must_use]
-    pub const fn low_word(self) -> u64 {
-        self.bits as u64
+    pub fn low_word(self) -> u64 {
+        self.packed.low_word()
     }
 
     /// Returns the high 64-bit word (PIR) as laid out in memory.
     #[must_use]
     pub const fn high_word(self) -> u64 {
-        (self.bits >> PIR_SHIFT) as u64
+        self.packed.high_word()
     }
 
     /// Reconstructs a UPID from its two 64-bit memory words.
     #[must_use]
-    pub const fn from_words(low: u64, high: u64) -> Self {
-        Self {
-            bits: (low as u128) | ((high as u128) << PIR_SHIFT),
-        }
+    pub fn from_words(low: u64, high: u64) -> Self {
+        Self { packed: abi::Upid::from_words(low, high) }
     }
 
     /// Outstanding-notification bit: set by the sender when it issues a
@@ -101,32 +123,24 @@ impl Upid {
     /// microcode.
     #[must_use]
     pub const fn on(self) -> bool {
-        self.bits & ON_BIT != 0
+        self.packed.nc.on()
     }
 
     /// Sets or clears the ON bit.
     pub fn set_on(&mut self, value: bool) {
-        if value {
-            self.bits |= ON_BIT;
-        } else {
-            self.bits &= !ON_BIT;
-        }
+        self.packed.nc.set_on(value);
     }
 
     /// Suppressed-notification bit: set by the kernel when the thread is
     /// context-switched out so senders stop issuing IPIs (§3.2).
     #[must_use]
     pub const fn sn(self) -> bool {
-        self.bits & SN_BIT != 0
+        self.packed.nc.sn()
     }
 
     /// Sets or clears the SN bit.
     pub fn set_sn(&mut self, value: bool) {
-        if value {
-            self.bits |= SN_BIT;
-        } else {
-            self.bits &= !SN_BIT;
-        }
+        self.packed.nc.set_sn(value);
     }
 
     /// Notification vector: the conventional 8-bit vector the sender's IPI
@@ -134,58 +148,68 @@ impl Upid {
     /// notification (compared against `UINV`).
     #[must_use]
     pub const fn nv(self) -> Vector {
-        Vector::new(((self.bits & NV_MASK) >> NV_SHIFT) as u8)
+        Vector::new(self.packed.nc.nv)
     }
 
     /// Sets the notification vector.
     pub fn set_nv(&mut self, nv: Vector) {
-        self.bits = (self.bits & !NV_MASK) | ((nv.as_u8() as u128) << NV_SHIFT);
+        self.packed.nc.nv = nv.as_u8();
     }
 
     /// Notification destination: APIC ID of the core the thread is
     /// currently running on. The OS rewrites this on migration (§3.2).
     #[must_use]
     pub const fn ndst(self) -> ApicId {
-        ApicId::new(((self.bits & NDST_MASK) >> NDST_SHIFT) as u32)
+        ApicId::new(self.packed.nc.ndst)
     }
 
     /// Sets the notification destination.
     pub fn set_ndst(&mut self, ndst: ApicId) {
-        self.bits = (self.bits & !NDST_MASK) | ((ndst.as_u32() as u128) << NDST_SHIFT);
+        self.packed.nc.ndst = ndst.as_u32();
     }
 
     /// Posted interrupt requests: one bit per user vector.
     #[must_use]
     pub const fn pir(self) -> u64 {
-        (self.bits >> PIR_SHIFT) as u64
+        self.packed.puir
     }
 
     /// Overwrites the whole PIR field.
     pub fn set_pir(&mut self, pir: u64) {
-        self.bits = (self.bits & !PIR_MASK) | ((pir as u128) << PIR_SHIFT);
+        self.packed.puir = pir;
     }
 
     /// Posts a user vector into PIR (the sender-side step (1) of §3.3).
     /// Returns `true` if the bit was newly set.
     pub fn post(&mut self, uv: UserVector) -> bool {
-        let was_set = self.pir() & uv.bit() != 0;
-        self.bits |= (uv.bit() as u128) << PIR_SHIFT;
-        !was_set
+        self.packed.post(uv.as_u8())
     }
 
     /// Atomically drains PIR, returning the previously posted set and
     /// leaving PIR empty — the receiver-side notification-processing step
     /// that moves posted vectors into `UIRR` (§3.3 step (4)).
     pub fn take_pir(&mut self) -> u64 {
-        let pir = self.pir();
-        self.bits &= !PIR_MASK;
-        pir
+        self.packed.take_puir()
     }
 
     /// True if any user vector is posted.
     #[must_use]
     pub const fn has_posted(self) -> bool {
         self.pir() != 0
+    }
+}
+
+// Serde keeps the pre-refactor wire form: `{"bits": <u128>}`, exactly
+// what the derived impls on the old `bits: u128` struct produced.
+impl Serialize for Upid {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("bits".to_string(), Value::UInt(self.bits()))])
+    }
+}
+
+impl Deserialize for Upid {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self::from_bits(serde::field(v, "Upid", "bits")?))
     }
 }
 
@@ -241,6 +265,19 @@ mod tests {
     }
 
     #[test]
+    fn view_and_packed_image_agree() {
+        let mut upid = Upid::new();
+        upid.set_on(true);
+        upid.set_nv(Vector::new(0xec));
+        upid.set_ndst(ApicId::new(7));
+        upid.post(UserVector::new(33).unwrap());
+        let bytes = upid.pack();
+        assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), upid.low_word());
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), upid.pir());
+        assert!(bytes[16..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
     fn post_sets_single_bit_and_reports_novelty() {
         let mut upid = Upid::new();
         let uv = UserVector::new(9).unwrap();
@@ -270,6 +307,20 @@ mod tests {
         upid.post(UserVector::new(33).unwrap());
         let rebuilt = Upid::from_words(upid.low_word(), upid.high_word());
         assert_eq!(rebuilt, upid);
+    }
+
+    #[test]
+    fn serde_keeps_the_bits_wire_form() {
+        let mut upid = Upid::new();
+        upid.set_on(true);
+        upid.set_nv(Vector::new(0xec));
+        upid.set_pir(0b1010);
+        let v = upid.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![("bits".to_string(), Value::UInt(upid.bits()))])
+        );
+        assert_eq!(Upid::from_value(&v).unwrap(), upid);
     }
 
     #[test]
@@ -344,11 +395,28 @@ mod proptests {
             prop_assert_eq!(upid.pir(), 0);
         }
 
-        /// Word round-trip is the identity for arbitrary descriptors.
+        /// Word round-trip is the identity for arbitrary descriptors, and
+        /// the 128-bit form equals the first 16 bytes of the packed
+        /// cache-line image.
         #[test]
         fn words_round_trip(bits in any::<u128>()) {
             let upid = Upid::from_bits(bits);
             prop_assert_eq!(Upid::from_words(upid.low_word(), upid.high_word()), upid);
+            let bytes = upid.pack();
+            let mut head = [0u8; 16];
+            head.copy_from_slice(&bytes[0..16]);
+            prop_assert_eq!(u128::from_le_bytes(head), upid.bits());
+        }
+
+        /// Reserved bits are masked once and deterministically: the defined
+        /// fields of any raw 128-bit pattern survive, and re-wrapping the
+        /// masked value is the identity.
+        #[test]
+        fn from_bits_masks_reserved_deterministically(bits in any::<u128>()) {
+            let upid = Upid::from_bits(bits);
+            let raw = Upid { packed: xui_uipi_abi::Upid::from_words(bits as u64, (bits >> 64) as u64) };
+            prop_assert_eq!(upid, raw);
+            prop_assert_eq!(Upid::from_bits(upid.bits()), upid);
         }
 
         /// Arbitrary interleavings of sender posts, kernel suspends

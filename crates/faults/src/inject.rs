@@ -145,6 +145,35 @@ impl FaultInjector {
         None
     }
 
+    /// Applies any in-force SN override to the low word of a packed
+    /// UPID notification-control block, flipping the architectural SN
+    /// bit ([`xui_uipi_abi::nc::SN`], bit 1) of the real word rather
+    /// than a shadow flag. Outside every window the word passes
+    /// through untouched.
+    pub fn apply_sn(&mut self, now: u64, nc_low: u64) -> u64 {
+        match self.sn_override(now) {
+            Some(true) => nc_low | u64::from(xui_uipi_abi::nc::SN),
+            Some(false) => nc_low & !u64::from(xui_uipi_abi::nc::SN),
+            None => nc_low,
+        }
+    }
+
+    /// End of the SN-override window covering `now`, if any (the
+    /// furthest `until` across overlapping windows). Pure query: does
+    /// not advance the log.
+    #[must_use]
+    pub fn sn_window_end(&self, now: u64) -> Option<u64> {
+        let mut end: Option<u64> = None;
+        for op in &self.plan.ops {
+            if let FaultOp::FlipSn { from, until, .. } = *op {
+                if in_window(now, from, until) {
+                    end = Some(end.map_or(until, |e| e.max(until)));
+                }
+            }
+        }
+        end
+    }
+
     /// If the plan forces UIF during `now`, the forced value.
     pub fn uif_override(&mut self, now: u64) -> Option<bool> {
         for op in &self.plan.ops {
@@ -313,6 +342,34 @@ mod tests {
         assert_eq!(inj.uif_override(160), Some(false));
         assert_eq!(inj.log().sn_overrides, 2);
         assert_eq!(inj.log().uif_overrides, 1);
+    }
+
+    #[test]
+    fn apply_sn_flips_bit_one_of_the_real_word() {
+        let plan = FaultPlan::named("t").flip_sn(100, 200, true).flip_sn(400, 500, false);
+        let mut inj = FaultInjector::new(&plan);
+        let sn = u64::from(xui_uipi_abi::nc::SN);
+        assert_eq!(sn, 2, "SN is architecturally bit 1");
+        // Outside every window the word is untouched.
+        assert_eq!(inj.apply_sn(50, 0xDEAD_BEEF), 0xDEAD_BEEF);
+        // Force-set: only bit 1 changes, neighbours survive.
+        assert_eq!(inj.apply_sn(150, 0b1010_0101), 0b1010_0101 | sn);
+        // Force-clear: only bit 1 changes.
+        assert_eq!(inj.apply_sn(450, 0b0000_0111), 0b0000_0101);
+        assert_eq!(inj.log().sn_overrides, 2);
+    }
+
+    #[test]
+    fn sn_window_end_reports_furthest_cover() {
+        let plan = FaultPlan::named("t").flip_sn(100, 200, true).flip_sn(150, 300, true);
+        let inj = FaultInjector::new(&FaultPlan::named("empty"));
+        assert_eq!(inj.sn_window_end(100), None);
+        let inj = FaultInjector::new(&plan);
+        assert_eq!(inj.sn_window_end(99), None);
+        assert_eq!(inj.sn_window_end(120), Some(200));
+        assert_eq!(inj.sn_window_end(160), Some(300), "overlap takes the furthest end");
+        assert_eq!(inj.sn_window_end(250), Some(300));
+        assert_eq!(inj.sn_window_end(300), None);
     }
 
     #[test]

@@ -38,6 +38,24 @@ pub enum KernelError {
         /// Attempts made (== the policy's `max_attempts`).
         attempts: u32,
     },
+    /// `register_handler` found no free slot in the kernel's UPID pool
+    /// (the receiver-side `ENOSPC` path).
+    UpidPoolFull {
+        /// Total pool capacity, all slots allocated.
+        capacity: usize,
+    },
+    /// `register_sender` found no free UITT entry in the caller's
+    /// (possibly shared) table (the sender-side `ENOSPC` path).
+    UittFull {
+        /// Total table capacity, all entries allocated.
+        capacity: usize,
+    },
+    /// `share_uitt` asked a thread that already has a UITT — its own or
+    /// a previously joined one — to attach to another table.
+    AlreadyHasUitt {
+        /// The offending thread id.
+        thread: usize,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -52,6 +70,15 @@ impl fmt::Display for KernelError {
             }
             Self::SendRetriesExhausted { thread, attempts } => {
                 write!(f, "senduipi from thread {thread} failed after {attempts} attempts")
+            }
+            Self::UpidPoolFull { capacity } => {
+                write!(f, "upid pool is full: all {capacity} descriptor slots allocated (ENOSPC)")
+            }
+            Self::UittFull { capacity } => {
+                write!(f, "uitt is full: all {capacity} entries allocated (ENOSPC)")
+            }
+            Self::AlreadyHasUitt { thread } => {
+                write!(f, "thread {thread} already has a uitt and cannot join another table")
             }
         }
     }
@@ -143,5 +170,11 @@ mod tests {
         assert!(t.to_string().contains("torn down"));
         let r = KernelError::SendRetriesExhausted { thread: 1, attempts: 5 };
         assert!(r.to_string().contains("5 attempts"));
+        let p = KernelError::UpidPoolFull { capacity: 64 };
+        assert!(p.to_string().contains("ENOSPC") && p.to_string().contains("64"));
+        let u = KernelError::UittFull { capacity: 16 };
+        assert!(u.to_string().contains("ENOSPC") && u.to_string().contains("16"));
+        let s = KernelError::AlreadyHasUitt { thread: 2 };
+        assert!(s.to_string().contains("thread 2"));
     }
 }

@@ -18,10 +18,23 @@ use serde::{Deserialize, Serialize};
 
 use xui_core::kb_timer::TimerMode;
 use xui_core::model::{CoreId, ProtocolModel, ThreadId};
+use xui_core::uitt::{UittIndex, UpidAddr};
 use xui_core::vectors::{UserVector, Vector};
+use xui_uipi_abi::IndexAllocator;
 
 use crate::costs::OsCosts;
 use crate::error::{KernelError, RetryPolicy};
+
+/// Base address of the kernel's UPID pool; slot `n` lives at
+/// `UPID_POOL_BASE + 64 * n` (one cache line per descriptor, matching
+/// `xui_uipi_abi::upid::UPID_BYTES`).
+pub const UPID_POOL_BASE: u64 = 0x1000;
+
+/// Default UPID-pool capacity (receiver registrations).
+pub const DEFAULT_UPID_SLOTS: usize = 64;
+
+/// Default per-table UITT capacity (sender registrations).
+pub const DEFAULT_UITT_SLOTS: usize = 64;
 
 /// Per-syscall CPU costs (cycles @ 2 GHz): a kernel entry/exit plus the
 /// table/descriptor work each call performs.
@@ -120,17 +133,53 @@ pub struct UintrKernel {
     handler_registered: Vec<bool>,
     /// Per-thread: has the thread been torn down?
     torn_down: Vec<bool>,
-    /// Receiver behind each (sender, UITT index) route, for teardown
-    /// checking on the send path.
-    routes: Vec<(ThreadId, xui_core::uitt::UittIndex, ThreadId)>,
     /// Kernel's own run-queue view: which thread occupies each core.
     running: Vec<Option<ThreadId>>,
+    /// Bitmap allocator over the UPID pool (receiver-side slots).
+    upid_alloc: IndexAllocator,
+    /// Per-thread: the UPID-pool slot backing its descriptor.
+    upid_slot: Vec<Option<usize>>,
+    /// Per-table UITT capacity used when a thread's table is created.
+    uitt_slots: usize,
+    /// Every UITT the kernel manages; refcounted by `members`.
+    tables: Vec<SharedUitt>,
+    /// Per-thread: index into `tables` of the UITT it uses, if any.
+    table_of: Vec<Option<usize>>,
+}
+
+/// One registered route in a (possibly shared) UITT. Routes whose
+/// receiver has been torn down are kept as tombstones — their allocator
+/// slot is freed and the entry invalidated, but the send path still
+/// reports [`KernelError::ThreadTornDown`] until the slot is reused.
+#[derive(Debug, Clone)]
+struct Route {
+    index: UittIndex,
+    receiver: ThreadId,
+    vector: UserVector,
+}
+
+/// A refcounted UITT shared by every thread in `members`: the bitmap
+/// allocator hands out slots, and registrations are mirrored into each
+/// member's architectural table at the same index.
+#[derive(Debug, Clone)]
+struct SharedUitt {
+    alloc: IndexAllocator,
+    members: Vec<ThreadId>,
+    routes: Vec<Route>,
 }
 
 impl UintrKernel {
-    /// Creates a kernel over `cores` idle cores.
+    /// Creates a kernel over `cores` idle cores with the default table
+    /// capacities ([`DEFAULT_UPID_SLOTS`], [`DEFAULT_UITT_SLOTS`]).
     #[must_use]
     pub fn new(cores: usize) -> Self {
+        Self::with_capacities(cores, DEFAULT_UPID_SLOTS, DEFAULT_UITT_SLOTS)
+    }
+
+    /// Creates a kernel with explicit UPID-pool and per-UITT capacities
+    /// (the `ENOSPC` paths trigger when either fills up).
+    #[must_use]
+    pub fn with_capacities(cores: usize, upid_slots: usize, uitt_slots: usize) -> Self {
         Self {
             model: ProtocolModel::new(cores),
             costs: SyscallCosts::paper(),
@@ -138,8 +187,12 @@ impl UintrKernel {
             acct: UintrAccounting::default(),
             handler_registered: Vec::new(),
             torn_down: Vec::new(),
-            routes: Vec::new(),
             running: vec![None; cores],
+            upid_alloc: IndexAllocator::new(upid_slots),
+            upid_slot: Vec::new(),
+            uitt_slots,
+            tables: Vec::new(),
+            table_of: Vec::new(),
         }
     }
 
@@ -173,46 +226,170 @@ impl UintrKernel {
         if self.handler_registered.len() <= tid.0 {
             self.handler_registered.resize(tid.0 + 1, false);
             self.torn_down.resize(tid.0 + 1, false);
+            self.upid_slot.resize(tid.0 + 1, None);
+            self.table_of.resize(tid.0 + 1, None);
         }
         tid
     }
 
-    /// `register_handler(...)` system call.
+    /// The table `tid` uses, creating an empty one when it has none yet.
+    fn table_for(&mut self, tid: ThreadId) -> usize {
+        if let Some(t) = self.table_of.get(tid.0).copied().flatten() {
+            return t;
+        }
+        self.tables.push(SharedUitt {
+            alloc: IndexAllocator::new(self.uitt_slots),
+            members: vec![tid],
+            routes: Vec::new(),
+        });
+        let t = self.tables.len() - 1;
+        self.table_of[tid.0] = Some(t);
+        t
+    }
+
+    /// Receiver behind `sender`'s route at `index`, if one is recorded.
+    fn route_receiver(&self, sender: ThreadId, index: UittIndex) -> Option<ThreadId> {
+        let t = self.table_of.get(sender.0).copied().flatten()?;
+        self.tables[t].routes.iter().find(|r| r.index == index).map(|r| r.receiver)
+    }
+
+    /// `register_handler(...)` system call: picks a UPID-pool slot with
+    /// the bitmap allocator (slot `n` → `UPID_POOL_BASE + 64n`) and
+    /// wires the descriptor through the architectural model.
     ///
     /// # Errors
     ///
     /// [`KernelError::HandlerAlreadyRegistered`] on a second call for
     /// the same live thread, [`KernelError::ThreadTornDown`] after
-    /// teardown; architectural failures are wrapped.
+    /// teardown, [`KernelError::UpidPoolFull`] when every descriptor
+    /// slot is taken (`ENOSPC`); architectural failures are wrapped.
     pub fn register_handler(&mut self, tid: ThreadId, handler: u64) -> Result<(), KernelError> {
         self.check_live(tid)?;
         if self.handler_registered.get(tid.0).copied().unwrap_or(false) {
             return Err(KernelError::HandlerAlreadyRegistered { thread: tid.0 });
         }
+        let Some(slot) = self.upid_alloc.allocate() else {
+            return Err(KernelError::UpidPoolFull { capacity: self.upid_alloc.capacity() });
+        };
         self.syscall(self.costs.register_handler);
-        self.model.register_handler(tid, handler)?;
+        let addr = UpidAddr(UPID_POOL_BASE + 64 * slot as u64);
+        if let Err(e) = self.model.register_handler_at(tid, handler, addr) {
+            self.upid_alloc.release(slot);
+            return Err(e.into());
+        }
+        self.upid_slot[tid.0] = Some(slot);
         self.handler_registered[tid.0] = true;
         Ok(())
     }
 
-    /// `register_sender(...)` system call.
+    /// `register_sender(...)` system call: allocates a slot in the
+    /// caller's (possibly shared) UITT and mirrors the entry into every
+    /// member's architectural table at the same index.
     ///
     /// # Errors
     ///
-    /// [`KernelError::ThreadTornDown`] if either side was torn down;
-    /// architectural failures (e.g. receiver has no handler) wrapped.
+    /// [`KernelError::ThreadTornDown`] if either side was torn down,
+    /// [`KernelError::UittFull`] when the table has no free entry
+    /// (`ENOSPC`); architectural failures (e.g. receiver has no
+    /// handler) wrapped.
     pub fn register_sender(
         &mut self,
         sender: ThreadId,
         receiver: ThreadId,
         uv: UserVector,
-    ) -> Result<xui_core::uitt::UittIndex, KernelError> {
+    ) -> Result<UittIndex, KernelError> {
         self.check_live(sender)?;
         self.check_live(receiver)?;
+        // Precheck the receiver so a failed registration cannot leak a
+        // table slot.
+        self.model.upid_addr_of(receiver)?.ok_or(KernelError::Arch(
+            xui_core::XuiError::HandlerNotRegistered { thread: receiver.0 },
+        ))?;
+        let t = self.table_for(sender);
+        let Some(slot) = self.tables[t].alloc.allocate() else {
+            return Err(KernelError::UittFull { capacity: self.tables[t].alloc.capacity() });
+        };
         self.syscall(self.costs.register_sender);
-        let idx = self.model.register_sender(sender, receiver, uv)?;
-        self.routes.push((sender, idx, receiver));
+        let idx = UittIndex(slot);
+        // A reused slot replaces any tombstone left by a torn-down
+        // receiver.
+        self.tables[t].routes.retain(|r| r.index != idx);
+        let members = self.tables[t].members.clone();
+        for m in members {
+            self.model.register_sender_at(m, receiver, uv, idx)?;
+        }
+        self.tables[t].routes.push(Route { index: idx, receiver, vector: uv });
         Ok(idx)
+    }
+
+    /// `share_uitt(...)` system call: `joiner` attaches to `owner`'s
+    /// UITT (created empty if `owner` has none). Existing routes are
+    /// cloned into `joiner`'s architectural table at the same indices,
+    /// and future registrations by any member are visible to all —
+    /// the refcounted-table model of a multithreaded sender process.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTornDown`] if either side was torn down,
+    /// [`KernelError::AlreadyHasUitt`] if `joiner` already uses a table
+    /// (its own or a previously joined one) or `owner == joiner`;
+    /// architectural failures wrapped.
+    pub fn share_uitt(&mut self, owner: ThreadId, joiner: ThreadId) -> Result<(), KernelError> {
+        self.check_live(owner)?;
+        self.check_live(joiner)?;
+        if owner == joiner || self.table_of.get(joiner.0).copied().flatten().is_some() {
+            return Err(KernelError::AlreadyHasUitt { thread: joiner.0 });
+        }
+        let t = self.table_for(owner);
+        self.syscall(self.costs.register_sender);
+        // Clone-on-register: mirror the live routes (tombstones have
+        // their slot freed and are skipped) into the joiner's table.
+        let live: Vec<Route> = self.tables[t]
+            .routes
+            .iter()
+            .filter(|r| self.tables[t].alloc.is_allocated(r.index.0))
+            .cloned()
+            .collect();
+        for r in live {
+            self.model.register_sender_at(joiner, r.receiver, r.vector, r.index)?;
+        }
+        self.tables[t].members.push(joiner);
+        self.table_of[joiner.0] = Some(t);
+        Ok(())
+    }
+
+    /// `unregister_sender(...)` system call: invalidates the route at
+    /// `index` in the caller's (possibly shared) UITT and returns the
+    /// slot to the allocator for reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTornDown`] after teardown; wrapped
+    /// [`XuiError::InvalidUittIndex`](xui_core::XuiError) if the caller
+    /// has no table or the slot is not currently allocated.
+    pub fn unregister_sender(
+        &mut self,
+        sender: ThreadId,
+        index: UittIndex,
+    ) -> Result<(), KernelError> {
+        self.check_live(sender)?;
+        let t = self
+            .table_of
+            .get(sender.0)
+            .copied()
+            .flatten()
+            .filter(|&t| self.tables[t].alloc.is_allocated(index.0))
+            .ok_or(KernelError::Arch(xui_core::XuiError::InvalidUittIndex {
+                index: index.0,
+            }))?;
+        self.syscall(self.costs.register_sender);
+        let members = self.tables[t].members.clone();
+        for m in members {
+            self.model.invalidate_sender(m, index)?;
+        }
+        self.tables[t].alloc.release(index.0);
+        self.tables[t].routes.retain(|r| r.index != index);
+        Ok(())
     }
 
     /// `enable_kb_timer()` system call (§4.3).
@@ -299,6 +476,40 @@ impl UintrKernel {
             self.model.deschedule(CoreId(core))?;
             self.running[core] = None;
         }
+        // Free the thread's UPID-pool slot for reuse.
+        if let Some(slot) = self.upid_slot[tid.0].take() {
+            self.upid_alloc.release(slot);
+        }
+        // Invalidate every route targeting the thread, in every table:
+        // the slot returns to the allocator, the entries are invalidated
+        // in each member's architectural table, and the route stays as a
+        // tombstone so sends keep reporting `ThreadTornDown` until the
+        // slot is reused.
+        for t in 0..self.tables.len() {
+            let dead: Vec<UittIndex> = self.tables[t]
+                .routes
+                .iter()
+                .filter(|r| r.receiver == tid)
+                .map(|r| r.index)
+                .collect();
+            for idx in dead {
+                self.tables[t].alloc.release(idx.0);
+                let members = self.tables[t].members.clone();
+                for m in members {
+                    let _ = self.model.invalidate_sender(m, idx);
+                }
+            }
+        }
+        // Drop the thread's membership in its own table; when the last
+        // member leaves, the whole table is recycled.
+        if let Some(t) = self.table_of[tid.0].take() {
+            self.tables[t].members.retain(|&m| m != tid);
+            if self.tables[t].members.is_empty() {
+                let cap = self.tables[t].alloc.capacity();
+                self.tables[t].routes.clear();
+                self.tables[t].alloc = IndexAllocator::new(cap);
+            }
+        }
         self.torn_down[tid.0] = true;
         self.handler_registered[tid.0] = false;
         Ok(())
@@ -322,9 +533,7 @@ impl UintrKernel {
         index: xui_core::uitt::UittIndex,
     ) -> Result<(), KernelError> {
         self.check_live(sender)?;
-        if let Some(&(_, _, receiver)) =
-            self.routes.iter().find(|&&(s, i, _)| s == sender && i == index)
-        {
+        if let Some(receiver) = self.route_receiver(sender, index) {
             self.check_live(receiver)?;
         }
         self.acct.kernel_free_ops += 1;
@@ -624,6 +833,138 @@ mod tests {
         assert_eq!(err, KernelError::SendRetriesExhausted { thread: a.0, attempts: 3 });
         assert_eq!(k.accounting().send_retries, 3);
         assert_eq!(k.run_pending(b).unwrap(), vec![], "nothing was sent");
+    }
+
+    #[test]
+    fn register_handler_enospc_when_upid_pool_full_and_slot_reusable() {
+        let mut k = UintrKernel::with_capacities(1, 2, 8);
+        let a = k.create_thread();
+        let b = k.create_thread();
+        let c = k.create_thread();
+        k.register_handler(a, 0x1).unwrap();
+        k.register_handler(b, 0x2).unwrap();
+        let err = k.register_handler(c, 0x3).unwrap_err();
+        assert_eq!(err, KernelError::UpidPoolFull { capacity: 2 });
+        // Teardown frees the slot; the pool is no longer full.
+        k.teardown_thread(a).unwrap();
+        k.register_handler(c, 0x3).unwrap();
+    }
+
+    #[test]
+    fn register_sender_enospc_when_uitt_full() {
+        let mut k = UintrKernel::with_capacities(1, 8, 1);
+        let s = k.create_thread();
+        let r1 = k.create_thread();
+        let r2 = k.create_thread();
+        k.register_handler(r1, 0x1).unwrap();
+        k.register_handler(r2, 0x2).unwrap();
+        k.register_sender(s, r1, uv(1)).unwrap();
+        let err = k.register_sender(s, r2, uv(2)).unwrap_err();
+        assert_eq!(err, KernelError::UittFull { capacity: 1 });
+    }
+
+    #[test]
+    fn freed_uitt_slot_is_reused_after_unregister() {
+        let mut k = UintrKernel::new(2);
+        let s = k.create_thread();
+        let r1 = k.create_thread();
+        let r2 = k.create_thread();
+        k.register_handler(r1, 0x1).unwrap();
+        k.register_handler(r2, 0x2).unwrap();
+        let i0 = k.register_sender(s, r1, uv(1)).unwrap();
+        let i1 = k.register_sender(s, r2, uv(2)).unwrap();
+        assert_eq!((i0, i1), (UittIndex(0), UittIndex(1)));
+        k.unregister_sender(s, i0).unwrap();
+        // A send over the freed slot faults architecturally.
+        assert!(matches!(
+            k.schedule(s, CoreId(0)).and_then(|()| k.senduipi(s, i0)),
+            Err(KernelError::Arch(XuiError::InvalidUittIndex { index: 0 }))
+        ));
+        // The allocator hands the freed slot back out (lowest-free-first).
+        let again = k.register_sender(s, r2, uv(3)).unwrap();
+        assert_eq!(again, UittIndex(0), "freed slot is reused, table does not grow");
+        k.schedule(r2, CoreId(1)).unwrap();
+        k.senduipi(s, again).unwrap();
+        assert_eq!(k.run_pending(r2).unwrap(), vec![uv(3)]);
+        // Double unregister of the same slot is a typed fault.
+        k.unregister_sender(s, i1).unwrap();
+        assert_eq!(
+            k.unregister_sender(s, i1).unwrap_err(),
+            KernelError::Arch(XuiError::InvalidUittIndex { index: 1 })
+        );
+    }
+
+    #[test]
+    fn freed_uitt_slot_is_reused_after_receiver_teardown() {
+        let mut k = UintrKernel::new(2);
+        let s = k.create_thread();
+        let r1 = k.create_thread();
+        let r2 = k.create_thread();
+        k.register_handler(r1, 0x1).unwrap();
+        k.register_handler(r2, 0x2).unwrap();
+        let idx = k.register_sender(s, r1, uv(1)).unwrap();
+        k.schedule(s, CoreId(0)).unwrap();
+        k.teardown_thread(r1).unwrap();
+        // Tombstone: the send still reports the torn-down receiver...
+        assert_eq!(
+            k.senduipi(s, idx).unwrap_err(),
+            KernelError::ThreadTornDown { thread: r1.0 }
+        );
+        // ...but the slot itself is free and gets reused.
+        let again = k.register_sender(s, r2, uv(4)).unwrap();
+        assert_eq!(again, idx, "slot freed by receiver teardown is reused");
+        k.schedule(r2, CoreId(1)).unwrap();
+        k.senduipi(s, again).unwrap();
+        assert_eq!(k.run_pending(r2).unwrap(), vec![uv(4)]);
+    }
+
+    #[test]
+    fn shared_uitt_routes_visible_to_all_members() {
+        let mut k = UintrKernel::new(3);
+        let s1 = k.create_thread();
+        let s2 = k.create_thread();
+        let r = k.create_thread();
+        k.register_handler(r, 0x1).unwrap();
+        // Route registered BEFORE sharing: cloned into the joiner.
+        let pre = k.register_sender(s1, r, uv(1)).unwrap();
+        k.share_uitt(s1, s2).unwrap();
+        // Route registered AFTER sharing, by the joiner: visible to both.
+        let post = k.register_sender(s2, r, uv(2)).unwrap();
+        assert_eq!((pre, post), (UittIndex(0), UittIndex(1)), "one shared index space");
+        k.schedule(s1, CoreId(0)).unwrap();
+        k.schedule(s2, CoreId(1)).unwrap();
+        k.schedule(r, CoreId(2)).unwrap();
+        k.senduipi(s1, post).unwrap();
+        k.senduipi(s2, pre).unwrap();
+        let mut got = k.run_pending(r).unwrap();
+        got.sort();
+        assert_eq!(got, vec![uv(1), uv(2)]);
+    }
+
+    #[test]
+    fn share_uitt_rejects_joiner_with_a_table_and_survives_member_teardown() {
+        let mut k = UintrKernel::new(3);
+        let s1 = k.create_thread();
+        let s2 = k.create_thread();
+        let r = k.create_thread();
+        k.register_handler(r, 0x1).unwrap();
+        let idx = k.register_sender(s1, r, uv(5)).unwrap();
+        k.share_uitt(s1, s2).unwrap();
+        // s2 is now a member; joining anything again is rejected.
+        assert_eq!(
+            k.share_uitt(s1, s2).unwrap_err(),
+            KernelError::AlreadyHasUitt { thread: s2.0 }
+        );
+        assert_eq!(
+            k.share_uitt(s2, s2).unwrap_err(),
+            KernelError::AlreadyHasUitt { thread: s2.0 }
+        );
+        // The table outlives the original owner.
+        k.teardown_thread(s1).unwrap();
+        k.schedule(s2, CoreId(0)).unwrap();
+        k.schedule(r, CoreId(1)).unwrap();
+        k.senduipi(s2, idx).unwrap();
+        assert_eq!(k.run_pending(r).unwrap(), vec![uv(5)]);
     }
 
     #[test]

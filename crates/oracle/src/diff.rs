@@ -24,7 +24,8 @@ use xui_core::kb_timer::TimerMode;
 use xui_core::model::{CoreId, ProtocolModel, ThreadId};
 use xui_core::uitt::UittIndex;
 use xui_core::vectors::{UserVector, Vector};
-use xui_kernel::UintrKernel;
+use xui_kernel::{KernelError, UintrKernel};
+use xui_uipi_abi as abi;
 use xui_sim::config::SystemConfig;
 use xui_sim::isa::{AluKind, Inst, Op, Operand, Reg};
 use xui_sim::trace::TraceKind;
@@ -67,6 +68,18 @@ pub struct Reproducer {
     pub divergence: Divergence,
 }
 
+/// Knobs for [`check_with`] and [`shrink_with`]. The default is the
+/// production differ.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Test-only: deliberately mis-pack the oracle's `UintrNc` status
+    /// byte (SN rendered at bit 2 instead of bit 1) so the per-step
+    /// byte differ provably catches packing bugs. Never set outside
+    /// this crate's own tests.
+    #[doc(hidden)]
+    pub mispack_nc: bool,
+}
+
 /// The uniform surface the two protocol-level replays share.
 trait ModelUnderTest {
     fn senduipi(&mut self, lane: usize) -> Result<(), String>;
@@ -78,6 +91,17 @@ trait ModelUnderTest {
     fn set_timer(&mut self, cycles: u64, periodic: bool) -> Result<(), String>;
     fn advance_time(&mut self, to: u64);
     fn device_interrupt(&mut self, vector: u8, core: u8) -> Result<(), String>;
+    /// A send on `lane` issued through the shared UITT (the kernel
+    /// replay drives its real shared table; others alias `senduipi`).
+    fn share_send(&mut self, lane: usize) -> Result<(), String>;
+    /// Tear down the shared co-sender (kernel-observable; no-op
+    /// elsewhere).
+    fn teardown_shared(&mut self) -> Result<(), String>;
+    /// Fill the sender's table to `ENOSPC`, then free every extra slot
+    /// (kernel-observable; no-op elsewhere).
+    fn register_until_enospc(&mut self) -> Result<(), String>;
+    /// The receiver's UPID as its packed 64-byte ABI image.
+    fn upid_bytes(&self) -> Result<[u8; abi::upid::UPID_BYTES], String>;
     fn outcome(&self) -> Result<Outcome, String>;
 }
 
@@ -159,6 +183,24 @@ impl ModelUnderTest for ProtocolReplay {
             .map_err(|e| format!("{e:?}"))
     }
 
+    fn share_send(&mut self, lane: usize) -> Result<(), String> {
+        // The protocol model has no table-sharing layer: a shared-table
+        // send is architecturally the same SENDUIPI.
+        self.senduipi(lane)
+    }
+
+    fn teardown_shared(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn register_until_enospc(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn upid_bytes(&self) -> Result<[u8; abi::upid::UPID_BYTES], String> {
+        Ok(self.sys.upid_of(self.receiver).map_err(|e| format!("{e:?}"))?.pack())
+    }
+
     fn outcome(&self) -> Result<Outcome, String> {
         let upid = self.sys.upid_of(self.receiver).map_err(|e| format!("{e:?}"))?;
         let delivered = self
@@ -172,25 +214,46 @@ impl ModelUnderTest for ProtocolReplay {
     }
 }
 
+/// Per-table UITT capacity for the kernel replay: small enough that
+/// `RegisterUntilEnospc` fills it in a handful of syscalls, large
+/// enough for the generator's ≤ 6 send lanes.
+const KERNEL_REPLAY_UITT_SLOTS: usize = 16;
+
 struct KernelReplay {
     sys: UintrKernel,
     sender: ThreadId,
     receiver: ThreadId,
+    /// Co-sender sharing `sender`'s UITT (clone-on-register at setup).
+    sender2: ThreadId,
+    /// False once `TeardownShared` has retired the co-sender.
+    shared_alive: bool,
+    /// Vector used for the throwaway `ENOSPC`-probe routes.
+    spare: UserVector,
     idx_by_lane: Vec<UittIndex>,
 }
 
 impl KernelReplay {
     fn new(s: &Schedule) -> Result<Self, String> {
-        let mut sys = UintrKernel::new(usize::from(s.cores));
+        let mut sys = UintrKernel::with_capacities(
+            usize::from(s.cores),
+            xui_kernel::uintr::DEFAULT_UPID_SLOTS,
+            KERNEL_REPLAY_UITT_SLOTS,
+        );
         let sender = sys.create_thread();
         let receiver = sys.create_thread();
         sys.register_handler(receiver, 0x4000).map_err(|e| format!("{e:?}"))?;
         let mut idx_by_lane = Vec::with_capacity(s.send_vectors.len());
+        let mut spare = UserVector::from_truncated(0);
         for &uv in &s.send_vectors {
             let uv = UserVector::new(uv & 63).map_err(|e| format!("{e:?}"))?;
+            spare = uv;
             idx_by_lane
                 .push(sys.register_sender(sender, receiver, uv).map_err(|e| format!("{e:?}"))?);
         }
+        // The co-sender joins the sender's table *after* the lanes are
+        // registered, exercising clone-on-register.
+        let sender2 = sys.create_thread();
+        sys.share_uitt(sender, sender2).map_err(|e| format!("{e:?}"))?;
         if let Some(tv) = s.timer_vector {
             let tv = UserVector::new(tv & 63).map_err(|e| format!("{e:?}"))?;
             sys.enable_kb_timer(receiver, tv).map_err(|e| format!("{e:?}"))?;
@@ -203,7 +266,7 @@ impl KernelReplay {
             }
         }
         sys.schedule(sender, CoreId(0)).map_err(|e| format!("{e:?}"))?;
-        Ok(Self { sys, sender, receiver, idx_by_lane })
+        Ok(Self { sys, sender, receiver, sender2, shared_alive: true, spare, idx_by_lane })
     }
 }
 
@@ -250,6 +313,51 @@ impl ModelUnderTest for KernelReplay {
             .map_err(|e| format!("{e:?}"))
     }
 
+    fn share_send(&mut self, lane: usize) -> Result<(), String> {
+        // While the co-sender lives, the send goes through its view of
+        // the shared table; afterwards it falls back to the primary
+        // sender — observably identical either way.
+        let from = if self.shared_alive { self.sender2 } else { self.sender };
+        self.sys.senduipi(from, self.idx_by_lane[lane]).map_err(|e| format!("{e:?}"))
+    }
+
+    fn teardown_shared(&mut self) -> Result<(), String> {
+        if !self.shared_alive {
+            return Ok(());
+        }
+        self.sys.teardown_thread(self.sender2).map_err(|e| format!("{e:?}"))?;
+        self.shared_alive = false;
+        Ok(())
+    }
+
+    fn register_until_enospc(&mut self) -> Result<(), String> {
+        let mut extras = Vec::new();
+        let hit = loop {
+            match self.sys.register_sender(self.sender, self.receiver, self.spare) {
+                Ok(idx) => extras.push(idx),
+                Err(KernelError::UittFull { .. }) => break true,
+                Err(e) => return Err(format!("{e:?}")),
+            }
+            if extras.len() > 2 * KERNEL_REPLAY_UITT_SLOTS {
+                break false;
+            }
+        };
+        for idx in &extras {
+            self.sys.unregister_sender(self.sender, *idx).map_err(|e| format!("{e:?}"))?;
+        }
+        if !hit {
+            return Err(format!(
+                "register_sender never reported ENOSPC within {} registrations",
+                extras.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn upid_bytes(&self) -> Result<[u8; abi::upid::UPID_BYTES], String> {
+        Ok(self.sys.model().upid_of(self.receiver).map_err(|e| format!("{e:?}"))?.pack())
+    }
+
     fn outcome(&self) -> Result<Outcome, String> {
         let upid = self.sys.model().upid_of(self.receiver).map_err(|e| format!("{e:?}"))?;
         let delivered = self
@@ -264,10 +372,38 @@ impl ModelUnderTest for KernelReplay {
     }
 }
 
+/// First byte at which the two packed descriptors disagree, honoring
+/// the ON-bit mask for the `SendPreempted` race window.
+fn first_byte_diff(
+    expect: &[u8; abi::upid::UPID_BYTES],
+    got: &[u8; abi::upid::UPID_BYTES],
+    mask_on: bool,
+) -> Option<usize> {
+    (0..abi::upid::UPID_BYTES).find(|&j| {
+        let mask = if j == 0 && mask_on { !abi::nc::ON } else { 0xff };
+        expect[j] & mask != got[j] & mask
+    })
+}
+
 /// Replays `schedule` against `model`, mirroring the oracle's totality
 /// guards so only transitions the oracle considers meaningful reach the
-/// model. Returns the model's outcome or the first unexpected error.
-fn replay<M: ModelUnderTest>(schedule: &Schedule, model: &mut M) -> Result<Outcome, String> {
+/// model — and stepping a lockstep [`Oracle`] alongside, comparing the
+/// receiver's *serialized ABI bytes* ([`Oracle::upid_bytes`] vs the
+/// model's packed descriptor) after every event. The one deliberate
+/// mask: after a `SendPreempted` whose stale-snapshot IPI fired, the
+/// oracle keeps `ON = 1` while the untimed models' deschedule-then-send
+/// rendering leaves `ON = 0`; the bit is masked until the next resume
+/// clears it on both sides (see `docs/ORACLE.md`).
+///
+/// Returns the model's outcome or the first unexpected error /
+/// byte-level divergence.
+fn replay<M: ModelUnderTest>(
+    schedule: &Schedule,
+    model: &mut M,
+    opts: CheckOptions,
+) -> Result<Outcome, String> {
+    let mut oracle = Oracle::new(schedule);
+    let mut race_on = false;
     let mut running: Option<u8> = None;
     let mut now = 0u64;
     for (i, ev) in schedule.events.iter().enumerate() {
@@ -323,6 +459,38 @@ fn replay<M: ModelUnderTest>(schedule: &Schedule, model: &mut M) -> Result<Outco
                     step(model.device_interrupt(vector, core))?;
                 }
             }
+            Event::ShareUitt { uv } => {
+                let lane = lane_of(schedule, uv);
+                step(model.share_send(lane))?;
+            }
+            Event::TeardownShared => step(model.teardown_shared())?,
+            Event::RegisterUntilEnospc => step(model.register_until_enospc())?,
+        }
+        // Lockstep oracle step and ABI byte compare. The race window
+        // opens when a preempted send's stale-snapshot IPI fires (the
+        // oracle's pre-step state says it would) and closes as soon as
+        // the oracle's ON clears (the next resume).
+        if let Event::SendPreempted { .. } = ev {
+            if oracle.running_on.is_some() && !oracle.sn && !oracle.on {
+                race_on = true;
+            }
+        }
+        oracle.step(ev);
+        if !oracle.on {
+            race_on = false;
+        }
+        let mut expect = oracle.upid_bytes();
+        if opts.mispack_nc {
+            // The deliberately broken packer: SN rendered at bit 2.
+            expect[0] = (expect[0] & abi::nc::ON) | (u8::from(oracle.sn) << 2);
+        }
+        let got = model.upid_bytes().map_err(|e| format!("event {i} {ev:?}: {e}"))?;
+        if let Some(j) = first_byte_diff(&expect, &got, race_on) {
+            return Err(format!(
+                "upid ABI bytes diverge after event {i} ({ev:?}) at byte {j}: \
+                 oracle {:#04x} vs model {:#04x}",
+                expect[j], got[j]
+            ));
         }
     }
     // Quiesce exactly like the oracle: resume, unmask, drain.
@@ -331,6 +499,15 @@ fn replay<M: ModelUnderTest>(schedule: &Schedule, model: &mut M) -> Result<Outco
     }
     model.stui().map_err(|e| format!("quiesce stui: {e}"))?;
     model.deliver().map_err(|e| format!("quiesce deliver: {e}"))?;
+    oracle.quiesce();
+    let expect = oracle.upid_bytes();
+    let got = model.upid_bytes().map_err(|e| format!("quiesce: {e}"))?;
+    if let Some(j) = first_byte_diff(&expect, &got, false) {
+        return Err(format!(
+            "upid ABI bytes diverge after quiesce at byte {j}: oracle {:#04x} vs model {:#04x}",
+            expect[j], got[j]
+        ));
+    }
     model.outcome()
 }
 
@@ -433,13 +610,19 @@ fn compare(model: &str, oracle: &Outcome, observed: Result<Outcome, String>) -> 
 /// the first divergence found, unshrunk.
 #[must_use]
 pub fn check(schedule: &Schedule) -> Option<Divergence> {
+    check_with(schedule, CheckOptions::default())
+}
+
+/// [`check`] with explicit [`CheckOptions`].
+#[must_use]
+pub fn check_with(schedule: &Schedule, opts: CheckOptions) -> Option<Divergence> {
     let oracle = Oracle::run(schedule);
     let protocol = ProtocolReplay::new(schedule)
-        .and_then(|mut m| replay(schedule, &mut m));
+        .and_then(|mut m| replay(schedule, &mut m, opts));
     if let Some(d) = compare("protocol", &oracle, protocol) {
         return Some(d);
     }
-    let kernel = KernelReplay::new(schedule).and_then(|mut m| replay(schedule, &mut m));
+    let kernel = KernelReplay::new(schedule).and_then(|mut m| replay(schedule, &mut m, opts));
     if let Some(d) = compare("kernel", &oracle, kernel) {
         return Some(d);
     }
@@ -469,8 +652,15 @@ pub fn check(schedule: &Schedule) -> Option<Divergence> {
 /// no re-legalization pass is needed.
 #[must_use]
 pub fn shrink(schedule: &Schedule) -> Schedule {
+    shrink_with(schedule, CheckOptions::default())
+}
+
+/// [`shrink`] with explicit [`CheckOptions`] (the predicate must match
+/// the one the divergence was found with).
+#[must_use]
+pub fn shrink_with(schedule: &Schedule, opts: CheckOptions) -> Schedule {
     let mut best = schedule.clone();
-    if check(&best).is_none() {
+    if check_with(&best, opts).is_none() {
         return best;
     }
     let mut chunk = best.events.len().div_ceil(2).max(1);
@@ -481,7 +671,7 @@ pub fn shrink(schedule: &Schedule) -> Schedule {
             let end = (start + chunk).min(best.events.len());
             let mut candidate = best.clone();
             candidate.events.drain(start..end);
-            if check(&candidate).is_some() {
+            if check_with(&candidate, opts).is_some() {
                 best = candidate;
                 progressed = true;
                 // Do not advance: the next chunk slid into `start`.
@@ -569,6 +759,54 @@ mod tests {
         // No real divergence: shrink must be the identity.
         assert!(check(&s).is_none());
         assert_eq!(shrink(&s), s);
+    }
+
+    #[test]
+    fn shared_table_schedule_agrees_across_models() {
+        let s = Schedule {
+            seed: 0,
+            cores: 2,
+            send_vectors: vec![3, 7],
+            timer_vector: None,
+            forwarded: vec![],
+            events: vec![
+                Event::RegisterUntilEnospc,
+                Event::ShareUitt { uv: 3 },
+                Event::Schedule { core: 1 },
+                Event::Deliver,
+                Event::TeardownShared,
+                Event::ShareUitt { uv: 7 },
+                Event::RegisterUntilEnospc,
+                Event::Deliver,
+                Event::TeardownShared,
+            ],
+        };
+        assert!(check(&s).is_none(), "diverged: {:?}", check(&s));
+    }
+
+    #[test]
+    fn mispacked_nc_is_caught_by_the_byte_differ_and_shrinks() {
+        // A deliberately mis-packed UintrNc (SN rendered at bit 2) must
+        // be caught by the per-step ABI byte compare on essentially any
+        // schedule (the post-setup state has SN set), and ddmin must
+        // shrink the reproducer to the bone.
+        let opts = CheckOptions { mispack_nc: true };
+        let s = Schedule::generate(1);
+        let d = check_with(&s, opts).expect("mis-packed NC must diverge");
+        assert!(d.detail.contains("ABI bytes"), "unexpected detail: {}", d.detail);
+        assert!(d.detail.contains("byte 0"), "SN lives in byte 0: {}", d.detail);
+        let minimal = shrink_with(&s, opts);
+        assert!(
+            minimal.events.len() <= 2,
+            "ddmin should shrink to one or two events, got {:?}",
+            minimal.events
+        );
+        let d = check_with(&minimal, opts).expect("shrink preserves the divergence");
+        assert!(d.detail.contains("ABI bytes"));
+        // The production differ sees nothing wrong with the same
+        // schedule: the divergence is the injected mis-pack, not a
+        // model bug.
+        assert!(check(&minimal).is_none());
     }
 
     #[test]

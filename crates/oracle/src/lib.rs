@@ -28,6 +28,9 @@ pub mod diff;
 pub mod schedule;
 pub mod spec;
 
-pub use diff::{check, fuzz_one, reproducer_json, shrink, Divergence, Reproducer};
+pub use diff::{
+    check, check_with, fuzz_one, reproducer_json, shrink, shrink_with, CheckOptions, Divergence,
+    Reproducer,
+};
 pub use schedule::{Event, ForwardLine, Schedule};
 pub use spec::{Oracle, Outcome, TimerState};

@@ -73,6 +73,27 @@ pub enum Event {
         /// Core where the interrupt arrives.
         core: u8,
     },
+    /// A second sender thread sharing the primary sender's UITT sends
+    /// `uv`. The kernel replay drives a real refcounted shared table
+    /// (clone-on-register); the oracle and protocol replays observe it
+    /// as an ordinary [`Event::Send`] — any difference in the
+    /// receiver's descriptor bytes is a divergence.
+    ShareUitt {
+        /// User vector (drawn from the registered send lanes).
+        uv: u8,
+    },
+    /// The shared co-sender is torn down. Kernel-observable only: the
+    /// shared table and its routes must survive for the remaining
+    /// members, so the oracle and protocol replays treat this as a
+    /// no-op. Subsequent [`Event::ShareUitt`] sends fall back to the
+    /// primary sender.
+    TeardownShared,
+    /// The kernel registers throwaway routes until its UITT reports
+    /// table-full (`ENOSPC`), then unregisters them all. The allocator
+    /// must round-trip (freed slots reusable) and nothing may leak into
+    /// the receiver's descriptor; failing to hit `ENOSPC` at all is a
+    /// divergence. A no-op in the oracle and protocol replays.
+    RegisterUntilEnospc,
 }
 
 /// A complete generated scenario: the static setup plus the event
@@ -123,7 +144,7 @@ impl Schedule {
         let count = rng.gen_range(8usize..=60);
         let mut events = Vec::with_capacity(count);
         for _ in 0..count {
-            let pick = rng.gen_range(0u32..28);
+            let pick = rng.gen_range(0u32..32);
             events.push(match pick {
                 0..=5 => Event::Send {
                     uv: send_vectors[rng.gen_range(0usize..send_vectors.len())],
@@ -141,10 +162,15 @@ impl Schedule {
                     periodic: rng.gen_bool(0.5),
                 },
                 23..=25 => Event::AdvanceTime { dt: rng.gen_range(100u32..5_000) },
-                _ => Event::DeviceIrq {
+                26..=27 => Event::DeviceIrq {
                     line: rng.gen_range(0u8..=forwarded.len() as u8),
                     core: rng.gen_range(0u8..cores),
                 },
+                28..=29 => Event::ShareUitt {
+                    uv: send_vectors[rng.gen_range(0usize..send_vectors.len())],
+                },
+                30 => Event::TeardownShared,
+                _ => Event::RegisterUntilEnospc,
             });
         }
         Self {
@@ -325,7 +351,7 @@ mod tests {
             for ev in &s.events {
                 match *ev {
                     Event::Schedule { core } => assert!(core >= 1 && core < s.cores),
-                    Event::Send { uv } | Event::SendPreempted { uv } => {
+                    Event::Send { uv } | Event::SendPreempted { uv } | Event::ShareUitt { uv } => {
                         assert!(s.send_vectors.contains(&uv));
                     }
                     Event::DeviceIrq { line, core } => {
@@ -336,6 +362,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn extended_alphabet_events_are_generated() {
+        let (mut share, mut teardown, mut enospc) = (false, false, false);
+        for seed in 0..200u64 {
+            for ev in &Schedule::generate(seed).events {
+                match ev {
+                    Event::ShareUitt { .. } => share = true,
+                    Event::TeardownShared => teardown = true,
+                    Event::RegisterUntilEnospc => enospc = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(share && teardown && enospc, "share={share} teardown={teardown} enospc={enospc}");
     }
 
     #[test]

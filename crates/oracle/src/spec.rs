@@ -18,8 +18,14 @@
 //! on every core.
 
 use serde::{Deserialize, Serialize};
+use xui_uipi_abi as abi;
 
 use crate::schedule::{Event, ForwardLine, Schedule};
+
+/// The notification vector (`UINV`) every model programs: the protocol
+/// model's `register_handler` writes `0xec` into the UPID's NV byte, and
+/// the oracle's packed mirror must agree byte for byte.
+pub const UINV: u8 = 0xec;
 
 /// Armed KB_Timer state, the oracle's rendering of `kb_timer_state_MSR`
 /// (§4.3): an absolute deadline, the period (0 for one-shot), and the
@@ -290,7 +296,29 @@ impl Oracle {
             Event::SetTimer { cycles, periodic } => self.set_timer(u64::from(cycles), periodic),
             Event::AdvanceTime { dt } => self.advance_time(u64::from(dt)),
             Event::DeviceIrq { line, core } => self.device_interrupt(line, core),
+            // A send through the shared table is architecturally the
+            // same SENDUIPI against the same UPID.
+            Event::ShareUitt { uv } => self.senduipi(uv),
+            // Kernel-internal bookkeeping: the receiver's descriptor is
+            // untouched by construction, so any model that perturbs it
+            // shows up as a byte divergence.
+            Event::TeardownShared | Event::RegisterUntilEnospc => {}
         }
+    }
+
+    /// The receiver's descriptor in its packed 64-byte ABI form
+    /// ([`abi::Upid`]): the oracle's flat `on`/`sn`/`ndst`/`pir` fields
+    /// rendered through the same bit-accurate packer the production
+    /// models use, so the differential driver can compare serialized
+    /// ABI bytes after every schedule step.
+    #[must_use]
+    pub fn upid_bytes(&self) -> [u8; abi::upid::UPID_BYTES] {
+        let mut nc = abi::UintrNc::new();
+        nc.set_on(self.on);
+        nc.set_sn(self.sn);
+        nc.nv = UINV;
+        nc.ndst = u32::from(self.ndst);
+        abi::Upid { nc, puir: self.pir }.pack()
     }
 
     /// Runs a whole schedule: every event in order, then the quiesce
@@ -445,6 +473,39 @@ mod tests {
             Event::Deliver,
         ]));
         assert_eq!(out.delivered, vec![10, 11], "line 0 at core 2 still parked");
+    }
+
+    #[test]
+    fn upid_bytes_mirror_the_flat_state() {
+        let sched = base_schedule(vec![Event::Send { uv: 5 }]);
+        let mut oracle = Oracle::new(&sched);
+        let bytes = oracle.upid_bytes();
+        assert_eq!(bytes[0], 0b10, "SN set, ON clear after setup");
+        assert_eq!(bytes[2], UINV);
+        assert!(bytes[8..].iter().all(|&b| b == 0));
+        oracle.step(&Event::Send { uv: 5 });
+        let bytes = oracle.upid_bytes();
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 1 << 5);
+        oracle.step(&Event::Schedule { core: 2 });
+        let bytes = oracle.upid_bytes();
+        assert_eq!(bytes[0], 0, "in context: SN and ON clear");
+        assert_eq!(bytes[4], 2, "NDST tracks the core");
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 0, "PIR reposted");
+    }
+
+    #[test]
+    fn shared_table_events_have_reference_semantics() {
+        // ShareUitt delivers like a plain Send; the bookkeeping events
+        // leave the descriptor untouched.
+        let out = Oracle::run(&base_schedule(vec![
+            Event::RegisterUntilEnospc,
+            Event::ShareUitt { uv: 4 },
+            Event::TeardownShared,
+            Event::Schedule { core: 1 },
+            Event::Deliver,
+        ]));
+        assert_eq!(out.delivered, vec![4]);
+        assert_eq!(out.pir, 0);
     }
 
     #[test]

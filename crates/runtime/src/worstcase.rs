@@ -48,6 +48,10 @@ use xui_telemetry::Event;
 /// The highest user vector — the high-criticality lane.
 pub const HIGH_VECTOR: u64 = 63;
 
+/// The architectural SN (suppress notification) bit of the packed
+/// notification-control word, widened to the model's word size.
+const SN: u64 = xui_uipi_abi::nc::SN as u64;
+
 /// What kind of co-located interference the bulk tenants generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum InterferenceKind {
@@ -252,8 +256,11 @@ struct World {
     busy_until: u64,
     /// An idempotent delivery retry is armed for this tick (0 = none).
     retry_at: u64,
-    /// Receiver blocked (SN-style window).
-    blocked: bool,
+    /// Packed UPID notification-control low word. The receiver is
+    /// blocked exactly while the architectural [`SN`] bit is set —
+    /// there is no shadow flag; block windows and `FlipSn` fault
+    /// windows both act on this word.
+    nc: u64,
     last_unblock: u64,
     /// Static interference percentage (kind × interferer count).
     static_pct: u64,
@@ -289,7 +296,31 @@ impl World {
 
     /// Starts the highest pending delivery if the receiver can take it.
     fn try_deliver(&mut self, now: u64, eng: &mut Engine<World>) {
-        if self.blocked || self.in_delivery.is_some() || self.pir == 0 {
+        // The fault DSL's FlipSn windows flip bit 1 of the real packed
+        // word; what gates delivery is the effective SN, not who set it.
+        let nc = self.injector.apply_sn(now, self.nc);
+        if nc & SN != 0 {
+            if self.nc & SN == 0 {
+                // Forced by a fault window: the world emits no unblock
+                // of its own, so arm one retry at the window end and
+                // surface the window to the invariant checker.
+                if let Some(end) = self.injector.sn_window_end(now) {
+                    if self.retry_at != end {
+                        self.retry_at = end;
+                        self.events.push(Event::instant(now, RECEIVER, EV_BLOCK));
+                        eng.schedule_at(end, |w: &mut World, eng: &mut Engine<World>| {
+                            let t = eng.now();
+                            w.retry_at = 0;
+                            w.last_unblock = t;
+                            w.events.push(Event::instant(t, RECEIVER, EV_UNBLOCK));
+                            w.try_deliver(t, eng);
+                        });
+                    }
+                }
+            }
+            return;
+        }
+        if self.in_delivery.is_some() || self.pir == 0 {
             return;
         }
         if now < self.busy_until {
@@ -403,12 +434,12 @@ fn arm_interferer(eng: &mut Engine<World>, at: u64, rng_idx: usize) {
 fn arm_block(eng: &mut Engine<World>, at: u64) {
     eng.schedule_at(at, move |w: &mut World, eng: &mut Engine<World>| {
         let now = eng.now();
-        w.blocked = true;
+        w.nc |= SN;
         w.events.push(Event::instant(now, RECEIVER, EV_BLOCK));
         let len = w.cfg.block_len;
         eng.schedule_at(now + len, |w: &mut World, eng: &mut Engine<World>| {
             let t = eng.now();
-            w.blocked = false;
+            w.nc &= !SN;
             w.last_unblock = t;
             w.events.push(Event::instant(t, RECEIVER, EV_UNBLOCK));
             w.try_deliver(t, eng);
@@ -440,7 +471,7 @@ pub fn run_worst_case(cfg: &WorstCaseConfig) -> WorstCaseReport {
         in_delivery: None,
         busy_until: 0,
         retry_at: 0,
-        blocked: false,
+        nc: 0,
         last_unblock: 0,
         events: Vec::new(),
         high_samples: LatencySamples::new(),
@@ -553,6 +584,37 @@ mod tests {
             shared.high.max
         );
         assert!(isolated.worst_case < shared.worst_case);
+    }
+
+    #[test]
+    fn flip_sn_window_suppresses_delivery_and_restarts_the_clock() {
+        // A fault-forced SN window 5x the deadline: posts landing inside
+        // it must sit in the PIR (merging, so fewer novel posts than a
+        // clean run) and still meet the deadline, because the window is
+        // surfaced to the checker as a block/unblock pair that restarts
+        // the once-unblocked clock.
+        let mut clean = base();
+        clean.block_period = 0; // isolate the fault window from real blocks
+        let mut forced = clean.clone();
+        forced.plan = Some(FaultPlan::named("sn-window").flip_sn(0, 50_000, true));
+
+        let c = run_worst_case(&clean);
+        let f = run_worst_case(&forced);
+        assert!(f.pass, "{:?}", f.first_violation);
+        assert_eq!(f.deadline_violations, 0);
+        assert!(
+            f.posts < c.posts,
+            "posts must merge while SN is forced ({} vs clean {})",
+            f.posts,
+            c.posts
+        );
+        assert!(f.deliveries > 0, "delivery must resume at the window end");
+        assert!(
+            f.high.max < 50_000,
+            "latency counts from the unblock, not the post: {}",
+            f.high.max
+        );
+        assert_eq!(run_worst_case(&forced), f, "forced run must stay deterministic");
     }
 
     #[test]

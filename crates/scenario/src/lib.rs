@@ -23,7 +23,10 @@ pub mod spec;
 pub mod sweep;
 
 pub use cli::cli_main;
-pub use queue::{RunId, RunQueue, RunState, RunStatus, SubmitError};
+pub use queue::{CancelError, RunId, RunQueue, RunState, RunStatus, SubmitError};
 pub use runner::{run, Artifact, ProgressHook, RunOptions, RunProgress, RunReport};
 pub use spec::{Backend, DsaMode, Experiment, NamedWorkload, Scenario, TelemetryCaps, Topology};
-pub use sweep::{merge_manifests, run_points, ShardSpec, SweepPoint, SweepRun, SweepSpec};
+pub use sweep::{
+    manifest_outcomes, merge_manifests, run_points, run_points_resuming, PointOutcome, ShardSpec,
+    SweepPoint, SweepRun, SweepSpec,
+};

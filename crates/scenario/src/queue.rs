@@ -104,6 +104,32 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why a [`RunQueue::cancel`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelError {
+    /// The id was never assigned by this queue.
+    NotFound,
+    /// The run left the waiting queue: a worker is executing it (runs
+    /// are not interruptible) or it already reached a terminal state.
+    NotCancellable {
+        /// The state the run was in (`running`/`done`/`failed`).
+        state: String,
+    },
+}
+
+impl std::fmt::Display for CancelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotFound => f.write_str("unknown run id"),
+            Self::NotCancellable { state } => {
+                write!(f, "only queued runs can be cancelled; this run is {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CancelError {}
+
 /// A queue-level observer: called on every state transition with the
 /// run's id and new state, from whichever thread made the transition.
 /// Must be quick and non-blocking (the serve layer forwards into
@@ -356,6 +382,42 @@ impl RunQueue {
         }
     }
 
+    /// Cancels a run that is still *waiting* in the queue: the job is
+    /// pulled out before any worker can claim it and the run becomes
+    /// `failed` with a cancellation error, exactly as a shutdown-time
+    /// cancellation would. Running scenarios are not interruptible and
+    /// terminal runs are history, so both are refused.
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError::NotFound`] for an id this queue never assigned;
+    /// [`CancelError::NotCancellable`] (naming the state) once the run
+    /// left the waiting queue.
+    pub fn cancel(&self, id: RunId) -> Result<RunStatus, CancelError> {
+        let removed = {
+            // Hold the jobs lock across the removal so no worker can
+            // pop the job mid-cancel; state is published after release
+            // like every other transition.
+            let mut jobs = self.inner.jobs.lock().expect("run jobs poisoned");
+            let pos = jobs.iter().position(|j| j.id == id);
+            pos.map(|p| jobs.remove(p)).is_some()
+        };
+        if removed {
+            self.inner.set_state(
+                id,
+                RunState::Failed,
+                None,
+                Some("cancelled: deleted while queued, before a worker picked this run up".into()),
+                None,
+            );
+            return Ok(self.status(id).expect("cancelled runs stay tracked"));
+        }
+        match self.status(id) {
+            None => Err(CancelError::NotFound),
+            Some(s) => Err(CancelError::NotCancellable { state: s.state }),
+        }
+    }
+
     /// Stops accepting work, cancels runs still waiting in the queue
     /// (they become `failed` with a cancellation error), lets running
     /// scenarios finish, and joins the workers. Idempotent; statuses
@@ -501,6 +563,46 @@ mod tests {
             q.submit(fast_scenario(), RunOptions::default()),
             Err(SubmitError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn cancel_unqueues_waiting_runs_and_refuses_everything_else() {
+        assert_eq!(RunQueue::new(1, 2).cancel(77), Err(CancelError::NotFound));
+
+        // One worker held busy by a slow progress hook: the second
+        // submission stays queued long enough to cancel.
+        let gate = Arc::new(StdMutex::new(()));
+        let held = gate.lock().unwrap();
+        let hook_gate = Arc::clone(&gate);
+        let opts = RunOptions {
+            progress: ProgressHook::new(move |p| {
+                if matches!(p, RunProgress::Started { .. }) {
+                    drop(hook_gate.lock().unwrap());
+                }
+            }),
+            ..RunOptions::default()
+        };
+        let q = RunQueue::new(1, 2);
+        let busy = q.submit(fast_scenario(), opts).expect("submit busy");
+        let waiting = q.submit(fast_scenario(), RunOptions::default()).expect("submit waiting");
+
+        let status = q.cancel(waiting).expect("queued runs cancel");
+        assert_eq!(status.state, "failed");
+        assert!(status.error.as_deref().unwrap_or("").contains("cancelled"), "{status:?}");
+        assert_eq!(
+            q.cancel(waiting),
+            Err(CancelError::NotCancellable { state: "failed".to_string() }),
+            "terminal runs are history"
+        );
+
+        drop(held);
+        let done = q.wait_terminal(busy, Duration::from_secs(120)).expect("known run");
+        assert_eq!(done.state, "done", "cancellation must not touch the busy worker");
+        assert_eq!(
+            q.cancel(busy),
+            Err(CancelError::NotCancellable { state: "done".to_string() })
+        );
+        q.shutdown();
     }
 
     #[test]

@@ -717,12 +717,46 @@ pub fn run_points(
     shard: Option<ShardSpec>,
     workers: usize,
 ) -> Result<SweepRun, String> {
+    run_points_resuming(spec, shard, workers, &[])
+}
+
+/// Like [`run_points`], but resumes an interrupted run: points named in
+/// `done` are *not* re-executed — their prior [`PointOutcome`] is
+/// spliced into the manifest verbatim and no artifacts are re-emitted
+/// for them (the caller already has those bytes on disk). Because a
+/// point run is a pure `(spec, seed) → artifacts` function, skipping a
+/// completed point cannot change the manifest: a resumed run renders
+/// byte-identical manifest output to an uninterrupted one.
+///
+/// Entries in `done` that are not in this process's share of the
+/// expansion (stale names from an edited grid, or points of another
+/// shard) are silently ignored.
+///
+/// # Errors
+///
+/// Propagates expansion errors, exactly as [`run_points`].
+pub fn run_points_resuming(
+    spec: &SweepSpec,
+    shard: Option<ShardSpec>,
+    workers: usize,
+    done: &[PointOutcome],
+) -> Result<SweepRun, String> {
     let all = spec.expand()?;
     let total = all.len();
     let base = spec.base_scenario()?;
-    let mine: Vec<SweepPoint> = all
+    let done_names: BTreeSet<&str> = done.iter().map(|o| o.name.as_str()).collect();
+    let (mine, reused): (Vec<SweepPoint>, Vec<SweepPoint>) = all
         .into_iter()
         .filter(|p| shard.is_none_or(|s| point_shard(&p.name, s.count) == s.index))
+        .partition(|p| !done_names.contains(p.name.as_str()));
+    let mut outcomes: Vec<PointOutcome> = reused
+        .iter()
+        .map(|p| {
+            done.iter()
+                .find(|o| o.name == p.name)
+                .expect("partitioned on membership")
+                .clone()
+        })
         .collect();
 
     let workers = workers.max(1).min(mine.len().max(1));
@@ -735,7 +769,7 @@ pub fn run_points(
         submitted.push((id, point.name.clone()));
     }
 
-    let mut outcomes = Vec::with_capacity(submitted.len());
+    outcomes.reserve(submitted.len());
     let mut files = Vec::new();
     for (id, name) in submitted {
         let status = queue
@@ -774,6 +808,35 @@ pub fn run_points(
     })
 }
 
+/// Parses one manifest (unsharded or shard form) into its point
+/// outcomes, verifying it belongs to the named sweep. This is the
+/// read-back half of the manifest format: `xui sweep --resume` uses it
+/// to learn which points an interrupted run already finished, and
+/// [`merge_manifests`] uses it per shard.
+///
+/// # Errors
+///
+/// Rejects malformed JSON, a manifest of a different sweep, and
+/// malformed point entries.
+pub fn manifest_outcomes(sweep_name: &str, text: &str) -> Result<Vec<PointOutcome>, String> {
+    let v = serde_json::value_from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Value::Object(entries) = &v else {
+        return Err("the manifest is not an object".to_string());
+    };
+    let get = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match get("sweep") {
+        Some(Value::Str(s)) if *s == sweep_name => {}
+        Some(Value::Str(s)) => {
+            return Err(format!("the manifest belongs to sweep `{s}`, not `{sweep_name}`"))
+        }
+        _ => return Err("the manifest has no `sweep` name".to_string()),
+    }
+    let Some(Value::Array(points)) = get("points") else {
+        return Err("the manifest has no `points` array".to_string());
+    };
+    points.iter().map(PointOutcome::from_value).collect()
+}
+
 /// Merges shard manifests back into the unsharded manifest, verifying
 /// the shards form an exact disjoint cover of the sweep's expansion —
 /// so `cat shard manifests | merge` equals the single-process run byte
@@ -790,28 +853,9 @@ pub fn merge_manifests(spec: &SweepSpec, manifests: &[String]) -> Result<String,
     let mut outcomes: Vec<PointOutcome> = Vec::with_capacity(expected.len());
     let mut seen = BTreeSet::new();
     for (i, text) in manifests.iter().enumerate() {
-        let v = serde_json::value_from_str(text)
-            .map_err(|e| format!("shard manifest #{i}: invalid JSON: {e}"))?;
-        let Value::Object(entries) = &v else {
-            return Err(format!("shard manifest #{i} is not an object"));
-        };
-        let get = |name: &str| entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-        match get("sweep") {
-            Some(Value::Str(s)) if *s == spec.name => {}
-            Some(Value::Str(s)) => {
-                return Err(format!(
-                    "shard manifest #{i} belongs to sweep `{s}`, not `{}`",
-                    spec.name
-                ))
-            }
-            _ => return Err(format!("shard manifest #{i} has no `sweep` name")),
-        }
-        let Some(Value::Array(points)) = get("points") else {
-            return Err(format!("shard manifest #{i} has no `points` array"));
-        };
-        for p in points {
-            let outcome = PointOutcome::from_value(p)
-                .map_err(|e| format!("shard manifest #{i}: {e}"))?;
+        let parsed = manifest_outcomes(&spec.name, text)
+            .map_err(|e| format!("shard manifest #{i}: {e}"))?;
+        for outcome in parsed {
             if !expected.contains(&outcome.name) {
                 return Err(format!(
                     "shard manifest #{i} names point `{}` which is not in the expansion",
@@ -1122,6 +1166,63 @@ mod tests {
             .expect("merge reversed");
         assert_eq!(ab, whole.manifest, "merged manifest differs from unsharded");
         assert_eq!(ba, whole.manifest, "merge is order-dependent");
+    }
+
+    #[test]
+    fn resumed_runs_reproduce_the_manifest_byte_for_byte() {
+        let spec = tiny_sweep();
+        let whole = run_points(&spec, None, 2).expect("unsharded run");
+
+        // Interrupt after two of four points: resume with those prior
+        // outcomes must splice them in without re-running them and
+        // still render exactly the uninterrupted manifest.
+        let partial = &whole.outcomes[..2];
+        let resumed = run_points_resuming(&spec, None, 2, partial).expect("resumed run");
+        assert_eq!(resumed.manifest, whole.manifest, "resume changed the manifest bytes");
+        assert_eq!(resumed.outcomes, whole.outcomes);
+        let rerun_points: BTreeSet<&str> = resumed
+            .files
+            .iter()
+            .map(|(path, _)| path.split('/').next().expect("namespaced path"))
+            .collect();
+        for done in partial {
+            assert!(
+                !rerun_points.contains(done.name.as_str()),
+                "resume re-emitted artifacts for completed point `{}`",
+                done.name
+            );
+        }
+        assert_eq!(rerun_points.len(), 2, "the two interrupted points re-ran");
+
+        // Prior outcomes whose names fell out of the expansion (an
+        // edited grid) are ignored, not trusted.
+        let stale = vec![PointOutcome {
+            name: "fig2_timeline@sender_countdown=999,receiver_countdown=1".to_string(),
+            passed: true,
+            artifacts: vec![],
+            error: None,
+        }];
+        let fresh = run_points_resuming(&spec, None, 2, &stale).expect("stale-resume run");
+        assert_eq!(fresh.manifest, whole.manifest);
+        assert_eq!(fresh.files.len(), whole.files.len(), "every real point re-ran");
+
+        // Resuming with everything done runs nothing at all.
+        let noop = run_points_resuming(&spec, None, 2, &whole.outcomes).expect("no-op resume");
+        assert_eq!(noop.manifest, whole.manifest);
+        assert!(noop.files.is_empty(), "a fully-complete resume re-emitted artifacts");
+    }
+
+    #[test]
+    fn manifest_outcomes_read_back_what_run_points_wrote() {
+        let spec = tiny_sweep();
+        let whole = run_points(&spec, None, 2).expect("unsharded run");
+        let parsed = manifest_outcomes(&spec.name, &whole.manifest).expect("parses");
+        assert_eq!(parsed, whole.outcomes);
+
+        let err = manifest_outcomes("other_sweep", &whole.manifest).unwrap_err();
+        assert!(err.contains("belongs to sweep"), "{err}");
+        assert!(manifest_outcomes(&spec.name, "{ nope").is_err());
+        assert!(manifest_outcomes(&spec.name, "{}").is_err());
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::time::Duration;
 
 use serde::{Serialize, Value};
 use xui_scenario::{
-    ProgressHook, RunId, RunOptions, RunProgress, RunQueue, RunStatus, Scenario, SubmitError,
+    CancelError, ProgressHook, RunId, RunOptions, RunProgress, RunQueue, RunStatus, Scenario,
+    SubmitError,
 };
 use xui_telemetry::{
     BroadcastHub, BroadcastRecorder, BroadcastSubscriber, Event, MetricsShard, Recorder,
@@ -318,6 +319,20 @@ impl RunManager {
         self.queue
             .report(id)
             .and_then(|r| r.artifact(artifact).map(str::to_string))
+    }
+
+    /// Cancels a still-queued run (the `DELETE /api/runs/<id>` verb).
+    /// The queue pulls the job before any worker can claim it and marks
+    /// the run `failed` with a cancellation error; the terminal
+    /// transition flows through the usual observer, so stream clients
+    /// see the state snapshot and the hub closes. Running and terminal
+    /// runs are refused — the status history stays queryable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CancelError`] from the queue.
+    pub fn delete(&self, id: RunId) -> Result<RunStatus, CancelError> {
+        self.queue.cancel(id)
     }
 
     /// Blocks until run `id` is terminal or `timeout` passes.

@@ -12,6 +12,7 @@
 //! | POST | `/api/runs` | validate + enqueue a run |
 //! | GET  | `/api/runs` | every run's status |
 //! | GET  | `/api/runs/<id>` | one run's status + loss accounting |
+//! | DELETE | `/api/runs/<id>` | cancel a still-queued run (409 otherwise) |
 //! | GET  | `/api/runs/<id>/events` | live SSE stream of the run |
 //! | GET  | `/api/runs/<id>/artifacts/<artifact>` | one artifact's bytes |
 //! | POST | `/api/sweeps` | expand a sweep grid + enqueue every point |
@@ -38,7 +39,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde::{Deserialize, Value};
-use xui_scenario::{registry, Scenario, SubmitError};
+use xui_scenario::{registry, CancelError, Scenario, SubmitError};
 
 use crate::http::{self, json_string, Request, Response};
 use crate::pool::ThreadPool;
@@ -232,6 +233,7 @@ fn route(ctx: &Ctx, req: &Request, segs: &[&str]) -> Response {
             Response::ok_json(serde_json::to_string(&ctx.manager.list_value()).unwrap_or_default())
         }
         ("GET", ["api", "runs", id]) => run_status(ctx, id),
+        ("DELETE", ["api", "runs", id]) => delete_run(ctx, id),
         ("GET", ["api", "runs", id, "artifacts", artifact]) => run_artifact(ctx, id, artifact),
         ("POST", ["api", "sweeps"]) => submit_sweep(ctx, req),
         ("GET", ["api", "sweeps"]) => {
@@ -360,6 +362,21 @@ fn run_status(ctx: &Ctx, raw_id: &str) -> Response {
     match ctx.manager.status_value(id) {
         Some(v) => Response::ok_json(serde_json::to_string(&v).unwrap_or_default()),
         None => Response::not_found(&format!("run {id}")),
+    }
+}
+
+/// `DELETE /api/runs/<id>`: cancels a still-queued run. 200 with the
+/// final (`failed`/cancelled) status on success; 404 for unknown ids;
+/// 409 once the run is running or terminal — deletion never rewrites
+/// history, only un-queues work no worker has claimed yet.
+fn delete_run(ctx: &Ctx, raw_id: &str) -> Response {
+    let Some(id) = parse_run_id(raw_id) else {
+        return Response::error(400, &format!("run id `{raw_id}` is not a number"));
+    };
+    match ctx.manager.delete(id) {
+        Ok(status) => Response::ok_json(serde_json::to_string(&status).unwrap_or_default()),
+        Err(CancelError::NotFound) => Response::not_found(&format!("run {id}")),
+        Err(e @ CancelError::NotCancellable { .. }) => Response::error(409, &e.to_string()),
     }
 }
 

@@ -64,6 +64,63 @@ fn wait_done(addr: SocketAddr, id: u64) -> String {
     }
 }
 
+/// `DELETE /api/runs/<id>` cancels exactly the still-queued runs:
+/// unknown ids are 404, malformed ids 400, running and terminal runs
+/// 409, and a queued run becomes `failed` with a cancellation error
+/// without disturbing the run occupying the worker.
+#[test]
+fn delete_cancels_queued_runs_only() {
+    let server = Server::start(&ServeConfig { run_workers: 1, ..ServeConfig::default() })
+        .expect("server starts on an ephemeral port");
+    let addr = server.local_addr();
+    let submit = |hold: u64| {
+        let (status, body) = http_request(
+            addr,
+            "POST",
+            "/api/runs",
+            Some(&format!("{{\"scenario\":{SCENARIO:?},\"hold_ms\":{hold}}}")),
+        )
+        .expect("request completes");
+        assert_eq!(status, 202, "{body}");
+        field_u64(&body, "id")
+    };
+    let delete = |id: &str| {
+        http_request(addr, "DELETE", &format!("/api/runs/{id}"), None).expect("request completes")
+    };
+
+    // One worker: the held run occupies it, the second stays queued.
+    let running = submit(2_000);
+    let queued = submit(0);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while field_str(&get(addr, &format!("/api/runs/{running}")).1, "state") != "running" {
+        assert!(Instant::now() < deadline, "held run never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (status, _) = delete("999");
+    assert_eq!(status, 404, "unknown run ids are not found");
+    let (status, _) = delete("not-a-number");
+    assert_eq!(status, 400, "malformed run ids are bad requests");
+
+    let (status, body) = delete(&queued.to_string());
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(field_str(&body, "state"), "failed");
+    assert!(field_str(&body, "error").contains("cancelled"), "{body}");
+
+    // A second delete finds it terminal; the running run is busy.
+    let (status, body) = delete(&queued.to_string());
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("failed"), "{body}");
+    let (status, body) = delete(&running.to_string());
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("running"), "{body}");
+
+    // The occupied worker finishes its run untouched.
+    let done = wait_done(addr, running);
+    assert_eq!(field_str(&done, "state"), "done");
+    server.shutdown();
+}
+
 #[test]
 fn registry_browsing_and_error_statuses() {
     let server = start();

@@ -172,16 +172,22 @@ pub struct IrqTiming {
     pub uiret_at: u64,
 }
 
-/// UPID field layout within the two 64-bit words at `upid_addr`
-/// (matching `xui_core::upid`): low word bit 0 = ON, bit 1 = SN,
-/// bits 32.. = NDST; high word = PIR.
+/// UPID field layout within the two 64-bit words at `upid_addr`,
+/// re-derived from the single bit-accurate source in [`xui_uipi_abi`]:
+/// low word bit 0 = ON, bit 1 = SN, bits 32.. = NDST; high word = PIR.
 pub mod upid_words {
+    use core::mem::offset_of;
+
     /// ON bit in the low word.
-    pub const ON: u64 = 1;
+    pub const ON: u64 = xui_uipi_abi::nc::ON as u64;
     /// SN bit in the low word.
-    pub const SN: u64 = 2;
-    /// Shift of the NDST field in the low word.
-    pub const NDST_SHIFT: u32 = 32;
+    pub const SN: u64 = xui_uipi_abi::nc::SN as u64;
+    /// Shift of the NDST field in the low word (byte offset of the
+    /// packed `ndst` field, in bits).
+    pub const NDST_SHIFT: u32 = 8 * offset_of!(xui_uipi_abi::UintrNc, ndst) as u32;
+
+    // The simulator's word bridge and the packed ABI form must agree.
+    const _: () = assert!(ON == 1 && SN == 2 && NDST_SHIFT == 32);
 }
 
 /// One simulated out-of-order core.

@@ -1,0 +1,286 @@
+//! The `IA32_UINTR_*` model-specific-register file (0x985–0x98A).
+//!
+//! | Address | MSR | Defined bits |
+//! |---------|-----|--------------|
+//! | `0x985` | `IA32_UINTR_RR` | 63:0 — the UIRR posted-vector bitmap |
+//! | `0x986` | `IA32_UINTR_HANDLER` | 63:0 — user handler entry point |
+//! | `0x987` | `IA32_UINTR_STACKADJUST` | 63:0 — bit 0 selects load-vs-subtract |
+//! | `0x988` | `IA32_UINTR_MISC` | 31:0 `UITTSZ`, 39:32 `UINV`; 63:40 reserved |
+//! | `0x989` | `IA32_UINTR_PD` | 63:6 UPID address; 5:0 reserved (64-byte aligned) |
+//! | `0x98A` | `IA32_UINTR_TT` | 63:4 UITT address, bit 0 `SENDUIPI` enable; 3:1 reserved |
+//!
+//! `WRMSR` to a reserved bit #GPs on hardware; this model instead masks
+//! reserved bits deterministically on [`MsrFile::write`], so every model
+//! that goes through the typed interface holds a byte-identical file.
+
+/// `IA32_UINTR_RR` address.
+pub const IA32_UINTR_RR: u32 = 0x985;
+/// `IA32_UINTR_HANDLER` address.
+pub const IA32_UINTR_HANDLER: u32 = 0x986;
+/// `IA32_UINTR_STACKADJUST` address.
+pub const IA32_UINTR_STACKADJUST: u32 = 0x987;
+/// `IA32_UINTR_MISC` address.
+pub const IA32_UINTR_MISC: u32 = 0x988;
+/// `IA32_UINTR_PD` address.
+pub const IA32_UINTR_PD: u32 = 0x989;
+/// `IA32_UINTR_TT` address.
+pub const IA32_UINTR_TT: u32 = 0x98a;
+
+/// `UITTSZ` occupies `IA32_UINTR_MISC` bits 31:0.
+pub const MISC_UITTSZ_MASK: u64 = 0xffff_ffff;
+/// `UINV` occupies `IA32_UINTR_MISC` bits 39:32.
+pub const MISC_UINV_SHIFT: u32 = 32;
+/// The defined bits of `IA32_UINTR_MISC`.
+pub const MISC_DEFINED: u64 = 0x0000_00ff_ffff_ffff;
+/// The defined bits of `IA32_UINTR_PD` (the UPID is 64-byte aligned).
+pub const PD_DEFINED: u64 = !0x3f;
+/// Bit 0 of `IA32_UINTR_TT`: `senduipi` enable.
+pub const TT_ENABLE: u64 = 1;
+/// The defined bits of `IA32_UINTR_TT` (bits 3:1 reserved).
+pub const TT_DEFINED: u64 = !0xe;
+
+/// The six UINTR MSRs, in address order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UintrMsr {
+    /// `IA32_UINTR_RR` (0x985).
+    Rr,
+    /// `IA32_UINTR_HANDLER` (0x986).
+    Handler,
+    /// `IA32_UINTR_STACKADJUST` (0x987).
+    StackAdjust,
+    /// `IA32_UINTR_MISC` (0x988).
+    Misc,
+    /// `IA32_UINTR_PD` (0x989).
+    Pd,
+    /// `IA32_UINTR_TT` (0x98A).
+    Tt,
+}
+
+/// Every UINTR MSR, in address order.
+pub const ALL_MSRS: [UintrMsr; 6] = [
+    UintrMsr::Rr,
+    UintrMsr::Handler,
+    UintrMsr::StackAdjust,
+    UintrMsr::Misc,
+    UintrMsr::Pd,
+    UintrMsr::Tt,
+];
+
+impl UintrMsr {
+    /// The MSR's architectural address.
+    #[must_use]
+    pub const fn address(self) -> u32 {
+        match self {
+            Self::Rr => IA32_UINTR_RR,
+            Self::Handler => IA32_UINTR_HANDLER,
+            Self::StackAdjust => IA32_UINTR_STACKADJUST,
+            Self::Misc => IA32_UINTR_MISC,
+            Self::Pd => IA32_UINTR_PD,
+            Self::Tt => IA32_UINTR_TT,
+        }
+    }
+
+    /// Looks an MSR up by architectural address.
+    #[must_use]
+    pub const fn from_address(addr: u32) -> Option<Self> {
+        match addr {
+            IA32_UINTR_RR => Some(Self::Rr),
+            IA32_UINTR_HANDLER => Some(Self::Handler),
+            IA32_UINTR_STACKADJUST => Some(Self::StackAdjust),
+            IA32_UINTR_MISC => Some(Self::Misc),
+            IA32_UINTR_PD => Some(Self::Pd),
+            IA32_UINTR_TT => Some(Self::Tt),
+            _ => None,
+        }
+    }
+
+    /// The mask of defined (writable) bits; everything else is reserved
+    /// and reads as zero.
+    #[must_use]
+    pub const fn defined_mask(self) -> u64 {
+        match self {
+            Self::Rr | Self::Handler | Self::StackAdjust => u64::MAX,
+            Self::Misc => MISC_DEFINED,
+            Self::Pd => PD_DEFINED,
+            Self::Tt => TT_DEFINED,
+        }
+    }
+}
+
+/// The per-thread UINTR register file, stored exactly as `RDMSR` would
+/// return it (reserved bits always zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MsrFile {
+    rr: u64,
+    handler: u64,
+    stack_adjust: u64,
+    misc: u64,
+    pd: u64,
+    tt: u64,
+}
+
+impl MsrFile {
+    /// A zeroed register file (reset state).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { rr: 0, handler: 0, stack_adjust: 0, misc: 0, pd: 0, tt: 0 }
+    }
+
+    /// `RDMSR`: the stored value (reserved bits read as zero).
+    #[must_use]
+    pub const fn read(&self, msr: UintrMsr) -> u64 {
+        match msr {
+            UintrMsr::Rr => self.rr,
+            UintrMsr::Handler => self.handler,
+            UintrMsr::StackAdjust => self.stack_adjust,
+            UintrMsr::Misc => self.misc,
+            UintrMsr::Pd => self.pd,
+            UintrMsr::Tt => self.tt,
+        }
+    }
+
+    /// `WRMSR` with deterministic reserved-bit masking; returns the
+    /// value actually stored.
+    pub fn write(&mut self, msr: UintrMsr, value: u64) -> u64 {
+        let stored = value & msr.defined_mask();
+        match msr {
+            UintrMsr::Rr => self.rr = stored,
+            UintrMsr::Handler => self.handler = stored,
+            UintrMsr::StackAdjust => self.stack_adjust = stored,
+            UintrMsr::Misc => self.misc = stored,
+            UintrMsr::Pd => self.pd = stored,
+            UintrMsr::Tt => self.tt = stored,
+        }
+        stored
+    }
+
+    /// `UINV` (MISC bits 39:32).
+    #[must_use]
+    pub const fn uinv(&self) -> u8 {
+        (self.misc >> MISC_UINV_SHIFT) as u8
+    }
+
+    /// Writes `UINV`, preserving `UITTSZ` and masking reserved bits.
+    pub fn set_uinv(&mut self, uinv: u8) {
+        self.misc = (self.misc & MISC_UITTSZ_MASK) | ((uinv as u64) << MISC_UINV_SHIFT);
+    }
+
+    /// `UITTSZ` (MISC bits 31:0): highest valid UITT index.
+    #[must_use]
+    pub const fn uittsz(&self) -> u32 {
+        (self.misc & MISC_UITTSZ_MASK) as u32
+    }
+
+    /// Writes `UITTSZ`, preserving `UINV`.
+    pub fn set_uittsz(&mut self, size: u32) {
+        self.misc = (self.misc & !MISC_UITTSZ_MASK) | size as u64;
+    }
+
+    /// Whether `IA32_UINTR_TT` bit 0 enables `senduipi`.
+    #[must_use]
+    pub const fn senduipi_enabled(&self) -> bool {
+        self.tt & TT_ENABLE != 0
+    }
+
+    /// The UITT base address from `IA32_UINTR_TT` (enable bit stripped).
+    #[must_use]
+    pub const fn uitt_addr(&self) -> u64 {
+        self.tt & TT_DEFINED & !TT_ENABLE
+    }
+
+    /// Serializes the file as its 48-byte little-endian image, MSRs in
+    /// address order 0x985..=0x98A — the form the byte differ compares.
+    #[must_use]
+    pub fn pack(&self) -> [u8; 48] {
+        let mut bytes = [0u8; 48];
+        for (i, msr) in ALL_MSRS.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&self.read(*msr).to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Deserializes from the 48-byte image, masking reserved bits.
+    #[must_use]
+    pub fn unpack(bytes: &[u8; 48]) -> Self {
+        let mut file = Self::new();
+        for (i, msr) in ALL_MSRS.iter().enumerate() {
+            let word = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+            file.write(*msr, word);
+        }
+        file
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_match_the_sdm_map() {
+        assert_eq!(UintrMsr::Rr.address(), 0x985);
+        assert_eq!(UintrMsr::Handler.address(), 0x986);
+        assert_eq!(UintrMsr::StackAdjust.address(), 0x987);
+        assert_eq!(UintrMsr::Misc.address(), 0x988);
+        assert_eq!(UintrMsr::Pd.address(), 0x989);
+        assert_eq!(UintrMsr::Tt.address(), 0x98a);
+        for msr in ALL_MSRS {
+            assert_eq!(UintrMsr::from_address(msr.address()), Some(msr));
+        }
+        assert_eq!(UintrMsr::from_address(0x984), None);
+    }
+
+    #[test]
+    fn writes_mask_reserved_bits() {
+        let mut f = MsrFile::new();
+        assert_eq!(f.write(UintrMsr::Misc, u64::MAX), MISC_DEFINED);
+        assert_eq!(f.write(UintrMsr::Pd, 0x1234_567f), 0x1234_5640);
+        assert_eq!(f.write(UintrMsr::Tt, 0xffff), 0xfff1);
+        assert_eq!(f.write(UintrMsr::Handler, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn misc_helpers_pack_uinv_and_uittsz() {
+        let mut f = MsrFile::new();
+        f.set_uinv(0xec);
+        f.set_uittsz(256);
+        assert_eq!(f.uinv(), 0xec);
+        assert_eq!(f.uittsz(), 256);
+        assert_eq!(f.read(UintrMsr::Misc), (0xec << 32) | 256);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Write-then-read returns the masked value, and pack∘unpack is
+        /// the identity on files built through the typed interface.
+        #[test]
+        fn masked_write_read_round_trip(values in any::<[u64; 6]>()) {
+            let mut f = MsrFile::new();
+            for (msr, v) in ALL_MSRS.iter().zip(values.iter()) {
+                let stored = f.write(*msr, *v);
+                prop_assert_eq!(stored, v & msr.defined_mask());
+                prop_assert_eq!(f.read(*msr), stored);
+            }
+            prop_assert_eq!(MsrFile::unpack(&f.pack()), f);
+        }
+
+        /// Any 48-byte pattern survives unpack→pack for defined bits.
+        #[test]
+        fn image_round_trip_masks_deterministically(bytes in any::<[u8; 48]>()) {
+            let f = MsrFile::unpack(&bytes);
+            let repacked = f.pack();
+            for (i, msr) in ALL_MSRS.iter().enumerate() {
+                let word = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+                let expect = word & msr.defined_mask();
+                let got = u64::from_le_bytes(repacked[i * 8..(i + 1) * 8].try_into().unwrap());
+                prop_assert_eq!(got, expect);
+            }
+            prop_assert_eq!(MsrFile::unpack(&repacked), f);
+        }
+    }
+}

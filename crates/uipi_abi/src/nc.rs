@@ -1,0 +1,252 @@
+//! The packed UPID notification-control word.
+//!
+//! This is the first 8 bytes of the 64-byte UPID, exactly as the SDM
+//! lays it out (Vol. 3, "User Posted-Interrupt Descriptor"):
+//!
+//! | Byte(s) | Field | Meaning |
+//! |---------|-------|---------|
+//! | 0       | status | bit 0 `ON` (outstanding notification), bit 1 `SN` (suppress notification), bits 7:2 reserved |
+//! | 1       | reserved | must be zero |
+//! | 2       | `NV` | notification vector the IPI carries |
+//! | 3       | reserved | must be zero |
+//! | 4..=7   | `NDST` | notification destination (APIC ID), little endian |
+
+use core::mem::{align_of, offset_of, size_of};
+
+/// Bit 0 of the status byte: outstanding notification.
+pub const ON: u8 = 1 << 0;
+/// Bit 1 of the status byte: suppress notification.
+pub const SN: u8 = 1 << 1;
+/// The defined bits of the status byte (everything else is reserved).
+pub const STATUS_MASK: u8 = ON | SN;
+
+/// The packed notification-control word (`UINTR_NC` in the nimbos/linux
+/// uintr ports): byte-for-byte the head of a UPID.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UintrNc {
+    /// Status byte: bit 0 `ON`, bit 1 `SN`, bits 7:2 reserved (zero).
+    pub status: u8,
+    /// Reserved byte, always zero.
+    pub reserved1: u8,
+    /// Notification vector.
+    pub nv: u8,
+    /// Reserved byte, always zero.
+    pub reserved2: u8,
+    /// Notification destination (APIC ID).
+    pub ndst: u32,
+}
+
+// Compile-time layout contract: the word is 8 bytes with every field at
+// its architectural offset.
+const _: () = assert!(size_of::<UintrNc>() == 8);
+const _: () = assert!(align_of::<UintrNc>() == 4);
+const _: () = assert!(offset_of!(UintrNc, status) == 0);
+const _: () = assert!(offset_of!(UintrNc, reserved1) == 1);
+const _: () = assert!(offset_of!(UintrNc, nv) == 2);
+const _: () = assert!(offset_of!(UintrNc, reserved2) == 3);
+const _: () = assert!(offset_of!(UintrNc, ndst) == 4);
+
+impl UintrNc {
+    /// An all-zero control word.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { status: 0, reserved1: 0, nv: 0, reserved2: 0, ndst: 0 }
+    }
+
+    /// The outstanding-notification bit.
+    #[must_use]
+    pub const fn on(&self) -> bool {
+        self.status & ON != 0
+    }
+
+    /// The suppress-notification bit.
+    #[must_use]
+    pub const fn sn(&self) -> bool {
+        self.status & SN != 0
+    }
+
+    /// Sets or clears `ON`.
+    pub fn set_on(&mut self, value: bool) {
+        if value {
+            self.status |= ON;
+        } else {
+            self.status &= !ON;
+        }
+    }
+
+    /// Sets or clears `SN`. Touches only bit 1 — the kernel's
+    /// suspend-path RMW must never disturb a racing post.
+    pub fn set_sn(&mut self, value: bool) {
+        if value {
+            self.status |= SN;
+        } else {
+            self.status &= !SN;
+        }
+    }
+
+    /// Atomic-style `lock bts`: sets `ON` and reports whether it was
+    /// already set (the sender elides the IPI when it was).
+    pub fn test_and_set_on(&mut self) -> bool {
+        let was = self.on();
+        self.status |= ON;
+        was
+    }
+
+    /// Atomic-style `lock btr`: clears `ON` and reports whether it was
+    /// set (notification processing runs only when it was).
+    pub fn test_and_clear_on(&mut self) -> bool {
+        let was = self.on();
+        self.status &= !ON;
+        was
+    }
+
+    /// Atomic-style `lock bts` on `SN`: sets it and reports the prior
+    /// value (context-switch-out is idempotent).
+    pub fn test_and_set_sn(&mut self) -> bool {
+        let was = self.sn();
+        self.status |= SN;
+        was
+    }
+
+    /// Atomic-style `lock btr` on `SN`: clears it and reports the prior
+    /// value (context-switch-in re-arms notifications).
+    pub fn test_and_clear_sn(&mut self) -> bool {
+        let was = self.sn();
+        self.status &= !SN;
+        was
+    }
+
+    /// Clears every reserved bit in place (status bits 7:2 and both
+    /// reserved bytes), leaving the defined fields untouched. All
+    /// constructors and unpackers in this crate apply this, so images
+    /// that agree on defined fields are byte-identical.
+    pub fn mask_reserved(&mut self) {
+        self.status &= STATUS_MASK;
+        self.reserved1 = 0;
+        self.reserved2 = 0;
+    }
+
+    /// Serializes into the 8-byte memory image (little endian).
+    #[must_use]
+    pub fn pack(&self) -> [u8; 8] {
+        let mut bytes = [0u8; 8];
+        bytes[0] = self.status;
+        bytes[1] = self.reserved1;
+        bytes[2] = self.nv;
+        bytes[3] = self.reserved2;
+        bytes[4..8].copy_from_slice(&self.ndst.to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes from the 8-byte memory image, masking reserved bits
+    /// deterministically.
+    #[must_use]
+    pub fn unpack(bytes: &[u8; 8]) -> Self {
+        let mut nc = Self {
+            status: bytes[0],
+            reserved1: bytes[1],
+            nv: bytes[2],
+            reserved2: bytes[3],
+            ndst: u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+        };
+        nc.mask_reserved();
+        nc
+    }
+
+    /// The word as the low half of a 64-bit little-endian load — the
+    /// form the cycle simulator's memory model moves around.
+    #[must_use]
+    pub fn to_u64(&self) -> u64 {
+        u64::from_le_bytes(self.pack())
+    }
+
+    /// Rebuilds the word from a 64-bit little-endian load, masking
+    /// reserved bits.
+    #[must_use]
+    pub fn from_u64(word: u64) -> Self {
+        Self::unpack(&word.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_bits_are_bit0_and_bit1() {
+        let mut nc = UintrNc::new();
+        nc.set_on(true);
+        assert_eq!(nc.to_u64(), 1);
+        nc.set_on(false);
+        nc.set_sn(true);
+        assert_eq!(nc.to_u64(), 2);
+    }
+
+    #[test]
+    fn nv_and_ndst_sit_at_their_architectural_offsets() {
+        let mut nc = UintrNc::new();
+        nc.nv = 0xec;
+        assert_eq!(nc.to_u64(), 0xec << 16);
+        nc.nv = 0;
+        nc.ndst = 0xdead_beef;
+        assert_eq!(nc.to_u64(), 0xdead_beef << 32);
+    }
+
+    #[test]
+    fn test_and_set_clear_report_prior_value() {
+        let mut nc = UintrNc::new();
+        assert!(!nc.test_and_set_on());
+        assert!(nc.test_and_set_on());
+        assert!(nc.test_and_clear_on());
+        assert!(!nc.test_and_clear_on());
+        assert!(!nc.test_and_set_sn());
+        assert!(nc.test_and_clear_sn());
+        assert!(!nc.sn());
+    }
+
+    #[test]
+    fn unpack_masks_reserved_bits() {
+        let nc = UintrNc::unpack(&[0xff; 8]);
+        assert_eq!(nc.status, STATUS_MASK);
+        assert_eq!(nc.reserved1, 0);
+        assert_eq!(nc.reserved2, 0);
+        assert_eq!(nc.nv, 0xff);
+        assert_eq!(nc.ndst, u32::MAX);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Any byte pattern survives unpack→pack for defined fields, and
+        /// pack∘unpack is idempotent (reserved bits masked once).
+        #[test]
+        fn round_trip_preserves_defined_fields(bytes in any::<[u8; 8]>()) {
+            let nc = UintrNc::unpack(&bytes);
+            let repacked = nc.pack();
+            prop_assert_eq!(repacked[0], bytes[0] & STATUS_MASK);
+            prop_assert_eq!(repacked[1], 0);
+            prop_assert_eq!(repacked[2], bytes[2]);
+            prop_assert_eq!(repacked[3], 0);
+            prop_assert_eq!(&repacked[4..8], &bytes[4..8]);
+            prop_assert_eq!(UintrNc::unpack(&repacked), nc);
+        }
+
+        /// `set_sn` touches only bit 1 of the packed image.
+        #[test]
+        fn set_sn_touches_only_bit1(bytes in any::<[u8; 8]>(), flips in proptest::collection::vec(any::<bool>(), 1..8)) {
+            let base = UintrNc::unpack(&bytes);
+            let mut nc = base;
+            for f in flips {
+                nc.set_sn(f);
+                prop_assert_eq!(nc.sn(), f);
+                prop_assert_eq!(nc.to_u64() & !2, base.to_u64() & !2);
+            }
+        }
+    }
+}

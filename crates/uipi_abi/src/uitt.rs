@@ -1,0 +1,138 @@
+//! The 16-byte User Interrupt Target Table entry.
+
+use core::mem::{align_of, offset_of, size_of};
+
+/// A UITT entry's size in memory.
+pub const UITT_ENTRY_BYTES: usize = 16;
+
+/// Bit 0 of the first byte: entry is valid.
+pub const VALID: u8 = 1 << 0;
+
+/// One User Interrupt Target Table entry, exactly as `senduipi`
+/// dereferences it:
+///
+/// | Byte(s)  | Field | Meaning |
+/// |----------|-------|---------|
+/// | 0        | valid | bit 0 V (valid), bits 7:1 reserved |
+/// | 1        | `user_vec` | user vector posted at the target |
+/// | 2..=7    | reserved | must be zero |
+/// | 8..=15   | `target_upid_addr` | physical address of the target UPID, little endian |
+#[repr(C, align(16))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct UittEntry {
+    /// Bit 0: valid. Bits 7:1 reserved (zero).
+    pub valid: u8,
+    /// The user vector this entry posts.
+    pub user_vec: u8,
+    /// Reserved bytes, always zero.
+    pub reserved: [u8; 6],
+    /// Address of the target UPID (64-byte aligned).
+    pub target_upid_addr: u64,
+}
+
+// Compile-time layout contract: 16 bytes, address in the second
+// quadword.
+const _: () = assert!(size_of::<UittEntry>() == UITT_ENTRY_BYTES);
+const _: () = assert!(align_of::<UittEntry>() == 16);
+const _: () = assert!(offset_of!(UittEntry, valid) == 0);
+const _: () = assert!(offset_of!(UittEntry, user_vec) == 1);
+const _: () = assert!(offset_of!(UittEntry, reserved) == 2);
+const _: () = assert!(offset_of!(UittEntry, target_upid_addr) == 8);
+
+impl UittEntry {
+    /// An all-zero (invalid) entry.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { valid: 0, user_vec: 0, reserved: [0; 6], target_upid_addr: 0 }
+    }
+
+    /// A valid entry posting `user_vec` at the UPID at `target_upid_addr`.
+    #[must_use]
+    pub const fn valid_entry(user_vec: u8, target_upid_addr: u64) -> Self {
+        Self { valid: VALID, user_vec, reserved: [0; 6], target_upid_addr }
+    }
+
+    /// Whether the valid bit is set.
+    #[must_use]
+    pub const fn is_valid(&self) -> bool {
+        self.valid & VALID != 0
+    }
+
+    /// Sets or clears the valid bit.
+    pub fn set_valid(&mut self, value: bool) {
+        if value {
+            self.valid |= VALID;
+        } else {
+            self.valid &= !VALID;
+        }
+    }
+
+    /// Serializes into the 16-byte memory image.
+    #[must_use]
+    pub fn pack(&self) -> [u8; UITT_ENTRY_BYTES] {
+        let mut bytes = [0u8; UITT_ENTRY_BYTES];
+        bytes[0] = self.valid;
+        bytes[1] = self.user_vec;
+        bytes[2..8].copy_from_slice(&self.reserved);
+        bytes[8..16].copy_from_slice(&self.target_upid_addr.to_le_bytes());
+        bytes
+    }
+
+    /// Deserializes from the 16-byte memory image, masking reserved
+    /// bits deterministically (valid bits 7:1 and bytes 2..8).
+    #[must_use]
+    pub fn unpack(bytes: &[u8; UITT_ENTRY_BYTES]) -> Self {
+        Self {
+            valid: bytes[0] & VALID,
+            user_vec: bytes[1],
+            reserved: [0; 6],
+            target_upid_addr: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_entry_packs_per_layout() {
+        let e = UittEntry::valid_entry(5, 0x1000);
+        let bytes = e.pack();
+        assert_eq!(bytes[0], 1);
+        assert_eq!(bytes[1], 5);
+        assert!(bytes[2..8].iter().all(|&b| b == 0));
+        assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 0x1000);
+    }
+
+    #[test]
+    fn invalidation_clears_only_the_valid_bit() {
+        let mut e = UittEntry::valid_entry(9, 0x2000);
+        e.set_valid(false);
+        assert!(!e.is_valid());
+        assert_eq!(e.user_vec, 9);
+        assert_eq!(e.target_upid_addr, 0x2000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Any byte pattern survives unpack→pack for defined fields,
+        /// reserved bits masked deterministically.
+        #[test]
+        fn entry_round_trip(bytes in any::<[u8; 16]>()) {
+            let e = UittEntry::unpack(&bytes);
+            let repacked = e.pack();
+            prop_assert_eq!(repacked[0], bytes[0] & VALID);
+            prop_assert_eq!(repacked[1], bytes[1]);
+            prop_assert!(repacked[2..8].iter().all(|&b| b == 0));
+            prop_assert_eq!(&repacked[8..16], &bytes[8..16]);
+            prop_assert_eq!(UittEntry::unpack(&repacked), e);
+        }
+    }
+}

@@ -17,7 +17,11 @@
 //! expands a sweep spec (see `docs/SCENARIOS.md`) into named points,
 //! fans them across a worker pool, and with `--shard I/N` runs only the
 //! points whose name hashes into shard I; `--merge` reassembles shard
-//! manifests into the unsharded bytes. `serve` binds `--addr` (default
+//! manifests into the unsharded bytes; `--resume` re-reads the manifest
+//! under `--out` and skips every point whose entry is complete and
+//! whose artifacts are still on disk, so an interrupted sweep picks up
+//! where it stopped and still writes byte-identical output. `serve`
+//! binds `--addr` (default
 //! `127.0.0.1:0`), optionally writes the bound address to `--port-file`,
 //! and runs until a client POSTs `/api/shutdown`. Exit status: 0 pass,
 //! 1 experiment failure, 2 usage/config error.
@@ -64,7 +68,8 @@ fn spec_for(command: &str) -> Option<CliSpec> {
                 .option("--out", "DIR", "output directory (default results/sweeps/<name>)")
                 .option("--workers", "N", "concurrent points (default: all cores)")
                 .flag("--expand", "print the expanded point names without running")
-                .flag("--merge", "merge shard manifests under --out instead of running"),
+                .flag("--merge", "merge shard manifests under --out instead of running")
+                .flag("--resume", "skip points already complete under --out"),
         ),
         "serve" => Some(
             CliSpec::new("xui serve", "HTTP control plane")
@@ -237,6 +242,9 @@ fn cmd_sweep(parsed: &Parsed, spec: &CliSpec) {
         if shard.is_some() {
             usage_exit("`--merge` takes no `--shard`; it merges every shard manifest", spec);
         }
+        if parsed.flag("--resume") {
+            usage_exit("`--merge` takes no `--resume`; merging never re-runs points", spec);
+        }
         let mut manifests = Vec::new();
         let entries = match std::fs::read_dir(&out_dir) {
             Ok(it) => it,
@@ -272,7 +280,38 @@ fn cmd_sweep(parsed: &Parsed, spec: &CliSpec) {
         return;
     }
 
-    let run = match sweep::run_points(&sw, shard, workers) {
+    // With --resume, a prior manifest entry only counts as complete
+    // when it recorded no runner error and every artifact it names is
+    // still on disk; anything less re-runs the point.
+    let done: Vec<sweep::PointOutcome> = if parsed.flag("--resume") {
+        let manifest_path = out_dir.join(
+            shard.map_or_else(|| sweep::MANIFEST_NAME.to_string(), ShardSpec::manifest_name),
+        );
+        match std::fs::read_to_string(&manifest_path) {
+            Err(_) => Vec::new(), // no prior manifest: a fresh run
+            Ok(text) => match sweep::manifest_outcomes(&sw.name, &text) {
+                Ok(outcomes) => outcomes
+                    .into_iter()
+                    .filter(|o| {
+                        let dir = out_dir.join(&o.name);
+                        o.error.is_none()
+                            && !o.artifacts.is_empty()
+                            && dir.is_dir()
+                            && o.artifacts.iter().all(|id| dir.join(format!("{id}.json")).is_file())
+                    })
+                    .collect(),
+                Err(e) => config_exit(format!(
+                    "cannot resume from `{}`: {e}",
+                    manifest_path.display()
+                )),
+            },
+        }
+    } else {
+        Vec::new()
+    };
+    let resumed = done.len();
+
+    let run = match sweep::run_points_resuming(&sw, shard, workers, &done) {
         Ok(run) => run,
         Err(e) => config_exit(e),
     };
@@ -297,6 +336,9 @@ fn cmd_sweep(parsed: &Parsed, spec: &CliSpec) {
         out_dir.display(),
         manifest_path.display()
     );
+    if resumed > 0 {
+        println!("[resumed: skipped {resumed} already-complete points]");
+    }
     if !run.passed {
         exit(1);
     }

@@ -89,6 +89,67 @@ fn sharded_runs_merge_byte_identically_at_every_split() {
     }
 }
 
+/// An interrupted `xui sweep` resumed with `--resume` must re-run only
+/// the points whose artifacts are missing and still write the same
+/// manifest bytes an uninterrupted run writes.
+#[test]
+fn cli_resume_skips_complete_points_and_rewrites_identical_manifest_bytes() {
+    let scratch = std::env::temp_dir().join(format!("xui-sweep-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("mkdir scratch");
+    let spec_path = scratch.join("tiny.json");
+    std::fs::write(&spec_path, tiny_sweep().to_json()).expect("write spec");
+    let out_dir = scratch.join("out");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "sweep",
+            spec_path.to_str().expect("utf-8 path"),
+            "--out",
+            out_dir.to_str().expect("utf-8 path"),
+            "--workers",
+            "2",
+        ];
+        args.extend_from_slice(extra);
+        std::process::Command::new(env!("CARGO_BIN_EXE_xui"))
+            .args(&args)
+            .output()
+            .expect("xui binary runs")
+    };
+
+    let first = run(&[]);
+    assert_eq!(first.status.code(), Some(0), "{}", String::from_utf8_lossy(&first.stderr));
+    let manifest_path = out_dir.join("sweep_manifest.json");
+    let pristine = std::fs::read_to_string(&manifest_path).expect("manifest written");
+
+    // "Interrupt": two of the four points lose their artifacts.
+    let points = tiny_sweep().expand().expect("expands");
+    for p in &points[..2] {
+        std::fs::remove_dir_all(out_dir.join(&p.name)).expect("tear out point artifacts");
+    }
+
+    let resumed = run(&["--resume"]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", String::from_utf8_lossy(&resumed.stderr));
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("[resumed: skipped 2 already-complete points]"),
+        "resume did not skip the intact points: {stdout}"
+    );
+    let after = std::fs::read_to_string(&manifest_path).expect("manifest rewritten");
+    assert_eq!(after, pristine, "resumed manifest differs from the uninterrupted bytes");
+    for p in &points {
+        assert!(
+            out_dir.join(&p.name).is_dir(),
+            "point `{}` has no artifacts after resume",
+            p.name
+        );
+    }
+
+    // `--resume` composes with `--merge` only as a usage error.
+    let bad = run(&["--resume", "--merge"]);
+    assert_eq!(bad.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 #[test]
 fn hash_sharding_partitions_every_preset_point_exactly_once() {
     for preset in presets() {
